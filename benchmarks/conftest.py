@@ -1,0 +1,52 @@
+"""Shared fixtures for the figure-regeneration benchmark suite.
+
+Each ``test_figN_*`` module regenerates one of the paper's figures,
+prints the model-vs-paper table, and asserts the *shape* agreements
+(orderings, crossovers, rough factors) documented in EXPERIMENTS.md.
+Figure results are cached per session so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+from repro.harness import figures
+
+
+@lru_cache(maxsize=None)
+def cached_figure(name: str):
+    return getattr(figures, name)()
+
+
+@pytest.fixture(scope="session")
+def fig(request):
+    """Indirect figure accessor: ``fig('fig6')``."""
+    return cached_figure
+
+
+@pytest.fixture(autouse=True)
+def _count_as_benchmark(benchmark):
+    """Every test in this suite is part of the figure-regeneration
+    benchmark run: depend on the ``benchmark`` fixture so
+    ``--benchmark-only`` executes the shape assertions too."""
+    yield
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _print_tables_once(request):
+    """Print every regenerated table at the end of the benchmark run."""
+    yield
+    capman = request.config.pluginmanager.getplugin("capturemanager")
+    if capman:
+        capman.suspend_global_capture(in_=True)
+    try:
+        for name in ("fig1", "fig2", "fig3", "fig4", "fig5",
+                     "fig6", "fig7", "fig8", "fig9"):
+            if cached_figure.cache_info().currsize:  # only if suite ran
+                print()
+                print(cached_figure(name).render())
+    finally:
+        if capman:
+            capman.resume_global_capture()

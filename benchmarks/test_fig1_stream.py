@@ -1,0 +1,80 @@
+"""Figure 1: BabelStream Triad bandwidth — plateaus, ratios, curve shape.
+
+Also benchmarks the *real* numpy Triad kernel on this machine via
+pytest-benchmark (the reproduction's kernels are real computations; their
+host-machine throughput is reported for reference, while the figure's
+platform numbers come from the machine models).
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.paperdata import FIG1_CACHE_RATIO, FIG1_STREAM_GBS
+from repro.machine import EPYC_7V73X, XEON_8360Y, XEON_MAX_9480
+from repro.mem import Scope, StreamArrays, plateau_bandwidth, triad_sweep
+from repro.mem.stream import triad
+
+
+def test_fig1_plateaus_match_paper(benchmark, fig):
+    result = benchmark.pedantic(lambda: fig("fig1"), rounds=1, iterations=1)
+    rows = {(r[0], r[1]): r for r in result.rows}
+    for label, key in (
+        ("max9480", "max9480"),
+        ("max9480 (SS flags)", "max9480_ss"),
+        ("icx8360y", "icx8360y"),
+        ("epyc7v73x", "epyc7v73x"),
+        ("a100", "a100"),
+    ):
+        model = rows[(label, "node")][2]
+        assert model == pytest.approx(FIG1_STREAM_GBS[key], rel=0.01), label
+
+
+def test_fig1_generation_speedups(benchmark):
+    """1446 GB/s is a 4.8x increase over the 8360Y; 1643 is 5.5x."""
+    plain = benchmark.pedantic(
+        lambda: plateau_bandwidth(XEON_MAX_9480), rounds=3, iterations=1
+    )
+    assert plain / plateau_bandwidth(XEON_8360Y) == pytest.approx(4.8, abs=0.2)
+    assert plateau_bandwidth(XEON_MAX_9480, tuned=True) / plateau_bandwidth(
+        XEON_8360Y
+    ) == pytest.approx(5.5, abs=0.2)
+
+
+def test_fig1_cache_memory_ratios(fig):
+    for note in fig("fig1").notes[:3]:
+        pass  # rendered; the numeric check below is authoritative
+    from repro.mem import HierarchyModel
+
+    for p in (XEON_MAX_9480, XEON_8360Y, EPYC_7V73X):
+        ratio = HierarchyModel(p).cache_to_memory_ratio()
+        assert ratio == pytest.approx(FIG1_CACHE_RATIO[p.short_name], rel=0.06)
+
+
+def test_fig1_curve_shape(benchmark):
+    """Bandwidth rises, peaks in the cache region, settles on the plateau."""
+    sizes = 2 ** np.arange(14, 28)
+
+    res = benchmark.pedantic(
+        lambda: triad_sweep(XEON_MAX_9480, sizes), rounds=1, iterations=1
+    )
+    bws = [r.bandwidth for r in res]
+    assert max(bws) > 2 * bws[0]
+    assert max(bws) > 2 * bws[-1]
+    assert bws[-1] == pytest.approx(XEON_MAX_9480.stream_bandwidth, rel=0.05)
+
+
+def test_fig1_numa_scope_is_one_eighth(benchmark):
+    node = plateau_bandwidth(XEON_MAX_9480)
+    numa = benchmark.pedantic(
+        lambda: plateau_bandwidth(XEON_MAX_9480, Scope.NUMA), rounds=3, iterations=1
+    )
+    assert numa == pytest.approx(node / 8, rel=0.01)
+
+
+def test_real_triad_kernel_throughput(benchmark):
+    """Measure the actual numpy Triad on the host (reference only)."""
+    arrays = StreamArrays.allocate(2**22)
+
+    benchmark(triad, arrays)
+    moved = 3 * arrays.a.nbytes
+    benchmark.extra_info["GB_per_s"] = moved / benchmark.stats["mean"] / 1e9

@@ -1,0 +1,65 @@
+"""Figure 4: the unstructured-mesh configuration sweep vs the paper's table."""
+
+import numpy as np
+import pytest
+
+from repro.harness.paperdata import FIG4_TABLE
+
+
+def test_fig4_sweep(benchmark, fig):
+    f4 = benchmark.pedantic(lambda: fig("fig4"), rounds=1, iterations=1)
+    assert len(f4.rows) == 25  # the paper's 25 rows
+
+
+def test_fig4_mpi_vec_rows_best(fig):
+    """'MPI vec implementations ... perform the best' — the fastest row
+    for each app is an MPI vec configuration."""
+    f4 = fig("fig4")
+    for col, app in ((1, "mgcfd"), (2, "volna")):
+        best = min(f4.rows, key=lambda r: r[col])
+        assert best[0].startswith("MPI vec"), (app, best[0])
+
+
+def test_fig4_vec_advantage(fig):
+    """'on average by 66% compared to others' — assert a clear average
+    advantage of the vec rows."""
+    f4 = fig("fig4")
+    vec, other = [], []
+    for row in f4.rows:
+        vals = [v for v in row[1:3] if v is not None]
+        (vec if row[0].startswith("MPI vec") else other).extend(vals)
+    assert np.mean(other) / np.mean(vec) > 1.15
+
+
+def test_fig4_ht_helps_unstructured(fig):
+    """'Hyperthreading enabled also improves performance by 13% on
+    average' for these apps."""
+    f4 = fig("fig4")
+    rows = f4.row_map()
+    gains = []
+    for lbl, row in rows.items():
+        if "w/o HT" not in lbl:
+            continue
+        ht = rows.get(lbl.replace("w/o HT", "w/HT"))
+        if ht is None:
+            continue
+        for c in (1, 2):
+            if row[c] and ht[c]:
+                gains.append(row[c] / ht[c])
+    assert np.mean(gains) > 1.05  # HT on is faster on average
+
+
+def test_fig4_rank_correlation_with_paper(fig):
+    """The model's row ordering correlates with the paper's table."""
+    from scipy.stats import spearmanr
+
+    f4 = fig("fig4")
+    for col, paper_idx in ((1, 0), (2, 1)):
+        model, ref = [], []
+        for row in f4.rows:
+            pv = FIG4_TABLE.get(row[0], (None, None))[paper_idx]
+            if pv is not None and row[col] is not None:
+                model.append(row[col])
+                ref.append(pv)
+        rho, _ = spearmanr(model, ref)
+        assert rho > 0.4, (col, rho)

@@ -1,0 +1,39 @@
+"""Figure 9: CloverLeaf 2D with cache-blocking tiling across platforms."""
+
+import pytest
+
+from repro.harness.paperdata import FIG9_TILING_SPEEDUP
+
+
+def test_fig9_generation(benchmark, fig):
+    f9 = benchmark.pedantic(lambda: fig("fig9"), rounds=1, iterations=1)
+    assert len(f9.rows) == 4  # 3 CPUs + the A100 reference
+
+
+def test_fig9_tiling_always_helps(fig):
+    rows = fig("fig9").row_map()
+    for p in ("max9480", "icx8360y", "epyc7v73x"):
+        assert rows[p][3] > 1.2, p
+
+
+def test_fig9_speedup_tracks_cache_ratio(fig):
+    """'it correlates well with the difference between measured cache
+    bandwidth and HBM/DDR4' — 1.84x @ 3.8x < 2.7x @ 6.3x < 4x @ 14x."""
+    rows = fig("fig9").row_map()
+    s = {p: rows[p][3] for p in ("max9480", "icx8360y", "epyc7v73x")}
+    assert s["max9480"] < s["icx8360y"] < s["epyc7v73x"]
+
+
+def test_fig9_speedups_near_paper(fig):
+    rows = fig("fig9").row_map()
+    for p, ref in FIG9_TILING_SPEEDUP.items():
+        model = rows[p][3]
+        assert ref * 0.55 < model < ref * 1.5, (p, model, ref)
+
+
+def test_fig9_tiled_max_beats_a100(fig):
+    """'at this point outperforming an A100 GPU by 1.5x'."""
+    rows = fig("fig9").row_map()
+    tiled_max = rows["max9480"][2]
+    a100 = rows["a100 (untiled)"][1]
+    assert a100 / tiled_max > 1.2

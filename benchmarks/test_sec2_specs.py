@@ -1,0 +1,45 @@
+"""Section 2's derived platform numbers (peak TFLOPS, flop/byte balance)."""
+
+import pytest
+
+from repro.machine import EPYC_7V73X, XEON_8360Y, XEON_MAX_9480
+
+
+def test_sec2_peak_fp32_tflops(benchmark):
+    def peaks():
+        return tuple(p.peak_flops_range(4) for p in
+                     (XEON_MAX_9480, XEON_8360Y, EPYC_7V73X))
+
+    (max_lo, max_hi), (icx_lo, _), (epyc_lo, epyc_hi) = benchmark.pedantic(
+        peaks, rounds=1, iterations=1
+    )
+    assert max_lo / 1e12 == pytest.approx(13.6, rel=0.01)
+    assert max_hi / 1e12 == pytest.approx(18.6, rel=0.01)
+    assert icx_lo / 1e12 == pytest.approx(11.0, rel=0.01)
+    assert epyc_lo / 1e12 == pytest.approx(8.45, rel=0.01)
+    assert epyc_hi / 1e12 == pytest.approx(13.45, rel=0.01)
+
+
+def test_sec2_flop_byte_balance(benchmark):
+    """'significantly reduced on the MAX to 9.4, compared to 36 on the
+    8360Y and 28 on the EPYC'."""
+    ratios = benchmark.pedantic(
+        lambda: tuple(p.flop_byte_ratio(4) for p in
+                      (XEON_MAX_9480, XEON_8360Y, EPYC_7V73X)),
+        rounds=1, iterations=1,
+    )
+    assert ratios[0] == pytest.approx(9.4, abs=0.3)
+    assert ratios[1] == pytest.approx(36, abs=2.5)
+    assert ratios[2] == pytest.approx(28, abs=1.5)
+    assert ratios[0] < ratios[2] < ratios[1]
+
+
+def test_sec2_compute_advantage_modest(benchmark):
+    """'only 24% and 61% higher compared to Xeon 8360Y and EPYC'."""
+    r = benchmark.pedantic(
+        lambda: (XEON_MAX_9480.peak_flops(4) / XEON_8360Y.peak_flops(4),
+                 XEON_MAX_9480.peak_flops(4) / EPYC_7V73X.peak_flops(4)),
+        rounds=1, iterations=1,
+    )
+    assert r[0] == pytest.approx(1.24, abs=0.03)
+    assert r[1] == pytest.approx(1.61, abs=0.03)

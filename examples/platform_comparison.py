@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Compare one application across the paper's four platforms.
+
+Profiles the chosen application through the DSL at a scaled-down size,
+extrapolates to the paper's problem size, sweeps every feasible
+compiler/ZMM/HT/parallelization combination per platform, and prints the
+best configuration, runtime, effective bandwidth and MPI fraction — a
+one-app slice of the paper's Figures 6/7/8.
+
+    python examples/platform_comparison.py [app]
+
+``app`` defaults to cloverleaf2d; see ``repro.apps.APP_ORDER`` for the
+full list (cloverleaf2d/3d, opensbli_sa/sn, acoustic, miniweather,
+mgcfd, volna, minibude).
+"""
+
+import sys
+
+from repro.apps import APP_ORDER, get_app
+from repro.harness import best_run, run_application
+from repro.machine import (
+    A100_40GB,
+    CPU_PLATFORMS,
+    Compiler,
+    Parallelization,
+    RunConfig,
+    structured_config_sweep,
+    unstructured_config_sweep,
+)
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "cloverleaf2d"
+    if name not in APP_ORDER:
+        raise SystemExit(f"unknown app {name!r}; choose from {APP_ORDER}")
+    defn = get_app(name)
+    print(f"{defn.name}: {defn.description}")
+    print(f"paper problem: {defn.paper_domain} x {defn.paper_iterations} iterations\n")
+
+    print(f"{'platform':12s} {'best configuration':45s} "
+          f"{'runtime':>9s} {'eff. BW':>9s} {'MPI':>6s}")
+    results = {}
+    for platform in CPU_PLATFORMS:
+        sweep_fn = (structured_config_sweep if defn.structured
+                    else unstructured_config_sweep)
+        cfg, est = best_run(name, platform, sweep_fn(platform))
+        results[platform.short_name] = est.total_time
+        print(f"{platform.short_name:12s} {cfg.label():45s} "
+              f"{est.total_time:8.3f}s {est.effective_bandwidth / 1e9:6.0f} GB/s "
+              f"{est.mpi_fraction * 100:5.1f}%")
+    gpu = run_application(name, A100_40GB, RunConfig(Compiler.NVCC, Parallelization.CUDA))
+    results["a100"] = gpu.total_time
+    print(f"{'a100':12s} {'CUDA':45s} {gpu.total_time:8.3f}s "
+          f"{gpu.effective_bandwidth / 1e9:6.0f} GB/s {'':>6s}")
+
+    base = results["max9480"]
+    print("\nXeon CPU MAX 9480 speedups:")
+    for other in ("icx8360y", "epyc7v73x", "a100"):
+        r = results[other] / base
+        rel = f"{r:.2f}x faster" if r > 1 else f"{1 / r:.2f}x slower"
+        print(f"  vs {other:10s} {rel}")
+
+
+if __name__ == "__main__":
+    main()

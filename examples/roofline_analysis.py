@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Roofline analysis: where does each application sit, and why does the
+Xeon CPU MAX shift bottlenecks?
+
+Draws text rooflines of CloverLeaf 2D (bandwidth-bound) and miniBUDE
+(compute-bound) on the Xeon MAX, then prints the time-weighted bottleneck
+mix of every application on the MAX vs the 8360Y — the paper's central
+claim that lowering machine balance from 36 to 9.4 flop/byte moves codes
+away from the bandwidth wall.
+
+    python examples/roofline_analysis.py
+"""
+
+from repro.apps import APP_ORDER
+from repro.harness import app_spec
+from repro.machine import XEON_8360Y, XEON_MAX_9480, best_practice_config
+from repro.perfmodel import bottleneck_summary, render_roofline, roofline_points
+
+
+def main():
+    cfg_max = best_practice_config(XEON_MAX_9480)
+    for name in ("cloverleaf2d", "minibude"):
+        pts = roofline_points(app_spec(name), XEON_MAX_9480, cfg_max)
+        print(f"--- {name} ---")
+        print(render_roofline(pts, XEON_MAX_9480, width=56, height=12,
+                              dtype_bytes=app_spec(name).dtype_bytes))
+        print()
+
+    print(f"{'app':14s} {'MAX bottleneck mix':34s} {'8360Y bottleneck mix'}")
+    cfg_icx = best_practice_config(XEON_8360Y)
+    for name in APP_ORDER:
+        spec = app_spec(name)
+        mix_max = bottleneck_summary(roofline_points(spec, XEON_MAX_9480, cfg_max))
+        mix_icx = bottleneck_summary(roofline_points(spec, XEON_8360Y, cfg_icx))
+
+        def fmt(mix):
+            return " ".join(f"{k[:3]}={v * 100:.0f}%" for k, v in sorted(mix.items()))
+
+        print(f"{name:14s} {fmt(mix_max):34s} {fmt(mix_icx)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Tsunami propagation with the Volna shallow-water solver.
+
+Drops a water hump into a synthetic ocean basin (sloping beach, island)
+and tracks the wave: volume conservation, run-up on the beach, arrival
+at a "coastal gauge" — the workload class the real Volna-OP2 simulates
+for the Indian Ocean (paper Sec. 3).  Renders an ASCII map of the final
+free surface.
+
+    python examples/tsunami_simulation.py
+"""
+
+import numpy as np
+
+from repro.apps.volna import run_volna, synthetic_ocean
+from repro.op2 import Op2Context
+
+
+def ascii_map(mesh, eta, nx, ny):
+    """Coarse ASCII rendering: land, shallows, wave crests/troughs."""
+    chars = []
+    for j in range(ny):
+        row = []
+        for i in range(nx):
+            cell = 2 * (j * nx + i)
+            h = eta[cell] - mesh.bathymetry[cell]
+            if h < 1e-4:
+                row.append("#")  # dry land
+            elif eta[cell] > 0.005:
+                row.append("^")  # crest
+            elif eta[cell] < -0.005:
+                row.append("v")  # trough
+            else:
+                row.append("~")  # calm
+        chars.append("".join(row))
+    return "\n".join(reversed(chars))
+
+
+def main():
+    nx, ny = 40, 20
+    mesh = synthetic_ocean(nx, ny)
+    print(f"basin: {mesh.n_cells} triangles, depth "
+          f"{-mesh.bathymetry.min():.1f} .. {-mesh.bathymetry.max():.1f}")
+
+    ctx = Op2Context()
+    result = run_volna(ctx, (2 * nx, ny), iterations=60, mesh=mesh)
+
+    eta = result["w"][:, 0]
+    vols = result["volume"]
+    print(f"water volume drift over {len(vols)} steps: "
+          f"{abs(max(vols) - min(vols)) / vols[0]:.2e} (conserved)")
+
+    # Gauge near the beach (x ~ 0.85): has the wave arrived?
+    gauge_cells = np.nonzero(
+        (mesh.cell_centroid[:, 0] > 0.8) & (mesh.bathymetry < -0.01)
+    )[0]
+    gauge = np.abs(eta[gauge_cells]).max()
+    print(f"max |elevation| at the coastal gauge: {gauge:.4f} "
+          f"({'wave arrived' if gauge > 1e-4 else 'still quiet'})")
+
+    h = eta - mesh.bathymetry
+    print(f"max run-up depth on the beach: {h[mesh.bathymetry > -0.3].max():.4f}")
+    print(f"kernel profile: {len(ctx.records)} distinct loops, "
+          f"{sum(r.calls for r in ctx.records.values())} launches")
+    print()
+    print(ascii_map(mesh, eta, nx, ny))
+
+
+if __name__ == "__main__":
+    main()

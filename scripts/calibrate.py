@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Calibration feedback: model outputs vs. the paper's headline targets.
+
+Run after changing calibration constants or app kernels:
+
+    python scripts/calibrate.py
+"""
+
+import sys
+
+from repro.machine import (
+    A100_40GB,
+    EPYC_7V73X,
+    XEON_8360Y,
+    XEON_MAX_9480,
+    Compiler,
+    Parallelization,
+    RunConfig,
+    structured_config_sweep,
+    unstructured_config_sweep,
+)
+from repro.harness.runner import best_run, run_application
+
+APPS_S = ["cloverleaf2d", "cloverleaf3d", "opensbli_sa", "opensbli_sn", "acoustic", "miniweather"]
+APPS_U = ["mgcfd", "volna"]
+
+#: (vs-8360Y speedup, vs-EPYC speedup, effBW % of STREAM on MAX, A100/MAX)
+TARGETS = {
+    "cloverleaf2d": (4.2, None, 75, 1.1),
+    "cloverleaf3d": (4.3, None, 67, 1.1),
+    "opensbli_sa": (3.8, None, 67, 1.2),
+    "opensbli_sn": (2.5, None, 53, 1.7),
+    "acoustic": (1.98, None, 41, 2.0),
+    "miniweather": (None, None, None, None),
+    "mgcfd": (2.5, 2.0, None, None),
+    "volna": (2.0, None, None, 1.8),
+    "minibude": (1.9, 1.36, None, None),
+}
+
+
+def main() -> int:
+    best = {}
+    for name in APPS_S + APPS_U + ["minibude"]:
+        row = {}
+        for p in (XEON_MAX_9480, XEON_8360Y, EPYC_7V73X):
+            sw = unstructured_config_sweep(p) if name in APPS_U else structured_config_sweep(p)
+            row[p.short_name] = best_run(name, p, sw)
+        row["a100"] = (None, run_application(
+            name, A100_40GB, RunConfig(Compiler.NVCC, Parallelization.CUDA)))
+        best[name] = row
+
+    hdr = (f"{'app':14s} {'MAX t':>8s} {'vsICX':>6s} {'tgt':>5s} {'vsEPYC':>7s} {'tgt':>5s} "
+           f"{'A100/MAX':>8s} {'tgt':>5s} {'BW%MAX':>7s} {'tgt':>4s} {'BW%ICX':>7s} {'BW%EPYC':>8s} {'mpi%':>5s}")
+    print(hdr)
+    for name, row in best.items():
+        m = row["max9480"][1]
+        i = row["icx8360y"][1]
+        e = row["epyc7v73x"][1]
+        a = row["a100"][1]
+        t = TARGETS[name]
+
+        def fmt(v, target):
+            return f"{v:6.2f} {'-' if target is None else f'{target:5.2f}'}"
+
+        print(f"{name:14s} {m.total_time:8.2f} "
+              f"{fmt(i.total_time / m.total_time, t[0])} "
+              f"{fmt(e.total_time / m.total_time, t[1])} "
+              f"{fmt(m.total_time / a.total_time, t[3]):>10s} "
+              f"{m.effective_bandwidth / XEON_MAX_9480.stream_bandwidth * 100:7.1f} "
+              f"{'-' if t[2] is None else t[2]:>4} "
+              f"{i.effective_bandwidth / XEON_8360Y.stream_bandwidth * 100:7.1f} "
+              f"{e.effective_bandwidth / EPYC_7V73X.stream_bandwidth * 100:8.1f} "
+              f"{m.mpi_fraction * 100:5.1f}")
+    tf = best["minibude"]["max9480"][1].achieved_flops / 1e12
+    print(f"\nminibude on MAX: {tf:.2f} TFLOPS (target 6), "
+          f"best config: {best['minibude']['max9480'][0].label()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

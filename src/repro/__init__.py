@@ -1,0 +1,25 @@
+"""repro — reproduction of "Comparative evaluation of bandwidth-bound
+applications on the Intel Xeon CPU MAX Series" (I. Z. Reguly, SC 2023).
+
+The package rebuilds, in pure Python/numpy, the full software stack the
+paper's measurements rest on — platform models of the four machines, a
+memory-hierarchy simulator, a simulated MPI runtime, OPS/OP2-style
+structured/unstructured mesh DSLs, the seven benchmarked applications,
+and a harness that regenerates every figure of the evaluation.
+
+Quick start::
+
+    from repro.machine import XEON_MAX_9480, best_practice_config
+    from repro.harness import run_application
+
+    result = run_application("cloverleaf2d", XEON_MAX_9480,
+                             best_practice_config(XEON_MAX_9480))
+    print(result.total_time, result.mpi_fraction)
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-vs-model comparison of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["machine", "mem", "simmpi", "perfmodel", "ops", "op2", "apps", "harness"]

@@ -1,0 +1,128 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the applications and platforms.
+``run APP [--platform P] [--config auto|best] [--compare]``
+    Model one application (best configuration by default).
+``figures [figN ...]``
+    Regenerate the paper's figures (all by default).
+``validate APP``
+    Execute the application's numerics at test scale and print its
+    invariant diagnostics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .apps import APP_ORDER, get_app
+from .harness import all_figures, best_run, run_application
+from .harness import figures as figmod
+from .machine import (
+    A100_40GB,
+    ALL_PLATFORMS,
+    Compiler,
+    Parallelization,
+    RunConfig,
+    get_platform,
+    structured_config_sweep,
+    unstructured_config_sweep,
+)
+
+
+def cmd_list(_args) -> int:
+    print("applications:")
+    for name in APP_ORDER:
+        d = get_app(name)
+        print(f"  {name:14s} {d.description}")
+    print("\nplatforms:")
+    for p in ALL_PLATFORMS:
+        print(f"  {p.short_name:10s} {p.name} — "
+              f"{p.total_cores} cores, {p.stream_bandwidth / 1e9:.0f} GB/s STREAM")
+    return 0
+
+
+def _sweep(defn, platform):
+    if platform.kind.value == "gpu":
+        return [RunConfig(Compiler.NVCC, Parallelization.CUDA)]
+    return (structured_config_sweep(platform) if defn.structured
+            else unstructured_config_sweep(platform))
+
+
+def cmd_run(args) -> int:
+    defn = get_app(args.app)
+    platforms = ALL_PLATFORMS if args.compare else [get_platform(args.platform)]
+    print(f"{defn.name}: {defn.description}")
+    print(f"paper scale: {defn.paper_domain} x {defn.paper_iterations} iterations\n")
+    for platform in platforms:
+        cfg, est = best_run(args.app, platform, _sweep(defn, platform))
+        print(f"{platform.short_name:10s} {est.total_time:9.3f} s  "
+              f"effBW {est.effective_bandwidth / 1e9:6.0f} GB/s  "
+              f"MPI {est.mpi_fraction * 100:4.1f}%  [{cfg.label()}]")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    wanted = args.figures or [f"fig{i}" for i in range(1, 10)]
+    for name in wanted:
+        fn = getattr(figmod, name, None)
+        if fn is None:
+            print(f"unknown figure {name!r} (fig1..fig9)", file=sys.stderr)
+            return 2
+        print(fn().render())
+        print()
+    return 0
+
+
+def cmd_validate(args) -> int:
+    defn = get_app(args.app)
+    ctx = defn.make_context()
+    diag = defn.run(ctx, defn.test_domain, defn.test_iterations)
+    print(f"{defn.name} at {defn.test_domain} x {defn.test_iterations}:")
+    for key, val in diag.items():
+        if hasattr(val, "shape"):
+            print(f"  {key}: array{tuple(val.shape)}")
+        elif isinstance(val, list) and len(val) > 6:
+            print(f"  {key}: [{val[0]:.4g} ... {val[-1]:.4g}] ({len(val)} entries)")
+        elif isinstance(val, dict):
+            print(f"  {key}: {{{', '.join(val)}}}")
+        else:
+            print(f"  {key}: {val}")
+    recs = getattr(ctx, "records", {})
+    print(f"  loops: {len(recs)} distinct, "
+          f"{sum(r.calls for r in recs.values())} launches")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Xeon CPU MAX bandwidth-bound application study, reproduced",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list applications and platforms")
+
+    p_run = sub.add_parser("run", help="model one application")
+    p_run.add_argument("app", choices=APP_ORDER)
+    p_run.add_argument("--platform", default="max9480",
+                       help="platform short name (default max9480)")
+    p_run.add_argument("--compare", action="store_true",
+                       help="run on every platform")
+
+    p_fig = sub.add_parser("figures", help="regenerate paper figures")
+    p_fig.add_argument("figures", nargs="*", help="fig1 .. fig9 (default: all)")
+
+    p_val = sub.add_parser("validate", help="run an app's numerics at test scale")
+    p_val.add_argument("app", choices=APP_ORDER)
+
+    args = parser.parse_args(argv)
+    return {"list": cmd_list, "run": cmd_run,
+            "figures": cmd_figures, "validate": cmd_validate}[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

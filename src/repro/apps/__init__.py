@@ -1,0 +1,56 @@
+"""The seven benchmarked applications (paper Section 3).
+
+Every application is a real numerical code on one of the DSLs:
+
+========== =============== =========== ====================================
+name        class           precision   problem (paper scale)
+========== =============== =========== ====================================
+cloverleaf2d structured-bw  double      7680², 50 iters — Eulerian hydro
+cloverleaf3d structured-bw  double      408³, 50 iters
+opensbli_sa  structured-bw  double      320³, 20 iters — NS, store-all
+opensbli_sn  structured-cmp double      320³, 20 iters — NS, store-none
+acoustic     structured-cmp single      320³, 10 iters — 8th-order FD wave
+miniweather  structured-bw  double      4000x2000 — atmospheric proxy
+mgcfd        unstructured   double      8M vertices — FV Euler + multigrid
+volna        unstructured   single      30M cells — shallow water tsunami
+minibude     compute        single      65536 poses — molecular docking
+========== =============== =========== ====================================
+
+Use :func:`get_app` / :func:`all_apps` to enumerate, ``defn.run(ctx,
+domain, iterations)`` to execute, and :func:`build_spec` to produce the
+performance-model input extrapolated to paper scale.
+"""
+
+from .base import AppDefinition, APP_ORDER, all_apps, build_spec, get_app
+
+# Importing the app modules registers their definitions.
+from . import acoustic, cloverleaf, mgcfd, minibude, miniweather, opensbli, volna  # noqa: E402,F401
+
+from .acoustic import run_acoustic
+from .cloverleaf import run_cloverleaf
+from .mgcfd import run_mgcfd, synthetic_mgcfd_mesh
+from .minibude import Deck, pose_energies, run_minibude, synthetic_deck
+from .miniweather import run_miniweather
+from .opensbli import run_opensbli
+from .volna import OceanMesh, run_volna, synthetic_ocean
+
+__all__ = [
+    "AppDefinition",
+    "APP_ORDER",
+    "all_apps",
+    "get_app",
+    "build_spec",
+    "run_cloverleaf",
+    "run_acoustic",
+    "run_opensbli",
+    "run_miniweather",
+    "run_minibude",
+    "run_mgcfd",
+    "run_volna",
+    "synthetic_deck",
+    "synthetic_mgcfd_mesh",
+    "synthetic_ocean",
+    "pose_energies",
+    "Deck",
+    "OceanMesh",
+]

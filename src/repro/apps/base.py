@@ -1,0 +1,171 @@
+"""Application framework: definitions, paper metadata, spec building.
+
+Each benchmarked application (paper Section 3) is a real numerical code
+built on one of the DSLs.  An :class:`AppDefinition` couples the code
+with the paper's run parameters (problem size, iterations, precision)
+and the Section 5 compiler-affinity facts.  ``build_spec`` runs the
+application at a scaled-down size through a recording context and
+extrapolates the measured per-loop profiles to paper scale — producing
+the :class:`~repro.perfmodel.kernelmodel.AppSpec` the performance model
+and every figure harness consume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..machine.config import Compiler
+from ..op2.parloop import Op2Context
+from ..ops.runtime import OpsContext
+from ..perfmodel.kernelmodel import AppClass, AppSpec
+
+__all__ = ["AppDefinition", "build_spec", "register", "get_app", "all_apps", "APP_ORDER"]
+
+
+@dataclass(frozen=True)
+class AppDefinition:
+    """One benchmarked application.
+
+    ``run`` executes the application: ``run(ctx, domain, iterations)`` →
+    app-specific diagnostics dict.  ``paper_domain``/``paper_iterations``
+    are the Section 3 run parameters; ``test_domain`` is the scaled-down
+    size used for profiling and tests.  ``compiler_affinity`` encodes the
+    paper's Section 5 codegen observations (performance relative to the
+    best compiler; 0 = does not run).
+    """
+
+    name: str
+    klass: AppClass
+    dtype_bytes: int
+    run: Callable[..., dict]
+    paper_domain: tuple[int, ...]
+    paper_iterations: int
+    test_domain: tuple[int, ...]
+    test_iterations: int
+    halo_depth: int
+    structured: bool
+    compiler_affinity: dict[Compiler, float] = field(default_factory=dict)
+    mesh_neighbors: float = 6.0
+    gather_hit: float | None = None  # mesh-dependent gather cache hit rate
+    description: str = ""
+
+    def make_context(self):
+        return OpsContext() if self.structured else Op2Context()
+
+
+_REGISTRY: dict[str, AppDefinition] = {}
+
+#: Paper presentation order (Figures 3-8).
+APP_ORDER = [
+    "cloverleaf2d",
+    "cloverleaf3d",
+    "opensbli_sa",
+    "opensbli_sn",
+    "acoustic",
+    "miniweather",
+    "mgcfd",
+    "volna",
+    "minibude",
+]
+
+
+def register(defn: AppDefinition) -> AppDefinition:
+    if defn.name in _REGISTRY:
+        raise ValueError(f"application {defn.name!r} already registered")
+    _REGISTRY[defn.name] = defn
+    return defn
+
+
+def get_app(name: str) -> AppDefinition:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_apps() -> list[AppDefinition]:
+    _ensure_loaded()
+    return [_REGISTRY[n] for n in APP_ORDER if n in _REGISTRY]
+
+
+def _ensure_loaded() -> None:
+    """Import every application module so registrations run."""
+    from . import (  # noqa: F401
+        acoustic,
+        cloverleaf,
+        mgcfd,
+        minibude,
+        miniweather,
+        opensbli,
+        volna,
+    )
+
+
+def build_spec(
+    defn: AppDefinition,
+    domain: tuple[int, ...] | None = None,
+    iterations: int | None = None,
+) -> AppSpec:
+    """Profile a scaled-down run and extrapolate to paper scale.
+
+    Loop point counts scale with the domain-size ratio; bytes/flops per
+    point are size-independent (measured).  Halo-exchange frequency and
+    width come from the recording context's counters.
+    """
+    run_domain = domain or defn.test_domain
+    run_iters = iterations or defn.test_iterations
+    ctx = defn.make_context()
+    defn.run(ctx, run_domain, run_iters)
+
+    paper_pts = math.prod(defn.paper_domain)
+    run_pts = math.prod(run_domain)
+    if defn.structured and len(run_domain) == len(defn.paper_domain):
+        ratios = tuple(p / r for p, r in zip(defn.paper_domain, run_domain))
+        loops = tuple(ctx.loop_specs(iterations=run_iters, point_scale=ratios,
+                                     run_domain=run_domain))
+    else:
+        loops = tuple(ctx.loop_specs(iterations=run_iters,
+                                     point_scale=paper_pts / run_pts))
+
+    if defn.structured:
+        exch = ctx.halo_exchange_count / run_iters
+        fields = (
+            ctx.halo_fields_exchanged / ctx.halo_exchange_count
+            if ctx.halo_exchange_count
+            else 0.0
+        )
+        reductions = ctx.reduction_count / run_iters
+    else:
+        # Unstructured: one exchange per indirect-read loop, one reverse
+        # exchange per indirect-INC loop (owner-compute).
+        exch = sum(
+            r.calls / run_iters * (2 if r.has_indirect_inc else 1)
+            for r in ctx.records.values()
+            if r.indirect_accesses > 0
+        )
+        fields = 1.0
+        reductions = ctx.reduction_count / run_iters
+
+    state_bytes = getattr(ctx, "state_bytes", 0) * (paper_pts / run_pts)
+
+    return AppSpec(
+        name=defn.name,
+        klass=defn.klass,
+        dtype_bytes=defn.dtype_bytes,
+        iterations=defn.paper_iterations,
+        loops=loops,
+        domain=defn.paper_domain,
+        halo_depth=defn.halo_depth,
+        fields_exchanged=max(fields, 1.0),
+        exchanges_per_iter=exch,
+        reductions_per_iter=reductions,
+        compiler_affinity=dict(defn.compiler_affinity),
+        mesh_neighbors=defn.mesh_neighbors,
+        state_bytes=state_bytes,
+        gather_hit=defn.gather_hit,
+    )

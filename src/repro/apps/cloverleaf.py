@@ -1,0 +1,398 @@
+"""CloverLeaf 2D/3D: explicit compressible Eulerian hydrodynamics.
+
+A dimension-generic reimplementation of the CloverLeaf proxy (Mallinson
+et al., Cray User Group 2013) on the :mod:`repro.ops` DSL.  One timestep
+runs the full hydro cycle — ideal-gas EOS, artificial viscosity, CFL
+timestep reduction, PdV work, acceleration, face flux calculation,
+conservative donor-cell advection of mass/energy/momentum per direction
+(split, as in the original, into a flux sweep and an update sweep),
+field reset, and per-field boundary kernels — double precision, the
+paper's 7680² (2D) / 408³ (3D) sizes at 50 iterations.
+
+Simplifications vs. the Fortran original (documented in DESIGN.md): all
+fields are cell-centered (collocated) rather than staggering velocity on
+nodes, boundary conditions are zero-gradient with explicitly zeroed
+boundary fluxes, and advection is first-order donor-cell inside the
+radius-2 halo CloverLeaf uses for its van-Leer scheme.  The loop
+structure, field count, access radii, per-point traffic, and the
+many-small-boundary-kernel pattern — the properties the paper's
+measurements depend on — are preserved.
+
+Invariants tested: uniform states are exact fixed points, total mass is
+conserved to rounding under zero boundary flux, density stays positive,
+and a pressure jump drives flow toward the low-pressure side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.config import Compiler
+from ..ops.access import Access, ArgDat, ArgGbl
+from ..ops.runtime import OpsContext
+from ..ops.stencil import point_stencil, star_stencil
+from ..perfmodel.kernelmodel import AppClass
+from .base import AppDefinition, register
+
+__all__ = ["run_cloverleaf", "CLOVERLEAF_2D", "CLOVERLEAF_3D"]
+
+GAMMA = 1.4
+HALO = 2
+
+
+def _off(ndim: int, axis: int, r: int) -> tuple[int, ...]:
+    o = [0] * ndim
+    o[axis] = r
+    return tuple(o)
+
+
+def run_cloverleaf(
+    ctx: OpsContext,
+    domain: tuple[int, ...],
+    iterations: int,
+    init: str = "sod",
+    advection: str = "vanleer",
+) -> dict:
+    """Run the hydro cycle; returns diagnostics (mass/energy sums, dt
+    history, final fields gathered globally).
+
+    ``advection``: ``"vanleer"`` (second-order limited, radius-2 reads —
+    CloverLeaf's scheme) or ``"donor"`` (first-order upwind).
+    """
+    ndim = len(domain)
+    if ndim not in (2, 3):
+        raise ValueError("CloverLeaf runs in 2 or 3 dimensions")
+    if advection not in ("vanleer", "donor"):
+        raise ValueError("advection must be 'vanleer' or 'donor'")
+    n = domain
+    block = ctx.block("clover", n)
+    P0 = point_stencil(ndim)
+    S1 = star_stencil(ndim, 1)
+    S2 = star_stencil(ndim, 2)
+    ZERO = P0.points[0]
+
+    density0 = block.dat("density0", halo=HALO, init=1.0)
+    density1 = block.dat("density1", halo=HALO)
+    energy0 = block.dat("energy0", halo=HALO, init=1.0)
+    energy1 = block.dat("energy1", halo=HALO)
+    pressure = block.dat("pressure", halo=HALO)
+    viscosity = block.dat("viscosity", halo=HALO)
+    soundspeed = block.dat("soundspeed", halo=HALO)
+    vel0 = [block.dat(f"vel0_{d}", halo=HALO) for d in range(ndim)]
+    vel1 = [block.dat(f"vel1_{d}", halo=HALO) for d in range(ndim)]
+    vol_flux = [block.dat(f"vol_flux_{d}", halo=HALO) for d in range(ndim)]
+    mass_flux = [block.dat(f"mass_flux_{d}", halo=HALO) for d in range(ndim)]
+    ener_flux = block.dat("ener_flux", halo=HALO)
+    mom_flux = block.dat("mom_flux", halo=HALO)
+
+    dx = 1.0 / n[0]
+    dt = np.array([1e30])
+
+    if init == "sod":
+        e = np.ones(n)
+        e[tuple([slice(0, n[0] // 2)] + [slice(None)] * (ndim - 1))] = 2.5
+        energy0.set_from_global(e)
+    elif init != "uniform":
+        raise ValueError(f"unknown init {init!r}")
+
+    def D(dat, sten, acc):
+        return ArgDat(dat, sten, acc)
+
+    # ---- physics kernels --------------------------------------------------
+
+    def ideal_gas(p, ss, rho, e):
+        pv = (GAMMA - 1.0) * rho[ZERO] * e[ZERO]
+        p[ZERO] = pv
+        ss[ZERO] = np.sqrt(GAMMA * np.maximum(pv, 1e-30) / np.maximum(rho[ZERO], 1e-30))
+
+    def viscosity_kernel(visc, *vels):
+        div = 0.0
+        for d in range(ndim):
+            div = div + (vels[d][_off(ndim, d, 1)] - vels[d][_off(ndim, d, -1)]) / (2 * dx)
+        visc[ZERO] = np.where(div < 0.0, 2.0 * dx * dx * div * div, 0.0)
+
+    def calc_dt(gdt, ss, *vels):
+        vmax = ss[ZERO].copy()
+        for d in range(ndim):
+            vmax = vmax + np.abs(vels[d][ZERO])
+        gdt[0] = min(gdt[0], float(np.min(0.5 * dx / np.maximum(vmax, 1e-12))))
+
+    def pdv(gdt, rho1, e1, rho0, e0, p, visc, *vels):
+        div = 0.0
+        for d in range(ndim):
+            div = div + (vels[d][_off(ndim, d, 1)] - vels[d][_off(ndim, d, -1)]) / (2 * dx)
+        e1[ZERO] = e0[ZERO] - gdt[0] * (p[ZERO] + visc[ZERO]) * div / np.maximum(rho0[ZERO], 1e-12)
+        rho1[ZERO] = rho0[ZERO]
+
+    def accelerate(axis):
+        def k(gdt, vnew, vold, rho, p, visc):
+            hi, lo = _off(ndim, axis, 1), _off(ndim, axis, -1)
+            grad = (p[hi] + visc[hi] - p[lo] - visc[lo]) / (2 * dx)
+            vnew[ZERO] = vold[ZERO] - gdt[0] * grad / np.maximum(rho[ZERO], 1e-12)
+        return k
+
+    def flux_calc(axis):
+        def k(gdt, vf, v):
+            hi = _off(ndim, axis, 1)
+            vf[ZERO] = 0.5 * (v[ZERO] + v[hi]) * gdt[0] / dx
+        return k
+
+    def _face_value(q, f, axis):
+        """Upwind face value: donor cell, optionally with a van-Leer
+        (minmod-limited) second-order correction — CloverLeaf's scheme,
+        needing radius-2 reads."""
+        hi = _off(ndim, axis, 1)
+        up = f > 0.0
+        donor = np.where(up, q[ZERO], q[hi])
+        if advection == "donor":
+            return donor
+        lo = _off(ndim, axis, -1)
+        hi2 = _off(ndim, axis, 2)
+        # Slopes relative to the donor cell.
+        diff_uw = np.where(up, q[ZERO] - q[lo], q[hi2] - q[hi])
+        diff_dw = np.where(up, q[hi] - q[ZERO], q[ZERO] - q[hi])
+        slope = np.where(
+            diff_uw * diff_dw > 0.0,
+            np.sign(diff_dw) * np.minimum(np.abs(diff_uw), np.abs(diff_dw)),
+            0.0,
+        )
+        # (1 - |courant|) weighting, as in CloverLeaf's advec_cell.
+        sigma = np.minimum(np.abs(f), 1.0)
+        return donor + 0.5 * (1.0 - sigma) * slope
+
+    def advec_cell_flux(axis):
+        def k(mf, ef, rho, e, vf):
+            f = vf[ZERO]
+            rho_face = _face_value(rho, f, axis)
+            # Energy is advected as rho*e; build its face value from the
+            # same limited reconstruction applied to the product.
+            hi = _off(ndim, axis, 1)
+            re0 = rho[ZERO] * e[ZERO]
+
+            class _Prod:
+                def __getitem__(self_inner, off):
+                    return rho[off] * e[off]
+
+            re_face = _face_value(_Prod(), f, axis)
+            mf[ZERO] = f * rho_face
+            ef[ZERO] = f * re_face
+        return k
+
+    def advec_cell_update(axis):
+        def k(rho, e, mf, ef):
+            lo = _off(ndim, axis, -1)
+            re_old = rho[ZERO] * e[ZERO]
+            rho_new = np.maximum(rho[ZERO] - (mf[ZERO] - mf[lo]), 1e-12)
+            re_new = re_old - (ef[ZERO] - ef[lo])
+            rho[ZERO] = rho_new
+            e[ZERO] = re_new / rho_new
+        return k
+
+    def advec_mom_flux(axis):
+        def k(mof, v, vf):
+            hi = _off(ndim, axis, 1)
+            f = vf[ZERO]
+            mof[ZERO] = f * np.where(f > 0.0, v[ZERO], v[hi])
+        return k
+
+    def advec_mom_update(axis):
+        def k(v, mof):
+            lo = _off(ndim, axis, -1)
+            v[ZERO] = v[ZERO] - (mof[ZERO] - mof[lo])
+        return k
+
+    def reset_field(dst, src):
+        dst[ZERO] = src[ZERO]
+
+    def field_summary(gmass, ge, rho, e):
+        gmass[0] += float(np.sum(rho[ZERO]))
+        ge[0] += float(np.sum(rho[ZERO] * e[ZERO]))
+
+    # ---- boundary kernels ---------------------------------------------------
+    # Zero-gradient: ghost layer k copies the nearest interior layer.
+
+    def bc_copy(offset):
+        def k(fld):
+            fld[ZERO] = fld[offset]
+        return k
+
+    def zero_field(fld):
+        fld[ZERO] = 0.0
+
+    def _layer(axis, side, k):
+        """Range of ghost layer k (1-based) on one side of one axis."""
+        rng = []
+        for d in range(ndim):
+            if d == axis:
+                rng.append((-k, -k + 1) if side < 0 else (n[d] + k - 1, n[d] + k))
+            else:
+                rng.append((-HALO, n[d] + HALO))
+        return rng
+
+    def apply_bcs(fields, label, mode="copy"):
+        """Physical-boundary ghost fill: zero-gradient ("copy") for state
+        fields, hard zero for flux fields (closed box — this is what
+        makes conservation exact)."""
+        for fld in fields:
+            for axis in range(ndim):
+                for side in (-1, 1):
+                    for k in (1, 2):
+                        tag = f"{label}_{fld.name}_{axis}{'m' if side < 0 else 'p'}{k}"
+                        if mode == "zero":
+                            ctx.par_loop(zero_field, f"update_halo_{tag}", block,
+                                         _layer(axis, side, k),
+                                         D(fld, P0, Access.WRITE))
+                        else:
+                            offset = _off(ndim, axis, (k if side < 0 else -k))
+                            sten = S1 if k == 1 else S2
+                            ctx.par_loop(bc_copy(offset), f"update_halo_{tag}", block,
+                                         _layer(axis, side, k),
+                                         D(fld, sten, Access.RW))
+
+    def zero_boundary_flux(axis):
+        """No flow through physical boundaries: zero the ghost strips of
+        vol_flux[axis] and the last interior face layer."""
+        for side in (-1, 1):
+            for k in (1, 2):
+                ctx.par_loop(zero_field, f"flux_bc_{axis}{'m' if side < 0 else 'p'}{k}",
+                             block, _layer(axis, side, k),
+                             D(vol_flux[axis], P0, Access.WRITE))
+        last = []
+        for d in range(ndim):
+            last.append((n[d] - 1, n[d]) if d == axis else (-HALO, n[d] + HALO))
+        ctx.par_loop(zero_field, f"flux_bc_{axis}_last", block, last,
+                     D(vol_flux[axis], P0, Access.WRITE))
+
+    # ---- timestep loop -------------------------------------------------------
+
+    interior = block.interior
+    diagnostics = {"dt": []}
+
+    for _ in range(iterations):
+        ctx.par_loop(ideal_gas, "ideal_gas", block, interior,
+                     D(pressure, P0, Access.WRITE), D(soundspeed, P0, Access.WRITE),
+                     D(density0, P0, Access.READ), D(energy0, P0, Access.READ),
+                     flops_per_point=6)
+        apply_bcs([pressure] + vel0, "pre")
+        ctx.par_loop(viscosity_kernel, "viscosity", block, interior,
+                     D(viscosity, P0, Access.WRITE),
+                     *[D(v, S1, Access.READ) for v in vel0],
+                     flops_per_point=4 * ndim + 4)
+        dt[0] = 1e30
+        ctx.par_loop(calc_dt, "calc_dt", block, interior,
+                     ArgGbl(dt, Access.MIN),
+                     D(soundspeed, P0, Access.READ),
+                     *[D(v, P0, Access.READ) for v in vel0],
+                     flops_per_point=2 * ndim + 3)
+        dt[0] = min(float(dt[0]), 0.04 * dx)
+        diagnostics["dt"].append(float(dt[0]))
+
+        ctx.par_loop(pdv, "pdv", block, interior,
+                     ArgGbl(dt, Access.READ),
+                     D(density1, P0, Access.WRITE), D(energy1, P0, Access.WRITE),
+                     D(density0, P0, Access.READ), D(energy0, P0, Access.READ),
+                     D(pressure, P0, Access.READ), D(viscosity, P0, Access.READ),
+                     *[D(v, S1, Access.READ) for v in vel0],
+                     flops_per_point=4 * ndim + 6)
+        apply_bcs([viscosity], "visc")
+        for axis in range(ndim):
+            ctx.par_loop(accelerate(axis), f"accelerate_{axis}", block, interior,
+                         ArgGbl(dt, Access.READ),
+                         D(vel1[axis], P0, Access.WRITE), D(vel0[axis], P0, Access.READ),
+                         D(density0, P0, Access.READ), D(pressure, S1, Access.READ),
+                         D(viscosity, S1, Access.READ), flops_per_point=8)
+        apply_bcs(vel1, "postacc")
+        for axis in range(ndim):
+            ctx.par_loop(flux_calc(axis), f"flux_calc_{axis}", block, interior,
+                         ArgGbl(dt, Access.READ),
+                         D(vol_flux[axis], P0, Access.WRITE),
+                         D(vel1[axis], S1, Access.READ), flops_per_point=4)
+            zero_boundary_flux(axis)
+        apply_bcs([density1, energy1], "preadv")
+        for axis in range(ndim):
+            adv_sten = S2 if advection == "vanleer" else S1
+            ctx.par_loop(advec_cell_flux(axis), f"advec_cell_flux_{axis}", block, interior,
+                         D(mass_flux[axis], P0, Access.WRITE),
+                         D(ener_flux, P0, Access.WRITE),
+                         D(density1, adv_sten, Access.READ),
+                         D(energy1, adv_sten, Access.READ),
+                         D(vol_flux[axis], P0, Access.READ),
+                         flops_per_point=8 if advection == "donor" else 26)
+            apply_bcs([mass_flux[axis], ener_flux], f"cflux{axis}", mode="zero")
+            ctx.par_loop(advec_cell_update(axis), f"advec_cell_update_{axis}", block, interior,
+                         D(density1, S1, Access.RW), D(energy1, S1, Access.RW),
+                         D(mass_flux[axis], S1, Access.READ),
+                         D(ener_flux, S1, Access.READ), flops_per_point=8)
+            apply_bcs([density1, energy1], f"adv{axis}")
+            for vaxis in range(ndim):
+                ctx.par_loop(advec_mom_flux(axis), f"advec_mom_flux_{axis}_{vaxis}",
+                             block, interior,
+                             D(mom_flux, P0, Access.WRITE),
+                             D(vel1[vaxis], S1, Access.READ),
+                             D(vol_flux[axis], P0, Access.READ), flops_per_point=4)
+                apply_bcs([mom_flux], f"mflux{axis}{vaxis}", mode="zero")
+                ctx.par_loop(advec_mom_update(axis), f"advec_mom_update_{axis}_{vaxis}",
+                             block, interior,
+                             D(vel1[vaxis], S1, Access.RW),
+                             D(mom_flux, S1, Access.READ), flops_per_point=3)
+        for dst, src in [(density0, density1), (energy0, energy1)] + list(zip(vel0, vel1)):
+            ctx.par_loop(reset_field, f"reset_{dst.name}", block, interior,
+                         D(dst, P0, Access.WRITE), D(src, P0, Access.READ))
+
+    mass = np.zeros(1)
+    etot = np.zeros(1)
+    ctx.par_loop(field_summary, "field_summary", block, interior,
+                 ArgGbl(mass, Access.INC), ArgGbl(etot, Access.INC),
+                 D(density0, P0, Access.READ), D(energy0, P0, Access.READ),
+                 flops_per_point=3)
+    diagnostics["mass"] = float(mass[0])
+    diagnostics["energy"] = float(etot[0])
+    diagnostics["density"] = density0.gather_global()
+    diagnostics["energy_field"] = energy0.gather_global()
+    diagnostics["velocity"] = [v.gather_global() for v in vel0]
+    return diagnostics
+
+
+CLOVERLEAF_2D = register(AppDefinition(
+    name="cloverleaf2d",
+    klass=AppClass.STRUCTURED_BW,
+    dtype_bytes=8,
+    run=run_cloverleaf,
+    paper_domain=(7680, 7680),
+    paper_iterations=50,
+    test_domain=(48, 48),
+    test_iterations=4,
+    halo_depth=2,
+    structured=True,
+    # Sec. 5: the Classic compilers win on half the structured apps by a
+    # few %, with OneAPI within 4-6%; GCC slightly behind AOCC on EPYC.
+    compiler_affinity={
+        Compiler.CLASSIC: 1.0,
+        Compiler.ONEAPI: 0.96,
+        Compiler.AOCC: 1.0,
+        Compiler.GCC: 0.97,
+        Compiler.NVCC: 1.0,
+    },
+    description="Structured Eulerian hydrodynamics proxy (2D); the most bandwidth-bound application",
+))
+
+CLOVERLEAF_3D = register(AppDefinition(
+    name="cloverleaf3d",
+    klass=AppClass.STRUCTURED_BW,
+    dtype_bytes=8,
+    run=run_cloverleaf,
+    paper_domain=(408, 408, 408),
+    paper_iterations=50,
+    test_domain=(14, 14, 14),
+    test_iterations=3,
+    halo_depth=2,
+    structured=True,
+    compiler_affinity={
+        Compiler.CLASSIC: 1.0,
+        Compiler.ONEAPI: 0.95,
+        Compiler.AOCC: 1.0,
+        Compiler.GCC: 0.97,
+        Compiler.NVCC: 1.0,
+    },
+    description="Structured Eulerian hydrodynamics proxy (3D)",
+))

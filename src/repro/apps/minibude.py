@@ -1,0 +1,235 @@
+"""miniBUDE: molecular-docking energy evaluation proxy (compute bound).
+
+"Proxy molecular docking code, representative of BUDE.  Compute and
+latency bound.  Single precision, bm1 testcase, 30 iterations" (paper
+Sec. 3; Poenaru, Lin & McIntosh-Smith, ISC 2021).
+
+Each iteration evaluates the interaction energy of every ligand *pose*:
+the ligand's atoms are rigidly transformed by the pose's six degrees of
+freedom and scored against every protein atom with a BUDE-style pairwise
+potential (Lennard-Jones-like steric term plus a distance-clamped
+electrostatic term).  The inner loop is ``poses x ligand_atoms x
+protein_atoms`` fused multiply-adds over a tiny working set — which is
+what makes it compute bound (the paper reports 6 TFLOPS/s on the Xeon
+MAX, ZMM high +45%, HT -28%, and that the Classic compiler's code
+stalls, so only oneAPI numbers exist).
+
+The bm1 deck (26 ligand atoms, 938 protein atoms, 65536 poses) is not
+redistributable; :func:`synthetic_deck` generates a deck with the same
+shape and atom-type statistics (DESIGN.md substitution table).
+
+Tests: the analytic two-atom energy, rigid-motion invariance (energy of
+an untransformed pose equals direct evaluation), pose-order independence,
+and the flop accounting used for the 6 TFLOPS figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.config import Compiler
+from ..ops.access import Access, ArgDat, ArgGbl
+from ..ops.runtime import OpsContext
+from ..ops.stencil import point_stencil
+from ..perfmodel.kernelmodel import AppClass
+from .base import AppDefinition, register
+
+__all__ = ["Deck", "synthetic_deck", "pose_energies", "run_minibude", "MINIBUDE", "FLOPS_PER_PAIR"]
+
+#: Flops per ligand-protein atom pair in the scoring kernel (distance,
+#: steric, electrostatic, accumulate) — the count used to report GFLOP/s,
+#: matching miniBUDE's own accounting.
+FLOPS_PER_PAIR = 32
+
+
+@dataclass(frozen=True)
+class Deck:
+    """A docking deck: protein, ligand, and pose transforms."""
+
+    protein_pos: np.ndarray  # (n_protein, 3) float32
+    protein_charge: np.ndarray  # (n_protein,)
+    protein_radius: np.ndarray  # (n_protein,)
+    ligand_pos: np.ndarray  # (n_ligand, 3)
+    ligand_charge: np.ndarray  # (n_ligand,)
+    ligand_radius: np.ndarray  # (n_ligand,)
+    poses: np.ndarray  # (n_poses, 6): 3 Euler angles + 3 translations
+
+    @property
+    def n_poses(self) -> int:
+        return self.poses.shape[0]
+
+    @property
+    def n_ligand(self) -> int:
+        return self.ligand_pos.shape[0]
+
+    @property
+    def n_protein(self) -> int:
+        return self.protein_pos.shape[0]
+
+    def flops_per_pose(self) -> float:
+        return self.n_ligand * (self.n_protein * FLOPS_PER_PAIR + 30)
+
+
+#: bm1 testcase shape: 26 ligand atoms, 938 protein atoms, 65536 poses.
+BM1_SHAPE = (26, 938, 65536)
+
+
+def synthetic_deck(
+    n_ligand: int = 26,
+    n_protein: int = 938,
+    n_poses: int = 4096,
+    seed: int = 7,
+) -> Deck:
+    """Generate a bm1-shaped synthetic deck (uniform atoms in a box,
+    small random pose perturbations)."""
+    rng = np.random.default_rng(seed)
+    f32 = np.float32
+    return Deck(
+        protein_pos=rng.uniform(-20, 20, (n_protein, 3)).astype(f32),
+        protein_charge=rng.uniform(-0.5, 0.5, n_protein).astype(f32),
+        protein_radius=rng.uniform(1.2, 2.2, n_protein).astype(f32),
+        ligand_pos=rng.uniform(-3, 3, (n_ligand, 3)).astype(f32),
+        ligand_charge=rng.uniform(-0.5, 0.5, n_ligand).astype(f32),
+        ligand_radius=rng.uniform(1.2, 2.2, n_ligand).astype(f32),
+        poses=rng.uniform(-1, 1, (n_poses, 6)).astype(f32),
+    )
+
+
+def rotation_matrices(angles: np.ndarray) -> np.ndarray:
+    """ZYX Euler rotation matrices for (n, 3) angles -> (n, 3, 3)."""
+    a, b, c = angles[:, 0], angles[:, 1], angles[:, 2]
+    ca, sa = np.cos(a), np.sin(a)
+    cb, sb = np.cos(b), np.sin(b)
+    cc, sc = np.cos(c), np.sin(c)
+    r = np.empty((angles.shape[0], 3, 3), dtype=angles.dtype)
+    r[:, 0, 0] = cb * cc
+    r[:, 0, 1] = cb * sc
+    r[:, 0, 2] = -sb
+    r[:, 1, 0] = sa * sb * cc - ca * sc
+    r[:, 1, 1] = sa * sb * sc + ca * cc
+    r[:, 1, 2] = sa * cb
+    r[:, 2, 0] = ca * sb * cc + sa * sc
+    r[:, 2, 1] = ca * sb * sc - sa * cc
+    r[:, 2, 2] = ca * cb
+    return r
+
+
+def pair_energy(dist2, r_l, r_p, q_l, q_p):
+    """BUDE-style pairwise score: clamped steric + electrostatic terms."""
+    dist = np.sqrt(dist2 + 1e-6)
+    sigma = r_l + r_p
+    steric = np.maximum(0.0, 1.0 - dist / sigma)
+    elec = q_l * q_p * np.maximum(0.0, 1.0 - dist / (2.0 * sigma))
+    return 4.0 * steric * steric + elec
+
+
+def pose_energies(deck: Deck, pose_slice: slice | None = None) -> np.ndarray:
+    """Reference (dense) evaluation of all pose energies."""
+    poses = deck.poses if pose_slice is None else deck.poses[pose_slice]
+    rot = rotation_matrices(poses[:, :3])  # (P,3,3)
+    trans = poses[:, 3:]  # (P,3)
+    energies = np.zeros(poses.shape[0], dtype=np.float32)
+    for l in range(deck.n_ligand):
+        lig = deck.ligand_pos[l]
+        # Transformed ligand atom per pose: (P, 3).
+        xyz = rot @ lig + trans
+        d2 = (
+            (xyz[:, None, 0] - deck.protein_pos[None, :, 0]) ** 2
+            + (xyz[:, None, 1] - deck.protein_pos[None, :, 1]) ** 2
+            + (xyz[:, None, 2] - deck.protein_pos[None, :, 2]) ** 2
+        )
+        e = pair_energy(
+            d2,
+            deck.ligand_radius[l],
+            deck.protein_radius[None, :],
+            deck.ligand_charge[l],
+            deck.protein_charge[None, :],
+        )
+        energies += e.sum(axis=1).astype(np.float32)
+    return energies
+
+
+def run_minibude(
+    ctx: OpsContext,
+    domain: tuple[int, ...],
+    iterations: int,
+    deck: Deck | None = None,
+) -> dict:
+    """Evaluate all pose energies ``iterations`` times through the DSL.
+
+    ``domain = (n_poses,)``; poses parallelize perfectly (pure MPI in the
+    paper splits the pose array, no halo exchange at all).
+    """
+    if len(domain) != 1:
+        raise ValueError("miniBUDE iterates over a 1-D pose array")
+    n_poses = domain[0]
+    if deck is None:
+        deck = synthetic_deck(n_poses=n_poses)
+    if deck.n_poses != n_poses:
+        raise ValueError("deck pose count does not match domain")
+    block = ctx.block("poses", (n_poses,))
+    P0 = point_stencil(1)
+    energies = block.dat("energies", halo=0, dtype=np.float32)
+    # Pose parameters as 6 separate dats (the DSL is scalar-per-point).
+    pose_dats = [block.dat(f"pose_{i}", halo=0, dtype=np.float32) for i in range(6)]
+    for i, d in enumerate(pose_dats):
+        d.set_from_global(deck.poses[:, i].copy())
+
+    lo_global = {"offset": 0}
+
+    def score(e_out, *pose_args):
+        # Reconstruct this range's poses and run the dense evaluation.
+        cols = [p[(0,)] for p in pose_args]
+        poses = np.stack(cols, axis=1)
+        sub = Deck(
+            deck.protein_pos, deck.protein_charge, deck.protein_radius,
+            deck.ligand_pos, deck.ligand_charge, deck.ligand_radius,
+            poses.astype(np.float32),
+        )
+        e_out[(0,)] = pose_energies(sub)
+
+    best = np.array([np.inf], dtype=np.float64)
+
+    def best_energy(g, e):
+        g[0] = min(g[0], float(np.min(e[(0,)])))
+
+    for _ in range(iterations):
+        ctx.par_loop(score, "fasten_main", block, block.interior,
+                     ArgDat(energies, P0, Access.WRITE),
+                     *[ArgDat(p, P0, Access.READ) for p in pose_dats],
+                     flops_per_point=deck.flops_per_pose())
+        ctx.par_loop(best_energy, "best_energy", block, block.interior,
+                     ArgGbl(best, Access.MIN),
+                     ArgDat(energies, P0, Access.READ), flops_per_point=1)
+
+    return {
+        "energies": energies.gather_global(),
+        "best": float(best[0]),
+        "deck": deck,
+    }
+
+
+MINIBUDE = register(AppDefinition(
+    name="minibude",
+    klass=AppClass.COMPUTE_BOUND,
+    dtype_bytes=4,
+    run=run_minibude,
+    paper_domain=(65536,),
+    paper_iterations=30,
+    test_domain=(256,),
+    test_iterations=2,
+    halo_depth=0,
+    structured=True,
+    # Sec. 5: "the Classical compilers generate code that stalls,
+    # therefore we could only measure with the OneAPI compilers".
+    compiler_affinity={
+        Compiler.CLASSIC: 0.0,
+        Compiler.ONEAPI: 1.0,
+        Compiler.AOCC: 1.0,
+        Compiler.GCC: 0.95,
+        Compiler.NVCC: 1.0,
+    },
+    description="Molecular docking energy evaluation; compute/latency bound, FP32",
+))

@@ -1,0 +1,220 @@
+"""miniWeather: 2D compressible stratified atmospheric dynamics proxy.
+
+"Structured mesh proxy code implementing basic dynamics seen in
+atmospheric weather and climate simulations.  Bandwidth bound.  Double
+precision, 4000x2000 problem size, simulation time 1.0" (paper Sec. 3;
+Norman, ORNL 2020).
+
+State: perturbations (ρ', ρu, ρw, ρθ') over a hydrostatic dry adiabatic
+background ρ0(z), θ0.  Each timestep performs dimensionally split
+x-then-z updates; each direction computes 4th-order interpolated fluxes
+with hyperviscosity (radius-2 tendency kernel) followed by an update
+kernel, with solid-wall boundaries.  Fluxes are formulated purely in
+perturbation quantities, so the zero-perturbation state is an *exact*
+discrete equilibrium — tested, together with mass conservation and the
+buoyant rise of a warm bubble.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.config import Compiler
+from ..ops.access import Access, ArgDat, ArgGbl
+from ..ops.runtime import OpsContext
+from ..ops.stencil import point_stencil, star_stencil
+from ..perfmodel.kernelmodel import AppClass
+from .base import AppDefinition, register
+
+__all__ = ["run_miniweather", "MINIWEATHER"]
+
+HALO = 2
+GRAV = 9.81
+C0 = 1.0  # scaled sound speed of the perturbation system
+NVAR = 4  # rho', rho*u, rho*w, rho*theta'
+HV = 0.05  # hyperviscosity strength
+
+
+def run_miniweather(
+    ctx: OpsContext,
+    domain: tuple[int, ...],
+    iterations: int,
+    init: str = "thermal",
+) -> dict:
+    """Run the split-dimension solver; returns diagnostics."""
+    if len(domain) != 2:
+        raise ValueError("miniWeather is 2-D (x, z)")
+    nx, nz = domain
+    block = ctx.block("weather", (nx, nz))
+    P0 = point_stencil(2)
+    S1 = star_stencil(2, 1)
+    S2 = star_stencil(2, 2)
+    ZERO = (0, 0)
+    dx = 1.0 / nx
+    dt = 0.3 * dx / (C0 + 1.0)
+
+    names = ["rho_p", "rhou", "rhow", "rhot"]
+    state = [block.dat(nm, halo=HALO) for nm in names]
+    tend = [block.dat(nm + "_tend", halo=0) for nm in names]
+    # Hydrostatic background density (z-dependent), cell-centered.
+    z = (np.arange(nz) + 0.5) / nz
+    rho0_col = np.exp(-z)  # exponentially stratified background
+    rho0 = block.dat("rho0", halo=HALO)
+    rho0.set_from_global(np.broadcast_to(rho0_col[None, :], (nx, nz)).copy())
+
+    if init == "thermal":
+        xs = (np.arange(nx) + 0.5) / nx
+        zs = (np.arange(nz) + 0.5) / nz
+        r2 = ((xs[:, None] - 0.5) ** 2 + (zs[None, :] - 0.3) ** 2) / 0.02
+        state[3].set_from_global(0.1 * np.exp(-r2))
+    elif init != "equilibrium":
+        raise ValueError(f"unknown init {init!r}")
+
+    def D(dat, sten, acc):
+        return ArgDat(dat, sten, acc)
+
+    # ---- kernels ----------------------------------------------------------
+    # Perturbation-flux formulation: with zero perturbations every flux
+    # and source term is identically zero -> exact discrete equilibrium.
+
+    def tend_x(tr, tu, tw, tt, rp, ru, rw, rt, r0):
+        def d4(f, axis=0):
+            p2 = f[(2, 0)]; p1 = f[(1, 0)]; m1 = f[(-1, 0)]; m2 = f[(-2, 0)]
+            return (8.0 * (p1 - m1) - (p2 - m2)) / (12.0 * dx)
+
+        def hv(f):
+            return HV / dx * (f[(1, 0)] - 2.0 * f[(0, 0)] + f[(-1, 0)])
+
+        rho_t = r0[ZERO] + rp[ZERO]
+        u = ru[ZERO] / rho_t
+        # Linearized + advective perturbation fluxes in x.
+        tr[ZERO] = -(d4(ru)) + hv(rp)
+        tu[ZERO] = -(d4_prod(ru, ru, rho_t, dx)) - C0 * C0 * d4(rp) + hv(ru)
+        tw[ZERO] = -(u * d4(rw)) + hv(rw)
+        tt[ZERO] = -(u * d4(rt)) + hv(rt)
+
+    def d4_prod(a, b, rho, dx_):
+        p2 = a[(2, 0)] * b[(2, 0)]
+        p1 = a[(1, 0)] * b[(1, 0)]
+        m1 = a[(-1, 0)] * b[(-1, 0)]
+        m2 = a[(-2, 0)] * b[(-2, 0)]
+        return (8.0 * (p1 - m1) - (p2 - m2)) / (12.0 * dx_) / rho
+
+    def tend_z(tr, tu, tw, tt, rp, ru, rw, rt, r0):
+        def d4z(f):
+            p2 = f[(0, 2)]; p1 = f[(0, 1)]; m1 = f[(0, -1)]; m2 = f[(0, -2)]
+            return (8.0 * (p1 - m1) - (p2 - m2)) / (12.0 * dx)
+
+        def hvz(f):
+            return HV / dx * (f[(0, 1)] - 2.0 * f[(0, 0)] + f[(0, -1)])
+
+        rho_t = r0[ZERO] + rp[ZERO]
+        w = rw[ZERO] / rho_t
+        tr[ZERO] = -(d4z(rw)) + hvz(rp)
+        tu[ZERO] = -(w * d4z(ru)) + hvz(ru)
+        # Vertical momentum: pressure-perturbation gradient + buoyancy.
+        tw[ZERO] = -(C0 * C0 * d4z(rp)) + GRAV * rt[ZERO] + hvz(rw)
+        tt[ZERO] = -(w * d4z(rt)) + hvz(rt)
+
+    def update(coeff):
+        def k(*args):
+            # args: state[0..3] RW, tend[0..3] READ
+            for i in range(NVAR):
+                args[i][ZERO] = args[i][ZERO] + coeff * dt * args[NVAR + i][ZERO]
+        return k
+
+    def mass_sum(g, rp):
+        g[0] += float(np.sum(rp[ZERO]))
+
+    def max_w(g, rw):
+        g[0] = max(g[0], float(np.max(np.abs(rw[ZERO]))))
+
+    # Boundary handling: zero-gradient ghosts for scalars and tangential
+    # momentum; the wall-normal momentum's ghosts are zeroed so the walls
+    # are impermeable (and the zero-perturbation equilibrium stays exact).
+    def _layer(axis, side, k):
+        rng = []
+        for d, nd in enumerate((nx, nz)):
+            if d == axis:
+                rng.append((-k, -k + 1) if side < 0 else (nd + k - 1, nd + k))
+            else:
+                rng.append((-HALO, nd + HALO))
+        return rng
+
+    def bc_copy(off):
+        def k(f):
+            f[ZERO] = f[off]
+        return k
+
+    def bc_zero(f):
+        f[ZERO] = 0.0
+
+    def apply_bcs(tag):
+        for i, fld in enumerate(state + [rho0]):
+            normal = {1: 0, 2: 1}.get(i)  # rhou is normal to x walls, rhow to z
+            for axis in range(2):
+                for side in (-1, 1):
+                    for k in (1, 2):
+                        tagk = f"bc_{tag}_{fld.name}_{axis}{'m' if side < 0 else 'p'}{k}"
+                        if normal == axis:
+                            ctx.par_loop(bc_zero, tagk, block, _layer(axis, side, k),
+                                         D(fld, P0, Access.WRITE))
+                        else:
+                            off = tuple((k if side < 0 else -k) if d == axis else 0
+                                        for d in range(2))
+                            sten = S1 if k == 1 else S2
+                            ctx.par_loop(bc_copy(off), tagk, block, _layer(axis, side, k),
+                                         D(fld, sten, Access.RW))
+
+    interior = block.interior
+    diagnostics = {"max_w": []}
+
+    for _ in range(iterations):
+        for direction, tk in (("x", tend_x), ("z", tend_z)):
+            apply_bcs(direction)
+            ctx.par_loop(tk, f"tend_{direction}", block, interior,
+                         *[D(t, P0, Access.WRITE) for t in tend],
+                         *[D(s, S2, Access.READ) for s in state],
+                         D(rho0, P0, Access.READ),
+                         flops_per_point=4 * 9 + 14)
+            ctx.par_loop(update(1.0), f"update_{direction}", block, interior,
+                         *[D(s, P0, Access.RW) for s in state],
+                         *[D(t, P0, Access.READ) for t in tend],
+                         flops_per_point=3 * NVAR)
+        w = np.zeros(1)
+        ctx.par_loop(max_w, "max_w", block, interior,
+                     ArgGbl(w, Access.MAX), D(state[2], P0, Access.READ),
+                     flops_per_point=1)
+        diagnostics["max_w"].append(float(w[0]))
+
+    mass = np.zeros(1)
+    ctx.par_loop(mass_sum, "mass_sum", block, interior,
+                 ArgGbl(mass, Access.INC), D(state[0], P0, Access.READ),
+                 flops_per_point=1)
+    diagnostics["mass"] = float(mass[0])
+    diagnostics["fields"] = {nm: s.gather_global() for nm, s in zip(names, state)}
+    diagnostics["dt"] = dt
+    return diagnostics
+
+
+MINIWEATHER = register(AppDefinition(
+    name="miniweather",
+    klass=AppClass.STRUCTURED_BW,
+    dtype_bytes=8,
+    run=run_miniweather,
+    paper_domain=(4000, 2000),
+    paper_iterations=450,  # ~"simulation time 1.0" at the stable dt
+    test_domain=(40, 20),
+    test_iterations=5,
+    halo_depth=2,
+    structured=True,
+    # Sec. 5: "for miniWeather [the Classic compilers are] 34% slower".
+    compiler_affinity={
+        Compiler.CLASSIC: 1.0 / 1.34,
+        Compiler.ONEAPI: 1.0,
+        Compiler.AOCC: 1.0,
+        Compiler.GCC: 0.97,
+        Compiler.NVCC: 1.0,
+    },
+    description="2D atmospheric dynamics proxy (thermal bubble), bandwidth bound",
+))

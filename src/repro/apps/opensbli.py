@@ -1,0 +1,337 @@
+"""OpenSBLI SA / SN: 3D compressible Navier–Stokes (Euler core).
+
+"Structured mesh finite difference Navier-Stokes solver ... Production
+code with 2 variants — Store All (SA), which is bandwidth-bound, and
+Store None (SN), which recomputes derivatives on the fly, reducing data
+movement pressure, but still mostly bandwidth bound.  Double precision,
+320³ problem size, 20 time iterations" (paper Sec. 3).
+
+Both variants integrate the same 3-D compressible Euler system (5
+conserved fields: ρ, ρu, ρv, ρw, E; ideal gas) with 4th-order central
+differences, 2nd-order Lax–Friedrichs-style dissipation, and two-stage
+Runge–Kutta:
+
+* **SA** evaluates each of the 15 directional flux derivatives in its own
+  loop, storing a work array per derivative (17 loops/stage, ~21 resident
+  fields — maximal data movement, minimal recomputation);
+* **SN** fuses the entire right-hand side into one loop that recomputes
+  every flux on the fly (2 loops/stage — ~3x the flops, a fraction of
+  the traffic).
+
+They perform the same arithmetic, so tests assert SA == SN to rounding —
+exactly the property that lets the paper treat them as two formulations
+of one problem ("the speedup between these two is just below 2x on Xeon
+MAX 9480, but over 2.5x on 8360Y/EPYC", Sec. 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.config import Compiler
+from ..ops.access import Access, ArgDat, ArgGbl
+from ..ops.runtime import OpsContext
+from ..ops.stencil import point_stencil, star_stencil
+from ..perfmodel.kernelmodel import AppClass
+from .base import AppDefinition, register
+
+__all__ = ["run_opensbli", "OPENSBLI_SA", "OPENSBLI_SN"]
+
+GAMMA = 1.4
+HALO = 2
+#: 4th-order first-derivative coefficients for offsets (+1, +2).
+D1, D2 = 2.0 / 3.0, -1.0 / 12.0
+#: Lax-Friedrichs-style dissipation strength.
+SIGMA = 0.12
+
+NFIELDS = 5  # rho, rho*u, rho*v, rho*w, E
+
+
+def run_opensbli(
+    ctx: OpsContext,
+    domain: tuple[int, ...],
+    iterations: int,
+    variant: str = "sa",
+    init: str = "wave",
+) -> dict:
+    """Run the SA or SN variant; returns conserved-field diagnostics."""
+    ndim = len(domain)
+    if ndim != 3:
+        raise ValueError("OpenSBLI runs the 3-D testcase")
+    if variant not in ("sa", "sn"):
+        raise ValueError("variant must be 'sa' or 'sn'")
+    n = domain
+    block = ctx.block("sbli", n)
+    P0 = point_stencil(3)
+    S2 = star_stencil(3, 2)
+    ZERO = (0, 0, 0)
+    dx = 1.0 / n[0]
+    dt = 0.2 * dx  # fixed CFL for the standard testcase
+
+    names = ["rho", "rhou", "rhov", "rhow", "E"]
+    q = [block.dat(nm, halo=HALO) for nm in names]
+    q0 = [block.dat(nm + "_0", halo=HALO) for nm in names]
+    rhs = [block.dat(nm + "_rhs", halo=HALO) for nm in names]
+    # SA stores the flux fields (evaluated once per point per axis) and
+    # the 15 flux-derivative work arrays; SN stores neither.
+    if variant == "sa":
+        fluxes = [[block.dat(f"F{ax}_{nm}", halo=HALO) for nm in names] for ax in range(3)]
+        work = [[block.dat(f"d{ax}_{nm}", halo=0) for nm in names] for ax in range(3)]
+
+    # ---- initial condition -------------------------------------------------
+    rho0 = np.ones(n)
+    u0 = np.zeros(n)
+    if init == "wave":
+        x = (np.arange(n[0]) + 0.5) * dx
+        rho0 = 1.0 + 0.05 * np.sin(2 * np.pi * x)[:, None, None] * np.ones(n)
+        u0 = 0.1 * np.ones(n)
+    elif init != "uniform":
+        raise ValueError(f"unknown init {init!r}")
+    p0 = np.ones(n) / GAMMA
+    q[0].set_from_global(rho0)
+    q[1].set_from_global(rho0 * u0)
+    q[4].set_from_global(p0 / (GAMMA - 1.0) + 0.5 * rho0 * u0**2)
+
+    def D(dat, sten, acc):
+        return ArgDat(dat, sten, acc)
+
+    # ---- flux algebra (shared by SA and SN so they match exactly) -----------
+
+    def _flux(comp, axis, qs, off):
+        """Euler flux component ``comp`` in direction ``axis`` at ``off``."""
+        rho = qs[0][off]
+        mom = [qs[1][off], qs[2][off], qs[3][off]]
+        e = qs[4][off]
+        vel = mom[axis] / rho
+        ke = 0.5 * (mom[0] ** 2 + mom[1] ** 2 + mom[2] ** 2) / rho
+        p = (GAMMA - 1.0) * (e - ke)
+        if comp == 0:
+            return mom[axis]
+        if comp in (1, 2, 3):
+            f = mom[comp - 1] * vel
+            if comp - 1 == axis:
+                f = f + p
+            return f
+        return (e + p) * vel
+
+    def _ddx(comp, axis, qs):
+        """4th-order derivative of flux ``comp`` along ``axis`` plus the
+        conservative dissipation term, recomputing fluxes at every tap
+        (the Store-None formulation)."""
+        offs = [tuple(r if d == axis else 0 for d in range(3)) for r in (-2, -1, 1, 2)]
+        m2, m1, p1, p2 = offs
+        deriv = (
+            D1 * (_flux(comp, axis, qs, p1) - _flux(comp, axis, qs, m1))
+            + D2 * (_flux(comp, axis, qs, p2) - _flux(comp, axis, qs, m2))
+        ) / dx
+        diss = SIGMA / dx * (
+            qs[comp][p1] - 2.0 * qs[comp][ZERO] + qs[comp][m1]
+        )
+        return deriv - diss
+
+    def _ddx_stored(comp, axis, fstored, qc):
+        """Same derivative from a pre-computed flux field (Store-All) —
+        identical floating-point operations tap-for-tap, so SA == SN.
+        Only the conserved field being dissipated is read (qc)."""
+        offs = [tuple(r if d == axis else 0 for d in range(3)) for r in (-2, -1, 1, 2)]
+        m2, m1, p1, p2 = offs
+        deriv = (
+            D1 * (fstored[p1] - fstored[m1]) + D2 * (fstored[p2] - fstored[m2])
+        ) / dx
+        diss = SIGMA / dx * (qc[p1] - 2.0 * qc[ZERO] + qc[m1])
+        return deriv - diss
+
+    # ---- kernels -------------------------------------------------------------
+
+    def save_state(*args):
+        for i in range(NFIELDS):
+            args[i][ZERO] = args[NFIELDS + i][ZERO]
+
+    def flux_kernel(axis):
+        def k(*args):
+            # args: 5 flux outputs, then q[0..4] (point reads).
+            outs, qs = args[:NFIELDS], args[NFIELDS:]
+            for comp in range(NFIELDS):
+                outs[comp][ZERO] = _flux(comp, axis, qs, ZERO)
+        return k
+
+    def deriv_kernel(axis, comp):
+        def k(out, fstored, qc):
+            out[ZERO] = _ddx_stored(comp, axis, fstored, qc)
+        return k
+
+    def assemble_sa(*args):
+        # args: rhs[0..4], then the 15 work arrays (axis-major).
+        for comp in range(NFIELDS):
+            total = 0.0
+            for ax in range(3):
+                total = total + args[NFIELDS + ax * NFIELDS + comp][ZERO]
+            args[comp][ZERO] = -total
+
+    def rhs_sn(*args):
+        # args: rhs[0..4], then q[0..4] (radius-2).
+        qs = args[NFIELDS:]
+        for comp in range(NFIELDS):
+            total = 0.0
+            for ax in range(3):
+                total = total + _ddx(comp, ax, qs)
+            args[comp][ZERO] = -total
+
+    def rk_stage(coeff):
+        def k(*args):
+            # args: q[0..4] (RW), q0[0..4], rhs[0..4]
+            for i in range(NFIELDS):
+                args[i][ZERO] = args[NFIELDS + i][ZERO] + coeff * dt * args[2 * NFIELDS + i][ZERO]
+        return k
+
+    def bc_copy(offset, nm):
+        def k(fld):
+            fld[ZERO] = fld[offset]
+        return k
+
+    def mass_sum(g, rho):
+        g[0] += float(np.sum(rho[ZERO]))
+
+    def max_speed(g, rho, rhou):
+        g[0] = max(g[0], float(np.max(np.abs(rhou[ZERO] / rho[ZERO]))))
+
+    def _layer(axis, side, k):
+        rng = []
+        for d in range(3):
+            if d == axis:
+                rng.append((-k, -k + 1) if side < 0 else (n[d] + k - 1, n[d] + k))
+            else:
+                rng.append((-HALO, n[d] + HALO))
+        return rng
+
+    def apply_bcs(tag):
+        for fld in q:
+            for axis in range(3):
+                for side in (-1, 1):
+                    for k in (1, 2):
+                        off = tuple((k if side < 0 else -k) if d == axis else 0 for d in range(3))
+                        ctx.par_loop(bc_copy(off, fld.name),
+                                     f"bc_{tag}_{fld.name}_{axis}{'m' if side < 0 else 'p'}{k}",
+                                     block, _layer(axis, side, k),
+                                     D(fld, S2, Access.RW))
+
+    # ---- time loop -------------------------------------------------------------
+
+    interior = block.interior
+    flops_flux = 30  # one flux component evaluation (from scratch)
+    #: SA: all five components at once share the primitive computation.
+    flops_flux_all = 60
+    #: SA: derivative of a stored flux is a cheap stencil + dissipation.
+    flops_deriv_stored = 18
+    #: SN: each derivative recomputes 4 full flux taps on the fly.
+    flops_deriv = 4 * flops_flux + 12
+
+    for _ in range(iterations):
+        ctx.par_loop(save_state, "save_state", block, interior,
+                     *[D(d, P0, Access.WRITE) for d in q0],
+                     *[D(d, P0, Access.READ) for d in q])
+        for coeff in (0.5, 1.0):  # two-stage RK
+            apply_bcs(f"s{coeff}")
+            if variant == "sa":
+                for ax in range(3):
+                    # One flux evaluation per point, stored (the "All").
+                    ctx.par_loop(flux_kernel(ax), f"flux_{ax}", block,
+                                 block.extended(HALO),
+                                 *[D(fluxes[ax][c], P0, Access.WRITE) for c in range(NFIELDS)],
+                                 *[D(d, P0, Access.READ) for d in q],
+                                 flops_per_point=flops_flux_all)
+                    for comp in range(NFIELDS):
+                        ctx.par_loop(deriv_kernel(ax, comp), f"deriv_{ax}_{names[comp]}",
+                                     block, interior,
+                                     D(work[ax][comp], P0, Access.WRITE),
+                                     D(fluxes[ax][comp], S2, Access.READ),
+                                     D(q[comp], S2, Access.READ),
+                                     flops_per_point=flops_deriv_stored)
+                ctx.par_loop(assemble_sa, "assemble_rhs", block, interior,
+                             *[D(d, P0, Access.WRITE) for d in rhs],
+                             *[D(work[ax][comp], P0, Access.READ)
+                               for ax in range(3) for comp in range(NFIELDS)],
+                             flops_per_point=3 * NFIELDS)
+            else:
+                # The fused store-none kernel re-evaluates every flux at
+                # every tap; unlike the SA flux sweep it cannot amortize
+                # primitive computations across points, only (partially)
+                # across the five components of one tap.
+                ctx.par_loop(rhs_sn, "rhs_store_none", block, interior,
+                             *[D(d, P0, Access.WRITE) for d in rhs],
+                             *[D(d, S2, Access.READ) for d in q],
+                             flops_per_point=3 * (4 * 22 + 12) + 3 * NFIELDS)
+            ctx.par_loop(rk_stage(coeff), "rk_update", block, interior,
+                         *[D(d, P0, Access.RW) for d in q],
+                         *[D(d, P0, Access.READ) for d in q0],
+                         *[D(d, P0, Access.READ) for d in rhs],
+                         flops_per_point=3 * NFIELDS)
+
+    mass = np.zeros(1)
+    speed = np.zeros(1)
+    ctx.par_loop(mass_sum, "mass_sum", block, interior,
+                 ArgGbl(mass, Access.INC), D(q[0], P0, Access.READ), flops_per_point=1)
+    ctx.par_loop(max_speed, "max_speed", block, interior,
+                 ArgGbl(speed, Access.MAX), D(q[0], P0, Access.READ),
+                 D(q[1], P0, Access.READ), flops_per_point=2)
+    return {
+        "mass": float(mass[0]),
+        "max_speed": float(speed[0]),
+        "fields": {nm: d.gather_global() for nm, d in zip(names, q)},
+        "dt": dt,
+    }
+
+
+def _run_sa(ctx, domain, iterations, **kw):
+    return run_opensbli(ctx, domain, iterations, variant="sa", **kw)
+
+
+def _run_sn(ctx, domain, iterations, **kw):
+    return run_opensbli(ctx, domain, iterations, variant="sn", **kw)
+
+
+_AFFINITY_SA = {
+    # One of the structured apps where Classic edges ahead (Sec. 5).
+    Compiler.CLASSIC: 1.0,
+    Compiler.ONEAPI: 0.96,
+    Compiler.AOCC: 1.0,
+    Compiler.GCC: 0.97,
+    Compiler.NVCC: 1.0,
+}
+_AFFINITY_SN = {
+    Compiler.CLASSIC: 0.99,
+    Compiler.ONEAPI: 1.0,
+    Compiler.AOCC: 1.0,
+    Compiler.GCC: 0.97,
+    Compiler.NVCC: 1.0,
+}
+
+OPENSBLI_SA = register(AppDefinition(
+    name="opensbli_sa",
+    klass=AppClass.STRUCTURED_BW,
+    dtype_bytes=8,
+    run=_run_sa,
+    paper_domain=(320, 320, 320),
+    paper_iterations=20,
+    test_domain=(12, 12, 12),
+    test_iterations=3,
+    halo_depth=2,
+    structured=True,
+    compiler_affinity=_AFFINITY_SA,
+    description="Compressible Navier-Stokes, Store-All formulation (maximal data movement)",
+))
+
+OPENSBLI_SN = register(AppDefinition(
+    name="opensbli_sn",
+    klass=AppClass.STRUCTURED_COMPUTE,
+    dtype_bytes=8,
+    run=_run_sn,
+    paper_domain=(320, 320, 320),
+    paper_iterations=20,
+    test_domain=(12, 12, 12),
+    test_iterations=3,
+    halo_depth=2,
+    structured=True,
+    compiler_affinity=_AFFINITY_SN,
+    description="Compressible Navier-Stokes, Store-None formulation (recompute on the fly)",
+))

@@ -1,0 +1,35 @@
+"""Benchmark harness: runners and figure regeneration.
+
+- :func:`~repro.harness.runner.run_application` / ``sweep`` / ``best_run``
+  — evaluate any app x platform x configuration;
+- :mod:`~repro.harness.figures` — ``fig1()`` .. ``fig9()`` regenerate the
+  paper's tables and figures with published values alongside;
+- ``python -m repro.harness`` prints everything.
+"""
+
+from .figures import (
+    all_figures,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+)
+from .report import FigureResult, format_table
+from .runner import app_spec, best_run, clear_cache, run_application, sweep
+
+__all__ = [
+    "run_application",
+    "sweep",
+    "best_run",
+    "app_spec",
+    "clear_cache",
+    "FigureResult",
+    "format_table",
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "all_figures",
+]

@@ -1,0 +1,16 @@
+"""Print every regenerated table/figure: ``python -m repro.harness``."""
+
+import sys
+
+from .figures import all_figures
+
+
+def main() -> int:
+    for fig in all_figures():
+        print(fig.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Plain-text table rendering for the figure harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["FigureResult", "format_table"]
+
+
+def _fmt(v: Any) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:.0f}"
+        if abs(v) >= 10:
+            return f"{v:.1f}"
+        return f"{v:.3g}"
+    return str(v)
+
+
+def format_table(columns: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render rows as an aligned text table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+        for i, col in enumerate(columns)
+    ]
+    def line(parts):
+        return "  ".join(p.ljust(w) for p, w in zip(parts, widths)).rstrip()
+
+    out = [line(columns), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)
+
+
+@dataclass
+class FigureResult:
+    """One regenerated table/figure: data rows plus paper context."""
+
+    figure: str  # e.g. "fig6"
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        head = f"== {self.figure}: {self.title} =="
+        body = format_table(self.columns, self.rows)
+        tail = "".join(f"\n  note: {n}" for n in self.notes)
+        return f"{head}\n{body}{tail}"
+
+    def column(self, name: str) -> list:
+        i = self.columns.index(name)
+        return [r[i] for r in self.rows]
+
+    def row_map(self, key_col: int = 0) -> dict:
+        return {r[key_col]: r for r in self.rows}
+
+    def to_csv(self) -> str:
+        """The table as CSV (header + rows; None as empty field)."""
+        import csv
+        import io
+
+        buf = io.StringIO()
+        w = csv.writer(buf)
+        w.writerow(self.columns)
+        for row in self.rows:
+            w.writerow(["" if v is None else v for v in row])
+        return buf.getvalue()

@@ -1,0 +1,78 @@
+"""Benchmark runner: application x platform x configuration → estimate.
+
+Profiles each application once (scaled-down run through the recording
+DSL context, extrapolated to paper scale — see
+:func:`repro.apps.base.build_spec`), caches the spec, and evaluates the
+performance model for any platform/configuration.  All figure harnesses
+go through :func:`run_application` / :func:`sweep` / :func:`best_run`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..apps.base import AppDefinition, build_spec, get_app
+from ..machine.config import RunConfig, feasible
+from ..machine.spec import PlatformSpec
+from ..mem.hierarchy import HierarchyModel
+from ..perfmodel import calibration as cal
+from ..perfmodel.kernelmodel import AppSpec
+from ..perfmodel.roofline import AppEstimate, estimate_app
+
+__all__ = ["app_spec", "run_application", "sweep", "best_run", "clear_cache"]
+
+_SPEC_CACHE: dict[str, AppSpec] = {}
+_HM_CACHE: dict[str, HierarchyModel] = {}
+
+
+def app_spec(name: str) -> AppSpec:
+    """The (cached) paper-scale model spec of an application."""
+    if name not in _SPEC_CACHE:
+        _SPEC_CACHE[name] = build_spec(get_app(name))
+    return _SPEC_CACHE[name]
+
+
+def clear_cache() -> None:
+    _SPEC_CACHE.clear()
+    _HM_CACHE.clear()
+
+
+def _hierarchy(platform: PlatformSpec) -> HierarchyModel:
+    if platform.short_name not in _HM_CACHE:
+        _HM_CACHE[platform.short_name] = HierarchyModel(
+            platform, utilization=cal.CACHE_UTILIZATION
+        )
+    return _HM_CACHE[platform.short_name]
+
+
+def run_application(
+    name: str, platform: PlatformSpec, config: RunConfig
+) -> AppEstimate:
+    """Estimate one application run; raises for infeasible configs or
+    compilers the app does not run under (miniBUDE + Classic)."""
+    return estimate_app(app_spec(name), platform, config, _hierarchy(platform))
+
+
+def sweep(
+    name: str, platform: PlatformSpec, configs: list[RunConfig]
+) -> list[tuple[RunConfig, AppEstimate | None]]:
+    """Run every feasible configuration; None for configs the app cannot
+    run (e.g. the paper's stalling Classic-compiled miniBUDE)."""
+    out = []
+    spec = app_spec(name)
+    for cfg in configs:
+        if not feasible(cfg, platform) or spec.affinity(cfg.compiler) <= 0.0:
+            out.append((cfg, None))
+            continue
+        out.append((cfg, run_application(name, platform, cfg)))
+    return out
+
+
+def best_run(
+    name: str, platform: PlatformSpec, configs: list[RunConfig]
+) -> tuple[RunConfig, AppEstimate]:
+    """The fastest feasible configuration of a sweep."""
+    runs = [(c, e) for c, e in sweep(name, platform, configs) if e is not None]
+    if not runs:
+        raise ValueError(f"{name} has no feasible configuration on {platform.name}")
+    return min(runs, key=lambda ce: ce[1].total_time)

@@ -1,0 +1,95 @@
+"""Hardware platform models, topology and run configurations.
+
+Public entry points:
+
+- :data:`~repro.machine.platforms.XEON_MAX_9480` and friends — the four
+  platform models of the paper's Section 2.
+- :class:`~repro.machine.spec.PlatformSpec` — the platform description
+  dataclass (peak flops/bandwidth, caches, NUMA, latencies).
+- :class:`~repro.machine.config.RunConfig` — a compiler/ZMM/HT/
+  parallelization combination, with the Figure 3/4 sweep enumerators.
+- :mod:`~repro.machine.topology` — core-to-core latency classification
+  (Figure 2's microbenchmark).
+"""
+
+from .config import (
+    Compiler,
+    Parallelization,
+    RunConfig,
+    ZmmUsage,
+    best_practice_config,
+    check_feasible,
+    feasible,
+    native_compilers,
+    structured_config_sweep,
+    unstructured_config_sweep,
+)
+from .platforms import (
+    A100_40GB,
+    ALL_PLATFORMS,
+    CPU_PLATFORMS,
+    EPYC_7V73X,
+    XEON_8360Y,
+    XEON_MAX_9480,
+    get_platform,
+)
+from .spec import (
+    GB,
+    GIB,
+    KIB,
+    MIB,
+    CacheLevel,
+    DeviceKind,
+    MemoryKind,
+    MemorySpec,
+    NumaDomain,
+    PlatformSpec,
+    VectorISA,
+)
+from .topology import (
+    CoreToCoreBenchmark,
+    PairKind,
+    classify_pair,
+    latency_matrix,
+    pair_latency,
+)
+
+__all__ = [
+    # spec
+    "PlatformSpec",
+    "CacheLevel",
+    "MemorySpec",
+    "MemoryKind",
+    "VectorISA",
+    "NumaDomain",
+    "DeviceKind",
+    "GB",
+    "GIB",
+    "KIB",
+    "MIB",
+    # platforms
+    "XEON_MAX_9480",
+    "XEON_8360Y",
+    "EPYC_7V73X",
+    "A100_40GB",
+    "ALL_PLATFORMS",
+    "CPU_PLATFORMS",
+    "get_platform",
+    # config
+    "Compiler",
+    "ZmmUsage",
+    "Parallelization",
+    "RunConfig",
+    "feasible",
+    "check_feasible",
+    "native_compilers",
+    "structured_config_sweep",
+    "unstructured_config_sweep",
+    "best_practice_config",
+    # topology
+    "PairKind",
+    "classify_pair",
+    "pair_latency",
+    "latency_matrix",
+    "CoreToCoreBenchmark",
+]

@@ -1,0 +1,222 @@
+"""Run configurations: compiler x flags x hyperthreading x parallelization.
+
+Section 5 of the paper sweeps four configuration axes on the Xeon CPU MAX:
+
+1. **Compiler** — Intel C++ Compiler Classic (ICC/ICPC) vs. the oneAPI
+   DPC++/C++ compiler (ICX/ICPX); GCC / AOCC on the EPYC, nvcc on the A100.
+2. **ZMM usage** — ``default`` (256-bit vectors) or ``high`` (512-bit):
+   AVX-512 halves instruction count but lowers clocks.
+3. **Hyperthreading** — 1 or 2 threads per physical core.
+4. **Parallelization** — pure MPI (one rank per hardware thread), MPI
+   with explicit auto-vectorized kernels (``MPI vec``, unstructured codes
+   only), MPI+OpenMP (one rank per NUMA domain), and MPI+SYCL in ``flat``
+   and ``ndrange`` variants.
+
+This module defines the configuration vocabulary, feasibility rules
+(e.g. SYCL requires the oneAPI compiler; ZMM is meaningless without
+AVX-512), and enumeration of the exact config sets Figures 3 and 4 sweep.
+The *performance consequences* of a configuration are modeled in
+:mod:`repro.perfmodel.configmodel`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from .spec import DeviceKind, PlatformSpec
+
+__all__ = [
+    "Compiler",
+    "ZmmUsage",
+    "Parallelization",
+    "RunConfig",
+    "feasible",
+    "check_feasible",
+    "structured_config_sweep",
+    "unstructured_config_sweep",
+    "best_practice_config",
+    "native_compilers",
+]
+
+
+class Compiler(Enum):
+    CLASSIC = "Classic"  # Intel ICC/ICPC
+    ONEAPI = "OneAPI"  # Intel ICX/ICPX (DPC++)
+    GCC = "GCC"
+    AOCC = "AOCC"
+    NVCC = "NVCC"
+
+
+class ZmmUsage(Enum):
+    DEFAULT = "default"  # 256-bit vectors on AVX-512 hardware
+    HIGH = "high"  # full 512-bit ZMM vectors
+
+
+class Parallelization(Enum):
+    MPI = "MPI"
+    MPI_VEC = "MPI vec"  # explicit auto-vectorizing kernels (unstructured)
+    MPI_OMP = "MPI+OpenMP"
+    MPI_SYCL_FLAT = "MPI+SYCL flat"
+    MPI_SYCL_NDRANGE = "MPI+SYCL ndrange"
+    CUDA = "CUDA"
+
+    @property
+    def uses_sycl(self) -> bool:
+        return self in (Parallelization.MPI_SYCL_FLAT, Parallelization.MPI_SYCL_NDRANGE)
+
+    @property
+    def uses_mpi(self) -> bool:
+        return self is not Parallelization.CUDA
+
+    @property
+    def threads_within_rank(self) -> bool:
+        """True when one rank spans a NUMA domain and parallelizes inside."""
+        return self in (
+            Parallelization.MPI_OMP,
+            Parallelization.MPI_SYCL_FLAT,
+            Parallelization.MPI_SYCL_NDRANGE,
+        )
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One point of the configuration sweep.
+
+    ``hyperthreading`` means *using* 2 threads per core (the hardware
+    always has HT enabled on the Intel systems; the sweep is about whether
+    ranks/threads are placed on both hardware threads).
+    """
+
+    compiler: Compiler
+    parallelization: Parallelization
+    zmm: ZmmUsage = ZmmUsage.DEFAULT
+    hyperthreading: bool = False
+
+    def label(self) -> str:
+        """Row label in the style of the paper's Figures 3 and 4."""
+        ht = "w/HT" if self.hyperthreading else "w/o HT"
+        par = self.parallelization.value
+        return f"{par} {ht} {self.compiler.value} (ZMM {self.zmm.value})"
+
+    # Convenience for sweeps
+    def with_(self, **kw) -> "RunConfig":
+        return replace(self, **kw)
+
+    # ---- placement-derived quantities ----------------------------------
+
+    def ranks(self, platform: PlatformSpec) -> int:
+        """Number of MPI ranks this config launches on ``platform``."""
+        check_feasible(self, platform)
+        if self.parallelization is Parallelization.CUDA:
+            return 1
+        if self.parallelization.threads_within_rank:
+            return platform.total_numa_domains
+        threads = platform.total_cores * (2 if self.hyperthreading else 1)
+        return threads
+
+    def threads_per_rank(self, platform: PlatformSpec) -> int:
+        """OpenMP/SYCL worker threads per rank (1 for pure MPI)."""
+        check_feasible(self, platform)
+        if self.parallelization is Parallelization.CUDA:
+            return platform.total_cores  # SMs
+        if not self.parallelization.threads_within_rank:
+            return 1
+        per_numa = platform.cores_per_numa
+        return per_numa * (2 if self.hyperthreading else 1)
+
+
+def native_compilers(platform: PlatformSpec) -> tuple[Compiler, ...]:
+    """Compilers evaluated on each platform in the paper."""
+    if platform.kind is DeviceKind.GPU:
+        return (Compiler.NVCC,)
+    if platform.isa.name == "AVX2":  # the EPYC system
+        return (Compiler.GCC, Compiler.AOCC)
+    return (Compiler.CLASSIC, Compiler.ONEAPI)
+
+
+def feasible(config: RunConfig, platform: PlatformSpec) -> bool:
+    try:
+        check_feasible(config, platform)
+        return True
+    except ValueError:
+        return False
+
+
+def check_feasible(config: RunConfig, platform: PlatformSpec) -> None:
+    """Raise ValueError when a configuration cannot run on a platform."""
+    if config.compiler not in native_compilers(platform):
+        raise ValueError(
+            f"{config.compiler.value} is not available on {platform.name}"
+        )
+    if config.parallelization is Parallelization.CUDA:
+        if platform.kind is not DeviceKind.GPU:
+            raise ValueError("CUDA parallelization requires a GPU platform")
+        return
+    if platform.kind is DeviceKind.GPU:
+        raise ValueError(f"{config.parallelization.value} cannot run on a GPU")
+    if config.parallelization.uses_sycl and config.compiler is not Compiler.ONEAPI:
+        raise ValueError("SYCL requires the oneAPI compiler")
+    if config.zmm is ZmmUsage.HIGH and platform.isa.width_bits < 512:
+        raise ValueError(f"ZMM high requires AVX-512; {platform.name} has {platform.isa.name}")
+    if config.hyperthreading and platform.smt < 2:
+        raise ValueError(f"{platform.name} has SMT disabled")
+
+
+def structured_config_sweep(platform: PlatformSpec) -> list[RunConfig]:
+    """The 24-row sweep of Figure 3 (structured-mesh applications).
+
+    MPI and MPI+OpenMP vary compiler x ZMM x HT (16 rows); the SYCL flat /
+    ndrange variants run under oneAPI only, varying ZMM x HT (8 rows).
+    On platforms without AVX-512 / SMT the infeasible axes collapse.
+    """
+    configs: list[RunConfig] = []
+    zmms = [ZmmUsage.DEFAULT, ZmmUsage.HIGH] if platform.isa.width_bits >= 512 else [ZmmUsage.DEFAULT]
+    hts = [False, True] if platform.smt > 1 else [False]
+    pars = [Parallelization.MPI, Parallelization.MPI_OMP]
+    for comp, par, zmm, ht in itertools.product(native_compilers(platform), pars, zmms, hts):
+        cfg = RunConfig(comp, par, zmm, ht)
+        if feasible(cfg, platform):
+            configs.append(cfg)
+    if Compiler.ONEAPI in native_compilers(platform):
+        for par, zmm, ht in itertools.product(
+            [Parallelization.MPI_SYCL_FLAT, Parallelization.MPI_SYCL_NDRANGE], zmms, hts
+        ):
+            cfg = RunConfig(Compiler.ONEAPI, par, zmm, ht)
+            if feasible(cfg, platform):
+                configs.append(cfg)
+    return configs
+
+
+def unstructured_config_sweep(platform: PlatformSpec) -> list[RunConfig]:
+    """The 25-row sweep of Figure 4 (unstructured-mesh applications).
+
+    MPI, MPI vec and MPI+OpenMP vary compiler x ZMM x HT (24 rows) plus
+    one MPI+SYCL (oneAPI, ZMM default) row.
+    """
+    configs: list[RunConfig] = []
+    zmms = [ZmmUsage.DEFAULT, ZmmUsage.HIGH] if platform.isa.width_bits >= 512 else [ZmmUsage.DEFAULT]
+    hts = [False, True] if platform.smt > 1 else [False]
+    pars = [Parallelization.MPI, Parallelization.MPI_VEC, Parallelization.MPI_OMP]
+    for comp, par, zmm, ht in itertools.product(native_compilers(platform), pars, zmms, hts):
+        cfg = RunConfig(comp, par, zmm, ht)
+        if feasible(cfg, platform):
+            configs.append(cfg)
+    if Compiler.ONEAPI in native_compilers(platform):
+        cfg = RunConfig(Compiler.ONEAPI, Parallelization.MPI_SYCL_FLAT, ZmmUsage.DEFAULT, False)
+        if feasible(cfg, platform):
+            configs.append(cfg)
+    return configs
+
+
+def best_practice_config(platform: PlatformSpec) -> RunConfig:
+    """The paper's overall recommendation for structured codes on the Xeon
+    CPU MAX: MPI+OpenMP, oneAPI, ZMM high, HT disabled (Sec. 5) — adapted
+    to each platform's available compiler/ISA."""
+    if platform.kind is DeviceKind.GPU:
+        return RunConfig(Compiler.NVCC, Parallelization.CUDA)
+    comps = native_compilers(platform)
+    comp = Compiler.ONEAPI if Compiler.ONEAPI in comps else comps[-1]
+    zmm = ZmmUsage.HIGH if platform.isa.width_bits >= 512 else ZmmUsage.DEFAULT
+    return RunConfig(comp, Parallelization.MPI_OMP, zmm, hyperthreading=False)

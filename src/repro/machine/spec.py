@@ -1,0 +1,368 @@
+"""Hardware platform specifications.
+
+The paper's analysis (Section 2) is driven by a handful of architectural
+parameters per platform: core counts and clocks, vector ISA width, the
+cache hierarchy, the memory technology (HBM2e vs. DDR4) and its peak and
+*achievable* bandwidth, and the NUMA / chiplet layout.  This module defines
+the dataclasses that hold those parameters; concrete instances for the four
+platforms the paper evaluates live in :mod:`repro.machine.platforms`.
+
+All bandwidths are in bytes/second, capacities in bytes, latencies in
+seconds, and frequencies in Hz, so arithmetic composes without unit
+juggling.  Convenience constructors accept GB/s / GiB / ns / GHz.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = [
+    "GB",
+    "GIB",
+    "KIB",
+    "MIB",
+    "MemoryKind",
+    "VectorISA",
+    "CacheLevel",
+    "MemorySpec",
+    "NumaDomain",
+    "PlatformSpec",
+    "DeviceKind",
+]
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+GB = 1_000_000_000
+
+
+class MemoryKind(Enum):
+    """Main-memory technology; determines bandwidth/latency character."""
+
+    DDR4 = "ddr4"
+    DDR5 = "ddr5"
+    HBM2E = "hbm2e"
+
+
+class DeviceKind(Enum):
+    """Broad device class — CPUs pay MPI/threading overheads, GPUs do not
+    (in the paper's single-device A100 runs)."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+@dataclass(frozen=True)
+class VectorISA:
+    """SIMD capability of one core.
+
+    Attributes
+    ----------
+    name:
+        Human-readable ISA name (``"AVX-512"``, ``"AVX2"``, ``"CUDA"``).
+    width_bits:
+        Register width in bits (512 for AVX-512 ZMM, 256 for AVX2 YMM).
+    fma_units:
+        Number of fused-multiply-add pipes per core that can issue at the
+        full width each cycle.
+    freq_penalty_full_width:
+        Multiplicative clock penalty while executing full-width vector code
+        (the AVX-512 "license" downclock the paper's ZMM discussion is
+        about).  1.0 means no penalty.
+    """
+
+    name: str
+    width_bits: int
+    fma_units: int = 2
+    freq_penalty_full_width: float = 1.0
+
+    def lanes(self, dtype_bytes: int) -> int:
+        """Number of SIMD lanes for an element of ``dtype_bytes`` bytes."""
+        return self.width_bits // (8 * dtype_bytes)
+
+    def flops_per_cycle(self, dtype_bytes: int) -> int:
+        """Peak flops/cycle/core: lanes x FMA pipes x 2 (mul+add)."""
+        return self.lanes(dtype_bytes) * self.fma_units * 2
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the on-chip cache hierarchy.
+
+    ``capacity`` and ``bandwidth`` are per *scope*: ``scope`` is ``"core"``
+    for private caches and ``"socket"`` for shared LLC.  ``bandwidth`` is
+    the aggregate streaming bandwidth available when every core in the
+    scope hits in this level (this is the quantity BabelStream measures at
+    small array sizes, Figure 1).
+    """
+
+    name: str
+    capacity: int
+    bandwidth: float
+    latency: float
+    scope: str = "core"
+    line_size: int = 64
+    associativity: int = 8
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0 or self.bandwidth <= 0:
+            raise ValueError(f"cache {self.name}: capacity/bandwidth must be positive")
+        if self.scope not in ("core", "socket"):
+            raise ValueError(f"cache {self.name}: scope must be 'core' or 'socket'")
+        if self.capacity % (self.line_size * self.associativity):
+            raise ValueError(
+                f"cache {self.name}: capacity not divisible by line*assoc"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.capacity // (self.line_size * self.associativity)
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Main memory attached to one socket.
+
+    ``peak_bandwidth`` is the theoretical interface bandwidth; the paper
+    shows achieved STREAM bandwidth is a platform-dependent fraction of it
+    (55-63% on Xeon MAX HBM, ~75% on the DDR4 platforms), captured by
+    ``stream_efficiency`` (and ``stream_efficiency_tuned`` for the
+    streaming-stores "SS" flag variant on Xeon MAX).
+    """
+
+    kind: MemoryKind
+    capacity: int
+    peak_bandwidth: float
+    stream_efficiency: float
+    stream_efficiency_tuned: float | None = None
+    latency: float = 90e-9
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.stream_efficiency <= 1.0):
+            raise ValueError("stream_efficiency must be in (0, 1]")
+        if self.stream_efficiency_tuned is not None and not (
+            0.0 < self.stream_efficiency_tuned <= 1.0
+        ):
+            raise ValueError("stream_efficiency_tuned must be in (0, 1]")
+
+    @property
+    def achievable_bandwidth(self) -> float:
+        """STREAM-achievable bandwidth with ordinary (application) flags."""
+        return self.peak_bandwidth * self.stream_efficiency
+
+    @property
+    def achievable_bandwidth_tuned(self) -> float:
+        """STREAM-achievable bandwidth with benchmark-tuned flags
+        (streaming stores); falls back to the ordinary figure."""
+        eff = self.stream_efficiency_tuned or self.stream_efficiency
+        return self.peak_bandwidth * eff
+
+
+@dataclass(frozen=True)
+class NumaDomain:
+    """A NUMA domain: a set of cores with local memory affinity."""
+
+    domain_id: int
+    socket: int
+    cores: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.cores:
+            raise ValueError("NUMA domain must contain at least one core")
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Complete description of one evaluated platform.
+
+    The concrete numbers for each platform are taken from the paper's
+    Section 2 (or, where it only cites totals, divided down to per-socket /
+    per-core figures consistently with those totals).
+    """
+
+    name: str
+    short_name: str
+    kind: DeviceKind
+    sockets: int
+    cores_per_socket: int
+    numa_per_socket: int
+    smt: int  # hardware threads per core available (1 = no SMT/HT)
+    base_freq: float
+    turbo_freq: float  # all-core turbo
+    isa: VectorISA
+    caches: tuple[CacheLevel, ...]
+    memory: MemorySpec  # per socket
+    # Core-to-core one-way message latencies (seconds):
+    latency_smt_sibling: float
+    latency_same_socket: float
+    latency_cross_socket: float
+    latency_cross_numa: float | None = None  # same socket, other chiplet/NUMA
+    #: Sustained per-core streaming throughput (bytes/s) for cache-resident
+    #: data -- the load/store-pipe + fabric ceiling that caps the cache
+    #: plateau of Figure 1 (a core cannot consume its L2's full port
+    #: bandwidth in a STREAM-like loop).
+    core_stream_bw: float = 40e9
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1 or self.cores_per_socket < 1:
+            raise ValueError("sockets and cores_per_socket must be >= 1")
+        if self.numa_per_socket < 1:
+            raise ValueError("numa_per_socket must be >= 1")
+        if self.cores_per_socket % self.numa_per_socket:
+            raise ValueError("cores_per_socket must divide evenly into NUMA domains")
+        if self.smt not in (1, 2, 4):
+            raise ValueError("smt must be 1, 2 or 4")
+        if self.turbo_freq < self.base_freq:
+            raise ValueError("turbo frequency below base frequency")
+        if not self.caches:
+            raise ValueError("at least one cache level required")
+
+    # ---- derived counts -------------------------------------------------
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def total_threads(self) -> int:
+        return self.total_cores * self.smt
+
+    @property
+    def total_numa_domains(self) -> int:
+        return self.sockets * self.numa_per_socket
+
+    @property
+    def cores_per_numa(self) -> int:
+        return self.cores_per_socket // self.numa_per_socket
+
+    # ---- derived compute ------------------------------------------------
+
+    def peak_flops(self, dtype_bytes: int = 4, freq: float | None = None) -> float:
+        """Theoretical peak flops/s of the whole node at ``freq``
+        (default: base frequency, matching the paper's 13.6/11/8.45 FP32
+        TFLOPS figures)."""
+        f = self.base_freq if freq is None else freq
+        return self.total_cores * self.isa.flops_per_cycle(dtype_bytes) * f
+
+    def peak_flops_range(self, dtype_bytes: int = 4) -> tuple[float, float]:
+        """Peak flops at (base, all-core-turbo) clocks."""
+        return (
+            self.peak_flops(dtype_bytes, self.base_freq),
+            self.peak_flops(dtype_bytes, self.turbo_freq),
+        )
+
+    # ---- derived memory -------------------------------------------------
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Node-level theoretical peak main-memory bandwidth."""
+        return self.sockets * self.memory.peak_bandwidth
+
+    @property
+    def stream_bandwidth(self) -> float:
+        """Node-level STREAM-achievable bandwidth, application flags."""
+        return self.sockets * self.memory.achievable_bandwidth
+
+    @property
+    def stream_bandwidth_tuned(self) -> float:
+        """Node-level STREAM-achievable bandwidth, tuned (SS) flags."""
+        return self.sockets * self.memory.achievable_bandwidth_tuned
+
+    def flop_byte_ratio(self, dtype_bytes: int = 4, achieved: bool = True) -> float:
+        """Machine balance (flop/byte), the quantity the paper reports as
+        9.4 / 36 / 28 for the three CPUs.
+
+        The paper's figures divide peak FP32 flops at base clock by the
+        *achieved STREAM* bandwidth (13.6e12 / 1446e9 = 9.4 on Xeon MAX);
+        pass ``achieved=False`` for the ratio against theoretical peak
+        bandwidth instead.
+        """
+        bw = self.stream_bandwidth if achieved else self.peak_bandwidth
+        return self.peak_flops(dtype_bytes) / bw
+
+    # ---- caches ----------------------------------------------------------
+
+    def cache(self, name: str) -> CacheLevel:
+        for lvl in self.caches:
+            if lvl.name.lower() == name.lower():
+                return lvl
+        raise KeyError(f"{self.name} has no cache level named {name!r}")
+
+    @property
+    def last_level_cache(self) -> CacheLevel:
+        return self.caches[-1]
+
+    def cache_capacity_total(self, name: str) -> int:
+        """Total node capacity of a cache level across its scope."""
+        lvl = self.cache(name)
+        if lvl.scope == "socket":
+            return lvl.capacity * self.sockets
+        return lvl.capacity * self.total_cores
+
+    def cache_bandwidth_total(self, name: str) -> float:
+        """Aggregate node streaming bandwidth out of a cache level."""
+        lvl = self.cache(name)
+        if lvl.scope == "socket":
+            return lvl.bandwidth * self.sockets
+        return lvl.bandwidth * self.total_cores
+
+    def cache_to_memory_bw_ratio(self) -> float:
+        """Ratio between the best on-chip cache streaming bandwidth and the
+        achieved main-memory bandwidth (3.8x on Xeon MAX 9480, ~6x on
+        8360Y, ~14x on EPYC 7V73X per Figure 1's small-size region).
+
+        Uses the largest shared or private level that plausibly holds a
+        STREAM working set — i.e. the last level cache — consistent with
+        how Figure 1's cache plateau is read.
+        """
+        return self.cache_bandwidth_total(self.last_level_cache.name) / (
+            self.stream_bandwidth
+        )
+
+    # ---- topology helpers -------------------------------------------------
+
+    def numa_domains(self) -> tuple[NumaDomain, ...]:
+        """Enumerate NUMA domains with their core id ranges.
+
+        Cores are numbered socket-major then domain-major, matching the
+        usual Linux enumeration on these systems.
+        """
+        domains = []
+        cpn = self.cores_per_numa
+        for s in range(self.sockets):
+            for d in range(self.numa_per_socket):
+                did = s * self.numa_per_socket + d
+                first = s * self.cores_per_socket + d * cpn
+                domains.append(
+                    NumaDomain(did, s, tuple(range(first, first + cpn)))
+                )
+        return tuple(domains)
+
+    def socket_of_core(self, core: int) -> int:
+        if not (0 <= core < self.total_cores):
+            raise ValueError(f"core {core} out of range on {self.name}")
+        return core // self.cores_per_socket
+
+    def numa_of_core(self, core: int) -> int:
+        if not (0 <= core < self.total_cores):
+            raise ValueError(f"core {core} out of range on {self.name}")
+        within = core % self.cores_per_socket
+        return self.socket_of_core(core) * self.numa_per_socket + (
+            within // self.cores_per_numa
+        )
+
+
+def ghz(x: float) -> float:
+    return x * 1e9
+
+
+def ns(x: float) -> float:
+    return x * 1e-9
+
+
+def gbs(x: float) -> float:
+    """GB/s (decimal, as in vendor bandwidth figures) to bytes/s."""
+    return x * GB

@@ -1,0 +1,161 @@
+"""Core topology and core-to-core communication latency model.
+
+Figure 2 of the paper measures message-passing latency with the
+``core-to-core-latency`` tool ("one writer / one reader on many cache
+lines") between (1) hyperthread siblings, (2) adjacent cores, and
+(3) cores on different sockets — plus, for the SMT-disabled EPYC, a core
+on a different NUMA domain of the same socket.
+
+This module classifies any pair of hardware threads on a platform into
+those relationship classes and returns the modeled one-way cache-coherence
+message latency.  The same classification feeds the simulated-MPI message
+cost model (:mod:`repro.perfmodel.commmodel`): an MPI message between two
+ranks starts with a handshake whose cost is the core-to-core latency of
+the cores the ranks are pinned to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from .spec import PlatformSpec
+
+__all__ = [
+    "CorePair",
+    "PairKind",
+    "classify_pair",
+    "pair_latency",
+    "latency_matrix",
+    "hw_thread_to_core",
+    "CoreToCoreBenchmark",
+]
+
+
+class PairKind(Enum):
+    """Relationship between two hardware threads."""
+
+    SELF = "self"
+    SMT_SIBLING = "smt-sibling"
+    SAME_NUMA = "same-numa"
+    SAME_SOCKET = "same-socket"  # different NUMA domain, same socket
+    CROSS_SOCKET = "cross-socket"
+
+
+@dataclass(frozen=True)
+class CorePair:
+    kind: PairKind
+    latency: float  # one-way, seconds
+
+
+def hw_thread_to_core(platform: PlatformSpec, hw_thread: int) -> int:
+    """Map a hardware thread id to its physical core.
+
+    Threads are numbered the way Linux numbers them on these systems: the
+    first ``total_cores`` ids are one thread per physical core, the next
+    ``total_cores`` are the SMT siblings (thread ``t`` and
+    ``t + total_cores`` share a core).
+    """
+    if not (0 <= hw_thread < platform.total_threads):
+        raise ValueError(
+            f"hw thread {hw_thread} out of range 0..{platform.total_threads - 1}"
+        )
+    return hw_thread % platform.total_cores
+
+
+def classify_pair(platform: PlatformSpec, thread_a: int, thread_b: int) -> PairKind:
+    """Classify the relationship between two hardware threads."""
+    core_a = hw_thread_to_core(platform, thread_a)
+    core_b = hw_thread_to_core(platform, thread_b)
+    if thread_a == thread_b:
+        return PairKind.SELF
+    if core_a == core_b:
+        return PairKind.SMT_SIBLING
+    if platform.numa_of_core(core_a) == platform.numa_of_core(core_b):
+        return PairKind.SAME_NUMA
+    if platform.socket_of_core(core_a) == platform.socket_of_core(core_b):
+        return PairKind.SAME_SOCKET
+    return PairKind.CROSS_SOCKET
+
+
+def pair_latency(platform: PlatformSpec, thread_a: int, thread_b: int) -> CorePair:
+    """One-way cache-line transfer latency between two hardware threads."""
+    kind = classify_pair(platform, thread_a, thread_b)
+    if kind is PairKind.SELF:
+        lat = 0.0
+    elif kind is PairKind.SMT_SIBLING:
+        lat = platform.latency_smt_sibling
+    elif kind is PairKind.SAME_NUMA:
+        lat = platform.latency_same_socket
+    elif kind is PairKind.SAME_SOCKET:
+        # Cross-NUMA-domain within a socket; platforms without sub-NUMA
+        # clustering never produce this class.  Fall back to the in-socket
+        # figure when the spec does not distinguish it.
+        lat = platform.latency_cross_numa or platform.latency_same_socket
+    else:
+        lat = platform.latency_cross_socket
+    return CorePair(kind, lat)
+
+
+def latency_matrix(platform: PlatformSpec, threads: list[int] | None = None) -> np.ndarray:
+    """Full one-way latency matrix (seconds) between hardware threads.
+
+    ``threads`` defaults to one thread per physical core (the view the
+    core-to-core-latency tool shows with SMT columns folded away).
+    """
+    if threads is None:
+        threads = list(range(platform.total_cores))
+    n = len(threads)
+    out = np.zeros((n, n))
+    for i, a in enumerate(threads):
+        for j, b in enumerate(threads):
+            out[i, j] = pair_latency(platform, a, b).latency
+    return out
+
+
+class CoreToCoreBenchmark:
+    """Model of the ``core-to-core-latency`` "one writer / one reader on
+    many cache lines" test used for Figure 2.
+
+    The real tool bounces ownership of a set of cache lines between two
+    cores and reports the mean per-message latency.  Here the mean is the
+    modeled pair latency plus a small deterministic queueing term that
+    grows with the number of in-flight lines (coherence-traffic contention
+    on the mesh/fabric), so the reported figures react to the test's
+    ``num_lines`` parameter the way the real tool does.
+    """
+
+    #: Fractional latency increase per additional concurrent cache line.
+    CONTENTION_PER_LINE = 0.004
+
+    def __init__(self, platform: PlatformSpec, num_lines: int = 16) -> None:
+        if num_lines < 1:
+            raise ValueError("num_lines must be >= 1")
+        self.platform = platform
+        self.num_lines = num_lines
+
+    def measure(self, thread_a: int, thread_b: int) -> float:
+        """Mean one-way message latency (seconds) between two threads."""
+        base = pair_latency(self.platform, thread_a, thread_b).latency
+        contention = 1.0 + self.CONTENTION_PER_LINE * (self.num_lines - 1)
+        return base * contention
+
+    def representative_pairs(self) -> dict[str, float]:
+        """The pair classes Figure 2 plots for this platform.
+
+        Intel platforms (SMT on): hyperthread siblings, adjacent cores,
+        cross-socket.  EPYC (SMT off): adjacent core, cross-NUMA same
+        socket, cross-socket.
+        """
+        p = self.platform
+        out: dict[str, float] = {}
+        if p.smt > 1:
+            out["smt-siblings"] = self.measure(0, p.total_cores)  # same core
+        out["adjacent-cores"] = self.measure(0, 1)
+        if p.numa_per_socket > 1:
+            other_numa_core = p.cores_per_numa  # first core of NUMA 1
+            out["cross-numa"] = self.measure(0, other_numa_core)
+        out["cross-socket"] = self.measure(0, p.cores_per_socket)
+        return out

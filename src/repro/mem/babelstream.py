@@ -1,0 +1,132 @@
+"""The full BabelStream benchmark suite: real kernels + modeled figures.
+
+Runs the five classic kernels (copy, mul, add, triad, dot) the way
+BabelStream does — N timed repetitions each, verification against the
+closed-form result — and reports both the *host's* measured bandwidth
+(this process, numpy) and the *modeled* bandwidth for any platform in
+the machine library.  The model numbers feed Figure 1; the host numbers
+demonstrate that the kernels are real computations.
+
+    suite = BabelStream(n=2**24)
+    results = suite.run(repetitions=10)
+    print(suite.report(results, XEON_MAX_9480))
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.spec import PlatformSpec
+from .hierarchy import HierarchyModel, Scope
+from .stream import STREAM_SCALAR, StreamArrays, add, copy, dot, mul, triad
+
+__all__ = ["KernelResult", "BabelStream"]
+
+#: Bytes each kernel moves per element (loads + stores, as BabelStream counts).
+KERNEL_BYTES = {"copy": 2, "mul": 2, "add": 3, "triad": 3, "dot": 2}
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """Timing of one kernel over the repetitions."""
+
+    name: str
+    best_time: float
+    mean_time: float
+    nbytes: int  # bytes moved per repetition
+
+    @property
+    def best_bandwidth(self) -> float:
+        return self.nbytes / self.best_time
+
+
+class BabelStream:
+    """The five-kernel suite on arrays of ``n`` elements."""
+
+    def __init__(self, n: int = 2**22, dtype=np.float64) -> None:
+        if n < 2:
+            raise ValueError("need at least 2 elements")
+        self.n = n
+        self.dtype = np.dtype(dtype)
+        self.arrays = StreamArrays.allocate(n, dtype)
+
+    # ------------------------------------------------------------------
+
+    def run(self, repetitions: int = 10) -> dict[str, KernelResult]:
+        """Execute every kernel ``repetitions`` times; returns timings.
+
+        Raises if verification fails — the kernels must compute the same
+        closed-form values BabelStream checks.
+        """
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        s = self.arrays
+        elem = self.dtype.itemsize
+        dot_value = 0.0
+        kernels = [
+            ("copy", lambda: copy(s)),
+            ("mul", lambda: mul(s)),
+            ("add", lambda: add(s)),
+            ("triad", lambda: triad(s)),
+            ("dot", lambda: dot(s)),
+        ]
+        times: dict[str, list[float]] = {name: [] for name, _ in kernels}
+        # BabelStream interleaves: each repetition runs all five kernels
+        # in order (the closed-form verification depends on this order).
+        for _ in range(repetitions):
+            for name, fn in kernels:
+                t0 = time.perf_counter()
+                ret = fn()
+                times[name].append(time.perf_counter() - t0)
+                if name == "dot":
+                    dot_value = ret
+        out = {
+            name: KernelResult(
+                name, min(ts), sum(ts) / len(ts),
+                KERNEL_BYTES[name] * self.n * elem,
+            )
+            for name, ts in times.items()
+        }
+        self.verify(repetitions, dot_value)
+        return out
+
+    def verify(self, repetitions: int, dot_value: float) -> None:
+        """BabelStream-style closed-form verification."""
+        a, b, c = 0.1, 0.2, 0.0
+        for _ in range(repetitions):
+            c = a  # copy
+            b = STREAM_SCALAR * c  # mul
+            c = a + b  # add
+            a = b + STREAM_SCALAR * c  # triad
+        s = self.arrays
+        for name, arr, ref in (("a", s.a, a), ("b", s.b, b), ("c", s.c, c)):
+            err = float(np.abs(arr - ref).max())
+            if err > 1e-8 * max(abs(ref), 1.0):
+                raise AssertionError(f"verification failed for array {name}: err={err}")
+        expected_dot = a * b * self.n
+        if abs(dot_value - expected_dot) > 1e-8 * abs(expected_dot):
+            raise AssertionError("verification failed for dot")
+
+    # ------------------------------------------------------------------
+
+    def modeled_bandwidth(
+        self, platform: PlatformSpec, kernel: str = "triad",
+        scope: Scope = Scope.NODE, tuned: bool = False,
+    ) -> float:
+        """What this kernel/size would achieve on a modeled platform."""
+        if kernel not in KERNEL_BYTES:
+            raise KeyError(f"unknown kernel {kernel!r}")
+        ws = KERNEL_BYTES[kernel] * self.n * self.dtype.itemsize
+        return HierarchyModel(platform).measured_bandwidth(float(ws), scope, tuned)
+
+    def report(self, results: dict[str, KernelResult], platform: PlatformSpec) -> str:
+        """Side-by-side host-measured vs modeled-platform table."""
+        lines = [f"BabelStream n={self.n} ({self.dtype})",
+                 f"{'kernel':8s} {'host GB/s':>10s} {platform.short_name + ' GB/s':>14s}"]
+        for name, r in results.items():
+            model = self.modeled_bandwidth(platform, name)
+            lines.append(f"{name:8s} {r.best_bandwidth / 1e9:10.2f} {model / 1e9:14.1f}")
+        return "\n".join(lines)

@@ -1,0 +1,204 @@
+"""Working-set-dependent achievable bandwidth model (Figure 1's engine).
+
+BabelStream's Figure 1 sweeps the Triad array size and plots achieved
+bandwidth from one NUMA domain, one socket, or both sockets.  Three
+regimes appear:
+
+* tiny arrays — per-iteration launch/loop overhead dominates, bandwidth
+  climbs with size;
+* cache-resident arrays — bandwidth plateaus at the aggregate cache
+  streaming bandwidth (the paper highlights the *ratio* of this plateau
+  to the memory plateau: 3.8x on Xeon MAX, ~6x on 8360Y, ~14x on EPYC);
+* memory-resident arrays — bandwidth settles at the STREAM-achievable
+  main-memory figure (1446/1643, 296, 310 GB/s).
+
+The model serves each byte from the innermost level with spare capacity:
+with aggregate level capacities ``C_1 < C_2 < ...`` and bandwidths
+``B_i``, a working set ``W`` is split into slices ``min(C_i, W) -
+C_{i-1}`` served at ``B_i`` and the remainder at memory bandwidth; the
+harmonic combination yields the effective bandwidth.  This same function
+is what the kernel performance model uses to price a loop whose working
+set fits in cache — which is exactly the mechanism behind the Figure 9
+tiling speedups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..machine.spec import DeviceKind, PlatformSpec
+
+__all__ = ["Scope", "HierarchyModel", "BandwidthPoint"]
+
+
+class Scope(Enum):
+    """How much of the machine participates in the measurement."""
+
+    NUMA = "numa"
+    SOCKET = "socket"
+    NODE = "node"
+
+
+@dataclass(frozen=True)
+class BandwidthPoint:
+    """One point of a bandwidth-vs-size curve."""
+
+    working_set: int  # bytes
+    bandwidth: float  # bytes/s achieved
+
+
+class HierarchyModel:
+    """Achievable-bandwidth model for one platform.
+
+    Parameters
+    ----------
+    platform:
+        The machine model.
+    launch_overhead:
+        Fixed per-kernel-invocation cost (loop startup, OpenMP barrier);
+        produces the rising left edge of Figure 1's curves.
+    """
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        launch_overhead: float = 4e-6,
+        utilization: float = 1.0,
+    ) -> None:
+        self.platform = platform
+        self.launch_overhead = launch_overhead
+        #: Fraction of each level's capacity a working set may occupy and
+        #: still be considered resident (1.0 for dedicated benchmark
+        #: arrays; application estimates pass ~0.55, see
+        #: ``calibration.CACHE_UTILIZATION``).
+        self.utilization = utilization
+
+    # ------------------------------------------------------------------
+
+    def _scope_fraction(self, scope: Scope) -> float:
+        p = self.platform
+        if scope is Scope.NODE:
+            return 1.0
+        if scope is Scope.SOCKET:
+            return 1.0 / p.sockets
+        return 1.0 / (p.sockets * p.numa_per_socket)
+
+    def aggregate_levels(self, scope: Scope) -> list[tuple[float, float]]:
+        """Cumulative (capacity, bandwidth) per cache level for a scope.
+
+        Core-private levels scale with the cores in scope; socket-shared
+        levels scale with the fraction of the socket in scope (SNC slices
+        the LLC along with the memory controllers).
+        """
+        p = self.platform
+        frac = self._scope_fraction(scope)
+        ncores = p.total_cores * frac
+        out: list[tuple[float, float]] = []
+        for lvl in p.caches:
+            if lvl.scope == "core":
+                cap = lvl.capacity * ncores
+                bw = lvl.bandwidth * ncores
+            else:
+                cap = lvl.capacity * p.sockets * frac
+                bw = lvl.bandwidth * p.sockets * frac
+            out.append((cap, bw))
+        return out
+
+    def memory_bandwidth(self, scope: Scope, tuned: bool = False) -> float:
+        """STREAM-achievable main-memory bandwidth for a scope."""
+        p = self.platform
+        node_bw = p.stream_bandwidth_tuned if tuned else p.stream_bandwidth
+        return node_bw * self._scope_fraction(scope)
+
+    # ------------------------------------------------------------------
+
+    def core_throughput_ceiling(self, scope: Scope) -> float:
+        """Aggregate per-core load/store streaming ceiling for a scope.
+
+        Even with data resident in cache, a STREAM-like loop cannot move
+        more than each core's sustained load/store throughput — this is
+        what limits Figure 1's cache plateau (3.8x memory on Xeon MAX,
+        ~6x on 8360Y, ~14x on the huge-V-Cache EPYC), not the cache port
+        bandwidth itself.
+        """
+        p = self.platform
+        ncores = p.total_cores * self._scope_fraction(scope)
+        return p.core_stream_bw * ncores
+
+    def effective_bandwidth(
+        self,
+        working_set: float,
+        scope: Scope = Scope.NODE,
+        tuned: bool = False,
+    ) -> float:
+        """Steady-state achievable bandwidth for a working set (bytes/s).
+
+        The working set is served by the innermost aggregate level large
+        enough to hold all of it; a streaming sweep over a set even
+        slightly larger than a level gets no reuse from that level (LRU
+        cyclic eviction), so the transition is a step.  Cache-resident
+        bandwidth is additionally capped by the per-core streaming
+        throughput ceiling.  Does not include launch overhead — see
+        :meth:`measured_bandwidth` for the finite-size figure a benchmark
+        would report.
+        """
+        if working_set <= 0:
+            raise ValueError("working_set must be positive")
+        mem_bw = self.memory_bandwidth(scope, tuned)
+        ceiling = self.core_throughput_ceiling(scope)
+        for cap, bw in self.aggregate_levels(scope):
+            if working_set <= cap * self.utilization:
+                return min(bw, ceiling)
+        return min(mem_bw, ceiling)
+
+    def measured_bandwidth(
+        self,
+        working_set: float,
+        scope: Scope = Scope.NODE,
+        tuned: bool = False,
+    ) -> float:
+        """Bandwidth a benchmark reports, including launch overhead."""
+        bw = self.effective_bandwidth(working_set, scope, tuned)
+        t = working_set / bw + self.launch_overhead
+        return working_set / t
+
+    def bandwidth_curve(
+        self,
+        sizes: np.ndarray,
+        scope: Scope = Scope.NODE,
+        tuned: bool = False,
+    ) -> list[BandwidthPoint]:
+        """Evaluate :meth:`measured_bandwidth` over many working sets."""
+        return [
+            BandwidthPoint(int(s), self.measured_bandwidth(float(s), scope, tuned))
+            for s in np.asarray(sizes)
+        ]
+
+    def cache_to_memory_ratio(self, scope: Scope = Scope.NODE) -> float:
+        """Ratio of the cache-plateau bandwidth to the memory plateau —
+        the figure the paper quotes as 3.8x / ~6x / ~14x."""
+        levels = self.aggregate_levels(scope)
+        llc_cap, _ = levels[-1]
+        # Measure the plateau with a working set half the LLC capacity.
+        plateau = self.effective_bandwidth(llc_cap * 0.5, scope)
+        return plateau / self.memory_bandwidth(scope)
+
+    # ------------------------------------------------------------------
+
+    def time_to_move(
+        self,
+        nbytes: float,
+        working_set: float | None = None,
+        scope: Scope = Scope.NODE,
+        tuned: bool = False,
+    ) -> float:
+        """Time to stream ``nbytes`` with a resident working set.
+
+        ``working_set`` defaults to ``nbytes``; pass a smaller resident
+        set for kernels that re-traverse cached data (tiling).
+        """
+        ws = nbytes if working_set is None else working_set
+        return nbytes / self.effective_bandwidth(max(ws, 1.0), scope, tuned)

@@ -1,0 +1,145 @@
+"""BabelStream kernels and the Figure 1 Triad bandwidth sweep.
+
+The five classic STREAM kernels are implemented as real (in-place,
+allocation-free) numpy operations and validated exactly; the *reported*
+bandwidth for a given platform/scope/size comes from
+:class:`~repro.mem.hierarchy.HierarchyModel`, because the paper's numbers
+are a property of the hardware, not of this Python process.
+
+``triad_sweep`` reproduces the Figure 1 curves: Triad bandwidth vs. array
+size, for one NUMA domain / one socket / two sockets, with the Xeon MAX
+additionally evaluated with STREAM-tuned streaming-store flags ("SS").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.spec import PlatformSpec
+from .hierarchy import BandwidthPoint, HierarchyModel, Scope
+
+__all__ = [
+    "StreamArrays",
+    "copy",
+    "mul",
+    "add",
+    "triad",
+    "dot",
+    "TriadResult",
+    "triad_sweep",
+    "triad_bytes",
+    "STREAM_SCALAR",
+]
+
+#: STREAM's traditional scalar for mul/triad.
+STREAM_SCALAR = 0.4
+
+
+@dataclass
+class StreamArrays:
+    """The a/b/c arrays of the STREAM kernels, with canonical init values
+    (a=0.1, b=0.2, c=0.0 as in BabelStream)."""
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+
+    @classmethod
+    def allocate(cls, n: int, dtype=np.float64) -> "StreamArrays":
+        if n <= 0:
+            raise ValueError("array length must be positive")
+        return cls(
+            a=np.full(n, 0.1, dtype=dtype),
+            b=np.full(n, 0.2, dtype=dtype),
+            c=np.zeros(n, dtype=dtype),
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return self.a.nbytes + self.b.nbytes + self.c.nbytes
+
+
+def copy(s: StreamArrays) -> None:
+    """c[i] = a[i]"""
+    np.copyto(s.c, s.a)
+
+
+def mul(s: StreamArrays, scalar: float = STREAM_SCALAR) -> None:
+    """b[i] = scalar * c[i]"""
+    np.multiply(s.c, scalar, out=s.b)
+
+
+def add(s: StreamArrays) -> None:
+    """c[i] = a[i] + b[i]"""
+    np.add(s.a, s.b, out=s.c)
+
+
+def triad(s: StreamArrays, scalar: float = STREAM_SCALAR) -> None:
+    """a[i] = b[i] + scalar * c[i]"""
+    np.multiply(s.c, scalar, out=s.a)
+    s.a += s.b
+
+
+def dot(s: StreamArrays) -> float:
+    """sum(a[i] * b[i])"""
+    return float(np.dot(s.a, s.b))
+
+
+def triad_bytes(n: int, dtype_bytes: int = 8) -> int:
+    """Bytes BabelStream charges Triad with: 2 loads + 1 store."""
+    return 3 * n * dtype_bytes
+
+
+@dataclass(frozen=True)
+class TriadResult:
+    """One modeled Figure 1 measurement."""
+
+    platform: str
+    scope: Scope
+    n: int
+    dtype_bytes: int
+    bandwidth: float  # bytes/s as BabelStream would report
+    tuned: bool = False
+
+    @property
+    def gbs(self) -> float:
+        return self.bandwidth / 1e9
+
+
+def triad_sweep(
+    platform: PlatformSpec,
+    sizes: np.ndarray | None = None,
+    scope: Scope = Scope.NODE,
+    dtype_bytes: int = 8,
+    tuned: bool = False,
+    model: HierarchyModel | None = None,
+) -> list[TriadResult]:
+    """Model the Figure 1 Triad sweep for one platform and scope.
+
+    ``sizes`` are array element counts (default: 2^14 .. 2^27, the range
+    Figure 1 spans).  The reported bandwidth counts ``3 * n * dtype`` bytes
+    per iteration, as BabelStream does.
+    """
+    if sizes is None:
+        sizes = 2 ** np.arange(14, 28)
+    hm = model or HierarchyModel(platform)
+    out = []
+    for n in np.asarray(sizes, dtype=np.int64):
+        ws = triad_bytes(int(n), dtype_bytes)
+        bw = hm.measured_bandwidth(float(ws), scope, tuned)
+        out.append(TriadResult(platform.short_name, scope, int(n), dtype_bytes, bw, tuned))
+    return out
+
+
+def plateau_bandwidth(
+    platform: PlatformSpec,
+    scope: Scope = Scope.NODE,
+    tuned: bool = False,
+) -> float:
+    """Large-size Triad plateau (bytes/s) — the headline Figure 1 numbers
+    (1446 / 1643 / 296 / 310 GB/s at node scope)."""
+    hm = HierarchyModel(platform)
+    # 2^27 doubles per array = 3 GiB working set: far beyond any LLC.
+    return hm.effective_bandwidth(triad_bytes(2**27), scope, tuned)

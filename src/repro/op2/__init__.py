@@ -1,0 +1,61 @@
+"""OP2-like unstructured-mesh DSL.
+
+Sets, maps and dats describe the mesh; kernels run over sets with
+gather/scatter through maps.  Race-prone indirect increments execute
+either via ordered scatter-add (the pure-MPI model) or a greedy coloring
+(the OpenMP/SYCL model); the owner-compute distributed context runs the
+same application over simulated MPI with halo import/export.
+
+    from repro.op2 import Op2Context, Access, arg, arg_direct
+
+    ctx = Op2Context()
+    cells = ctx.set("cells", n_cells)
+    edges = ctx.set("edges", n_edges)
+    e2c = ctx.map("e2c", edges, cells, edge_to_cell)
+    q = ctx.dat(cells, 4, "q")
+    res = ctx.dat(cells, 4, "res")
+    ctx.par_loop(flux_kernel, "flux", edges,
+                 arg(q, e2c, 0, Access.READ), arg(q, e2c, 1, Access.READ),
+                 arg(res, e2c, 0, Access.INC), arg(res, e2c, 1, Access.INC))
+"""
+
+from ..ops.access import Access
+from .coloring import color_iterset, validate_coloring
+from .halo import DistOp2Context
+from .mesh import Dat, Global, Map, Set
+from .parloop import Arg, Op2Context, Op2LoopRecord, arg, arg_direct, arg_global
+from .partition import (
+    PartitionQuality,
+    partition_quality,
+    partition_rcb,
+    partition_spectral,
+)
+from .plan import ExecutionPlan, block_color_stats
+from .renumber import apply_node_order, bandwidth, rcm_order, sort_edges_by_node
+
+__all__ = [
+    "Access",
+    "Set",
+    "Map",
+    "Dat",
+    "Global",
+    "Arg",
+    "arg",
+    "arg_direct",
+    "arg_global",
+    "Op2Context",
+    "DistOp2Context",
+    "Op2LoopRecord",
+    "color_iterset",
+    "validate_coloring",
+    "partition_rcb",
+    "partition_spectral",
+    "partition_quality",
+    "PartitionQuality",
+    "ExecutionPlan",
+    "block_color_stats",
+    "rcm_order",
+    "bandwidth",
+    "apply_node_order",
+    "sort_edges_by_node",
+]

@@ -1,0 +1,69 @@
+"""Checkpoint/restart for unstructured-mesh applications.
+
+Mirrors :mod:`repro.ops.checkpoint` for OP2 dats: serial contexts save
+whole dats; distributed contexts save each rank's owned rows plus the
+global ids so a restart with the same partitioning restores exactly.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .halo import DistOp2Context
+from .mesh import Dat
+from .parloop import Op2Context
+
+__all__ = ["save_dats", "load_dats"]
+
+
+def _shard(path: str, ctx) -> str:
+    if isinstance(ctx, DistOp2Context):
+        base, ext = os.path.splitext(path)
+        return f"{base}.rank{ctx.comm.rank}{ext}"
+    return path
+
+
+def save_dats(path: str, ctx: Op2Context, dats: list[Dat]) -> str:
+    """Write the dats (owned rows in distributed mode) to ``path``."""
+    if not dats:
+        raise ValueError("nothing to checkpoint")
+    arrays = {}
+    for d in dats:
+        if isinstance(ctx, DistOp2Context):
+            _, ls = ctx._dats[id(d)]
+            arrays[f"dat_{d.name}"] = d.data[: ls.n_owned]
+            arrays[f"owned_{d.name}"] = ls.owned
+            arrays[f"gsize_{d.name}"] = np.asarray(ls.gset.size)
+        else:
+            arrays[f"dat_{d.name}"] = d.data
+            arrays[f"gsize_{d.name}"] = np.asarray(d.set.size)
+    target = _shard(path, ctx)
+    np.savez_compressed(target, **arrays)
+    return target
+
+
+def load_dats(path: str, ctx: Op2Context, dats: list[Dat]) -> None:
+    """Restore dats saved by :func:`save_dats`; distributed restarts must
+    use the same partitioning (validated via the stored global ids)."""
+    if not dats:
+        raise ValueError("nothing to restore")
+    target = _shard(path, ctx)
+    with np.load(target, allow_pickle=False) as f:
+        for d in dats:
+            key = f"dat_{d.name}"
+            if key not in f:
+                raise KeyError(f"checkpoint has no dat named {d.name!r}")
+            if isinstance(ctx, DistOp2Context):
+                _, ls = ctx._dats[id(d)]
+                if int(f[f"gsize_{d.name}"]) != ls.gset.size:
+                    raise ValueError(f"{d.name}: set size changed since checkpoint")
+                if not np.array_equal(f[f"owned_{d.name}"], ls.owned):
+                    raise ValueError(f"{d.name}: partitioning changed since checkpoint")
+                d.data[: ls.n_owned] = f[key]
+                ctx._dirty.add(id(d))  # halos must be re-imported
+            else:
+                if int(f[f"gsize_{d.name}"]) != d.set.size:
+                    raise ValueError(f"{d.name}: set size changed since checkpoint")
+                d.data[...] = f[key]

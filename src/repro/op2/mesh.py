@@ -1,0 +1,115 @@
+"""Sets, maps and dats: the OP2 unstructured-mesh data model.
+
+An unstructured computation is described by:
+
+- :class:`Set` — a collection of mesh entities (nodes, edges, cells);
+- :class:`Map` — a fixed-arity connectivity from one set to another
+  (edge → its two nodes, cell → its vertices);
+- :class:`Dat` — data on a set, ``dim`` components per element.
+
+These mirror ``op_set`` / ``op_map`` / ``op_dat`` of OP2 (Mudalige &
+Reguly et al.); the parallel-loop machinery lives in
+:mod:`repro.op2.parloop`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Set", "Map", "Dat", "Global"]
+
+
+class Set:
+    """A set of mesh entities, identified by 0..size-1."""
+
+    def __init__(self, name: str, size: int) -> None:
+        if size < 0:
+            raise ValueError("set size cannot be negative")
+        self.name = name
+        self.size = int(size)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Set {self.name} size={self.size}>"
+
+
+class Map:
+    """Fixed-arity connectivity from ``from_set`` to ``to_set``.
+
+    ``values`` has shape ``(from_set.size, arity)``; entry ``[e, k]`` is
+    the k-th target element of source element ``e``.
+    """
+
+    def __init__(self, name: str, from_set: Set, to_set: Set, values: np.ndarray) -> None:
+        values = np.ascontiguousarray(values, dtype=np.int64)
+        if values.ndim == 1:
+            values = values[:, None]
+        if values.ndim != 2 or values.shape[0] != from_set.size:
+            raise ValueError(
+                f"map {name!r}: values must be ({from_set.size}, arity), got {values.shape}"
+            )
+        if values.size and (values.min() < 0 or values.max() >= to_set.size):
+            raise ValueError(f"map {name!r}: target indices out of range")
+        self.name = name
+        self.from_set = from_set
+        self.to_set = to_set
+        self.values = values
+
+    @property
+    def arity(self) -> int:
+        return self.values.shape[1]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Map {self.name} {self.from_set.name}->{self.to_set.name} "
+            f"arity={self.arity}>"
+        )
+
+
+class Dat:
+    """Data on a set: ``dim`` components per element, float32/float64."""
+
+    def __init__(self, dset: Set, dim: int, name: str, dtype=np.float64,
+                 data: np.ndarray | None = None) -> None:
+        if dim < 1:
+            raise ValueError("dat dim must be >= 1")
+        self.set = dset
+        self.dim = int(dim)
+        self.name = name
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError("dats are float32 or float64")
+        if data is None:
+            self.data = np.zeros((dset.size, dim), dtype=self.dtype)
+        else:
+            data = np.asarray(data, dtype=self.dtype)
+            if data.ndim == 1:
+                data = data[:, None]
+            if data.shape != (dset.size, dim):
+                raise ValueError(
+                    f"dat {name!r}: data must be ({dset.size}, {dim}), got {data.shape}"
+                )
+            self.data = data.copy()
+
+    @property
+    def dtype_bytes(self) -> int:
+        return self.dtype.itemsize
+
+    def copy(self, name: str | None = None) -> "Dat":
+        return Dat(self.set, self.dim, name or f"{self.name}_copy", self.dtype, self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Dat {self.name} on {self.set.name} dim={self.dim} {self.dtype}>"
+
+
+class Global:
+    """A global value for reductions / read-only parameters."""
+
+    def __init__(self, value, name: str = "global") -> None:
+        self.name = name
+        self.value = np.atleast_1d(np.asarray(value, dtype=np.float64))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Global {self.name} {self.value!r}>"

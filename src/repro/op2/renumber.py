@@ -1,0 +1,112 @@
+"""Mesh renumbering for cache locality (bandwidth minimization).
+
+OP2 applications renumber their meshes so consecutively processed
+elements touch nearby data — this is what keeps most of an edge sweep's
+gathers in cache (the ``gather_hit`` parameter of the performance model).
+Two orderings are provided:
+
+- :func:`rcm_order` — reverse Cuthill–McKee over the element adjacency
+  graph (the classic bandwidth-minimizing ordering);
+- :func:`apply_node_order` / :func:`sort_edges_by_node` — helpers to
+  permute dats/maps consistently and to order edge lists by their
+  endpoints.
+
+``bandwidth`` quantifies the result: the maximum |i - j| over mesh
+edges, i.e. the farthest a gather reaches from its neighbour.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .mesh import Map
+
+__all__ = ["rcm_order", "bandwidth", "apply_node_order", "sort_edges_by_node"]
+
+
+def _adjacency(n: int, edges: np.ndarray) -> list[list[int]]:
+    adj: list[list[int]] = [[] for _ in range(n)]
+    for a, b in np.asarray(edges, dtype=np.int64).reshape(-1, 2):
+        if a != b:
+            adj[a].append(int(b))
+            adj[b].append(int(a))
+    return adj
+
+
+def rcm_order(n: int, edges: np.ndarray) -> np.ndarray:
+    """Reverse Cuthill–McKee ordering of an ``n``-node graph.
+
+    Returns ``order`` such that ``order[k]`` is the old index of the node
+    placed at new position ``k``.  Disconnected components are processed
+    from their lowest-degree unvisited node, so the ordering always
+    covers every node exactly once.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    adj = _adjacency(n, edges)
+    degree = np.array([len(a) for a in adj])
+    visited = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    # Process components, seeding each from its minimum-degree node.
+    seeds = np.argsort(degree, kind="stable")
+    for seed in seeds:
+        if visited[seed]:
+            continue
+        visited[seed] = True
+        queue = deque([int(seed)])
+        while queue:
+            v = queue.popleft()
+            order.append(v)
+            nbrs = sorted({u for u in adj[v] if not visited[u]},
+                          key=lambda u: degree[u])
+            for u in nbrs:
+                visited[u] = True
+                queue.append(u)
+    return np.asarray(order[::-1], dtype=np.int64)  # the *reverse* of CM
+
+
+def bandwidth(edges: np.ndarray, order: np.ndarray | None = None) -> int:
+    """Graph bandwidth max|i-j| over edges, optionally under ``order``.
+
+    ``order[k] = old index at new position k`` (as returned by
+    :func:`rcm_order`).
+    """
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if edges.size == 0:
+        return 0
+    if order is not None:
+        n = int(max(edges.max() + 1, len(order)))
+        new_pos = np.empty(n, dtype=np.int64)
+        new_pos[np.asarray(order)] = np.arange(len(order))
+        edges = new_pos[edges]
+    return int(np.abs(edges[:, 0] - edges[:, 1]).max())
+
+
+def apply_node_order(order: np.ndarray, edges: np.ndarray,
+                     node_data: np.ndarray | None = None):
+    """Renumber an edge list (and optional per-node data) under ``order``.
+
+    Returns ``(new_edges, new_node_data)`` where node ``order[k]`` has
+    moved to index ``k``.
+    """
+    order = np.asarray(order, dtype=np.int64)
+    n = len(order)
+    new_pos = np.empty(n, dtype=np.int64)
+    new_pos[order] = np.arange(n)
+    new_edges = new_pos[np.asarray(edges, dtype=np.int64)]
+    new_data = node_data[order] if node_data is not None else None
+    return new_edges, new_data
+
+
+def sort_edges_by_node(edges: np.ndarray, *edge_data: np.ndarray):
+    """Order edges by their (min endpoint, max endpoint) so consecutive
+    edges touch nearby nodes; permutes any per-edge arrays alongside."""
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    lo = edges.min(axis=1)
+    hi = edges.max(axis=1)
+    perm = np.lexsort((hi, lo))
+    out = [edges[perm]]
+    out.extend(np.asarray(d)[perm] for d in edge_data)
+    return tuple(out) if len(out) > 1 else out[0]

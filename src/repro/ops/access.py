@@ -1,0 +1,98 @@
+"""Access descriptors for structured-mesh parallel loops.
+
+Every argument of an OPS-style ``par_loop`` declares *how* the kernel
+touches its dataset.  The DSL uses the descriptors for three things:
+
+1. halo management — a READ with a non-trivial stencil needs fresh ghost
+   cells; any WRITE dirties them;
+2. traffic accounting — the per-loop byte counts behind Figure 8 are
+   "estimated ... based on the iteration ranges, datasets accessed, and
+   types of access (read or read+write)" (paper Sec. 6): one transfer per
+   point per READ or WRITE, two for RW/INC;
+3. correctness checking — kernels cannot write through READ accessors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .block import Dat
+    from .stencil import Stencil
+
+__all__ = ["Access", "ArgDat", "ArgGbl", "arg_dat", "arg_gbl"]
+
+
+class Access(Enum):
+    READ = "read"
+    WRITE = "write"
+    RW = "rw"
+    INC = "inc"
+    MIN = "min"  # global reductions only
+    MAX = "max"  # global reductions only
+
+    @property
+    def reads(self) -> bool:
+        return self in (Access.READ, Access.RW, Access.INC)
+
+    @property
+    def writes(self) -> bool:
+        return self in (Access.WRITE, Access.RW, Access.INC)
+
+    @property
+    def transfers(self) -> int:
+        """Memory transfers charged per point (OPS's Fig-8 accounting)."""
+        return {"read": 1, "write": 1, "rw": 2, "inc": 2}.get(self.value, 0)
+
+
+@dataclass(frozen=True)
+class ArgDat:
+    """A dataset argument: which dat, through which stencil, how."""
+
+    dat: "Dat"
+    stencil: "Stencil"
+    access: Access
+
+    def __post_init__(self) -> None:
+        if self.access in (Access.MIN, Access.MAX):
+            raise ValueError("MIN/MAX access is for global reductions (arg_gbl)")
+        if self.access is Access.WRITE and len(self.stencil.points) != 1:
+            # OPS restriction: pure writes go through the identity stencil
+            # so ownership of written points is unambiguous.  RW/INC may
+            # read through a wider stencil; their writes are still
+            # restricted to offset 0 by the accessor.
+            raise ValueError(
+                f"write access to {self.dat.name!r} must use a single-point stencil"
+            )
+        if self.stencil.ndim != self.dat.block.ndim:
+            raise ValueError(
+                f"stencil dimensionality {self.stencil.ndim} does not match "
+                f"block {self.dat.block.name!r} ({self.dat.block.ndim}D)"
+            )
+
+
+@dataclass
+class ArgGbl:
+    """A global (scalar/small-array) argument, possibly a reduction."""
+
+    value: np.ndarray
+    access: Access
+
+    def __post_init__(self) -> None:
+        self.value = np.atleast_1d(np.asarray(self.value))
+        if self.access is Access.RW:
+            raise ValueError("globals support READ, INC, MIN, MAX")
+
+
+def arg_dat(dat: "Dat", stencil: "Stencil", access: Access) -> ArgDat:
+    """Declare a dataset argument of a par_loop."""
+    return ArgDat(dat, stencil, access)
+
+
+def arg_gbl(value: np.ndarray, access: Access = Access.READ) -> ArgGbl:
+    """Declare a global argument (READ) or reduction target (INC/MIN/MAX)."""
+    return ArgGbl(value, access)

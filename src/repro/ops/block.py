@@ -1,0 +1,184 @@
+"""Structured blocks and datasets (the OPS ``ops_block`` / ``ops_dat``).
+
+A :class:`Block` is a global N-d index space, possibly decomposed over the
+ranks of a simulated-MPI world; a :class:`Dat` is a field on a block,
+stored locally with ghost ("halo") padding.  Halo coherence is tracked per
+dat: any write dirties the halos, and a read through a non-trivial stencil
+triggers an exchange (in distributed mode) before the loop runs — the
+"ghost cell exchanges triggered as needed before each bulk parallel
+computational step" of the paper's Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from ..simmpi.cart import CartGrid, local_range
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import OpsContext
+
+__all__ = ["Block", "Dat"]
+
+
+class Block:
+    """A global structured index space.
+
+    Created through :meth:`repro.ops.runtime.OpsContext.block`.  In
+    distributed mode the context supplies a Cartesian process grid; the
+    block computes this rank's owned slab of every dimension.
+    """
+
+    def __init__(self, ctx: "OpsContext", name: str, shape: tuple[int, ...]) -> None:
+        if not shape or any(n < 1 for n in shape):
+            raise ValueError("block shape must be positive in every dimension")
+        self.ctx = ctx
+        self.name = name
+        self.shape = tuple(int(n) for n in shape)
+        self.dats: list[Dat] = []
+        if ctx.grid is not None:
+            if ctx.grid.ndims != len(shape):
+                raise ValueError("process grid dimensionality must match block")
+            coords = ctx.grid.coords(ctx.comm.rank)
+            self.owned = tuple(
+                local_range(self.shape[d], ctx.grid.dims[d], coords[d])
+                for d in range(self.ndim)
+            )
+        else:
+            self.owned = tuple((0, n) for n in self.shape)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def local_shape(self) -> tuple[int, ...]:
+        return tuple(e - s for s, e in self.owned)
+
+    @property
+    def interior(self) -> list[tuple[int, int]]:
+        """The full-interior iteration range (global coordinates)."""
+        return [(0, n) for n in self.shape]
+
+    def extended(self, depth: int) -> list[tuple[int, int]]:
+        """Interior plus ``depth`` ghost layers on every side."""
+        return [(-depth, n + depth) for n in self.shape]
+
+    def dat(
+        self,
+        name: str,
+        halo: int = 0,
+        dtype=np.float64,
+        init: float | np.ndarray | None = 0.0,
+    ) -> "Dat":
+        """Allocate a field on this block with ``halo`` ghost layers."""
+        d = Dat(self, name, halo, dtype, init)
+        self.dats.append(d)
+        interior = 1
+        for n in self.shape:
+            interior *= n
+        self.ctx.state_bytes += interior * d.dtype_bytes
+        return d
+
+    def owned_extended(self, halo: int) -> tuple[tuple[int, int], ...]:
+        """This rank's owned range, extended into the *physical* halo at
+        true domain boundaries (ghosts owned by neighbors are excluded)."""
+        out = []
+        for d, (s, e) in enumerate(self.owned):
+            lo = s - halo if s == 0 else s
+            hi = e + halo if e == self.shape[d] else e
+            out.append((lo, hi))
+        return tuple(out)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Block {self.name} {self.shape} owned={self.owned}>"
+
+
+class Dat:
+    """A field on a block, stored with halo padding.
+
+    ``data`` is the raw local array (interior + 2*halo per dimension);
+    ``interior`` is the view of owned points.  Index arithmetic between
+    global and local coordinates lives here: local = global - owned_start
+    + halo.
+    """
+
+    def __init__(
+        self,
+        block: Block,
+        name: str,
+        halo: int,
+        dtype,
+        init: float | np.ndarray | None,
+    ) -> None:
+        if halo < 0:
+            raise ValueError("halo depth cannot be negative")
+        self.block = block
+        self.name = name
+        self.halo = halo
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError("dats are float32 or float64")
+        shape = tuple(n + 2 * halo for n in block.local_shape)
+        self.data = np.zeros(shape, dtype=self.dtype)
+        if init is not None and not (np.isscalar(init) and init == 0.0):
+            self.interior[...] = init
+        #: Ghost layers out of date with neighbor interiors?
+        self.halo_dirty = True
+
+    @property
+    def interior(self) -> np.ndarray:
+        """View of the owned (non-ghost) points."""
+        if self.halo == 0:
+            return self.data
+        sl = tuple(slice(self.halo, -self.halo) for _ in range(self.block.ndim))
+        return self.data[sl]
+
+    @property
+    def dtype_bytes(self) -> int:
+        return self.dtype.itemsize
+
+    def local_index(self, global_idx: tuple[int, ...]) -> tuple[int, ...]:
+        """Translate global coordinates to indices into ``data``."""
+        out = []
+        for d, g in enumerate(global_idx):
+            s, e = self.block.owned[d]
+            loc = g - s + self.halo
+            if not (0 <= loc < self.data.shape[d]):
+                raise IndexError(
+                    f"{self.name}: global index {g} (dim {d}) outside local "
+                    f"storage (owned [{s},{e}), halo {self.halo})"
+                )
+            out.append(loc)
+        return tuple(out)
+
+    def set_from_global(self, global_array: np.ndarray) -> None:
+        """Fill the owned interior from a global array (tests/examples)."""
+        self.block.ctx.flush()  # queued loops must see the old values
+        if global_array.shape != self.block.shape:
+            raise ValueError("global array shape mismatch")
+        sl = tuple(slice(s, e) for s, e in self.block.owned)
+        self.interior[...] = global_array[sl]
+        self.halo_dirty = True
+
+    def gather_global(self) -> np.ndarray | None:
+        """Assemble the global interior on rank 0 (None on other ranks);
+        serial contexts return a copy directly.  Forces any lazily queued
+        (tiled) loops to execute first."""
+        ctx = self.block.ctx
+        ctx.flush()
+        if ctx.comm is None:
+            return self.interior.copy()
+        pieces = ctx.comm.gather((self.block.owned, self.interior.copy()), root=0)
+        if pieces is None:
+            return None
+        out = np.zeros(self.block.shape, dtype=self.dtype)
+        for owned, chunk in pieces:
+            sl = tuple(slice(s, e) for s, e in owned)
+            out[sl] = chunk
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Dat {self.name} on {self.block.name} halo={self.halo} {self.dtype}>"

@@ -1,0 +1,84 @@
+"""Checkpoint/restart for structured-mesh applications.
+
+Production OPS applications checkpoint their dats to HDF5; here the
+state is written to a compressed ``.npz`` (the numpy-native equivalent).
+Ghost layers are not stored — a restart re-exchanges halos, exactly as a
+real restart does.
+
+    from repro.ops.checkpoint import save_state, load_state
+    save_state("step100.npz", [density, energy, *velocity])
+    ...
+    load_state("step100.npz", [density, energy, *velocity])
+
+In distributed mode every rank saves its own shard
+(``path.rank<k>.npz``), and :func:`load_state` restores the local
+interior — restart must use the same decomposition, which is validated.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .block import Dat
+
+__all__ = ["save_state", "load_state", "checkpoint_path"]
+
+
+def checkpoint_path(path: str, rank: int | None) -> str:
+    """The shard filename for a rank (unchanged for serial contexts)."""
+    if rank is None:
+        return path
+    base, ext = os.path.splitext(path)
+    return f"{base}.rank{rank}{ext}"
+
+
+def _rank_of(dats: list[Dat]) -> int | None:
+    ctx = dats[0].block.ctx
+    return ctx.comm.rank if ctx.comm is not None else None
+
+
+def save_state(path: str, dats: list[Dat]) -> str:
+    """Write the dats' interiors (and decomposition metadata) to ``path``.
+
+    Returns the actual file written (the rank shard in distributed mode).
+    """
+    if not dats:
+        raise ValueError("nothing to checkpoint")
+    block = dats[0].block
+    if any(d.block is not block for d in dats):
+        raise ValueError("all checkpointed dats must share a block")
+    block.ctx.flush()
+    arrays = {f"dat_{d.name}": d.interior for d in dats}
+    meta = dict(
+        shape=np.asarray(block.shape),
+        owned=np.asarray(block.owned),
+        names=np.asarray([d.name for d in dats]),
+    )
+    target = checkpoint_path(path, _rank_of(dats))
+    np.savez_compressed(target, **arrays, **meta)
+    return target
+
+
+def load_state(path: str, dats: list[Dat]) -> None:
+    """Restore the dats' interiors from a checkpoint written by
+    :func:`save_state`; halos are marked dirty (re-exchanged on demand)."""
+    if not dats:
+        raise ValueError("nothing to restore")
+    block = dats[0].block
+    target = checkpoint_path(path, _rank_of(dats))
+    with np.load(target, allow_pickle=False) as f:
+        if tuple(f["shape"]) != block.shape:
+            raise ValueError(
+                f"checkpoint is for block shape {tuple(f['shape'])}, "
+                f"not {block.shape}"
+            )
+        if not np.array_equal(f["owned"], np.asarray(block.owned)):
+            raise ValueError("checkpoint was written with a different decomposition")
+        for d in dats:
+            key = f"dat_{d.name}"
+            if key not in f:
+                raise KeyError(f"checkpoint has no dat named {d.name!r}")
+            d.interior[...] = f[key]
+            d.halo_dirty = True

@@ -1,0 +1,408 @@
+"""The OPS-like runtime: contexts, loop execution, accounting, timing.
+
+:class:`OpsContext` is the entry point of the structured-mesh DSL.  It
+runs in three modes:
+
+* **serial** (default) — the whole domain on one "rank"; loops execute
+  directly and the context records per-loop byte/flop profiles (the data
+  the performance model consumes);
+* **distributed** — created with a simulated-MPI communicator and a
+  Cartesian process grid; every rank owns a slab, reads through stencils
+  trigger halo exchanges, and global reductions go through allreduce.
+  Results are bitwise identical to serial execution;
+* **tiled** (serial only) — loops are queued and executed in cache-sized
+  skewed tiles over the outermost dimension (the OPS lazy-execution
+  cache-blocking scheme of Figure 9); see :mod:`repro.ops.tiling`.
+
+Optionally a :class:`TimingModel` attaches simulated kernel time to each
+loop (per-rank share of the modeled node time), so a distributed run
+reproduces compute/MPI time splits on a virtual platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..machine.config import RunConfig
+from ..machine.spec import PlatformSpec
+from ..perfmodel.kernelmodel import AppClass, AppSpec, LoopSpec
+from ..simmpi.cart import CartGrid, exchange_halos
+from ..simmpi.comm import Communicator
+from .access import Access, ArgDat, ArgGbl
+from .block import Block, Dat
+from .parloop import DatAccessor, GblAccessor, execution_view
+
+__all__ = ["LoopRecord", "TimingModel", "OpsContext"]
+
+
+@dataclass
+class LoopRecord:
+    """Accumulated execution profile of one named loop."""
+
+    name: str
+    calls: int = 0
+    points: float = 0.0
+    bytes: float = 0.0
+    flops: float = 0.0
+    radius: int = 0
+    streams: int = 0
+    dtype_bytes: int = 8
+    #: Largest iteration-range extent seen per dimension — lets the spec
+    #: builder scale boundary strips by area and bulk loops by volume.
+    extents: tuple = ()
+
+    @property
+    def bytes_per_point(self) -> float:
+        return self.bytes / self.points if self.points else 0.0
+
+    @property
+    def flops_per_point(self) -> float:
+        return self.flops / self.points if self.points else 0.0
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Attach modeled kernel times to loop executions.
+
+    ``klass`` selects the configuration-effect behaviour; the app spec
+    used internally is a minimal stand-in built per loop.
+    """
+
+    platform: PlatformSpec
+    config: RunConfig
+    klass: AppClass = AppClass.STRUCTURED_BW
+    dtype_bytes: int = 8
+
+    def rank_time(self, spec: LoopSpec, ndims: int, nranks: int) -> float:
+        """Per-rank kernel time for this rank's local share."""
+        from ..perfmodel.roofline import loop_time
+
+        app = AppSpec(
+            name="_timing",
+            klass=self.klass,
+            dtype_bytes=self.dtype_bytes,
+            iterations=1,
+            loops=(spec,),
+            domain=(1,) * ndims,
+        )
+        node = loop_time(spec.scaled(max(nranks, 1)), app, self.platform, self.config)
+        core = (node.time - node.overhead) / max(nranks, 1)
+        return core + node.overhead
+
+
+class OpsContext:
+    """Runtime context of the structured-mesh DSL (see module docstring).
+
+    Parameters
+    ----------
+    comm, grid:
+        Simulated-MPI communicator and matching Cartesian process grid for
+        distributed execution; both None for serial.
+    timing:
+        Optional :class:`TimingModel`; loop executions then advance the
+        communicator's virtual clock (distributed) or accumulate in
+        :attr:`simulated_time` (serial).
+    tile:
+        Optional :class:`repro.ops.tiling.TilePlan` enabling lazy tiled
+        execution (serial only).
+    """
+
+    def __init__(
+        self,
+        comm: Communicator | None = None,
+        grid: CartGrid | None = None,
+        timing: TimingModel | None = None,
+        tile=None,
+    ) -> None:
+        if (comm is None) != (grid is None):
+            raise ValueError("distributed mode needs both comm and grid")
+        if comm is not None and grid.size != comm.size:
+            raise ValueError("process grid size must equal communicator size")
+        if tile is not None and comm is not None:
+            raise ValueError("tiled execution is serial-only in this DSL")
+        self.comm = comm
+        self.grid = grid
+        self.timing = timing
+        self.tile = tile
+        self.records: dict[str, LoopRecord] = {}
+        self.loop_order: list[str] = []
+        self.halo_exchange_count = 0
+        self.halo_fields_exchanged = 0
+        self.reduction_count = 0
+        self.simulated_time = 0.0
+        #: Total bytes of allocated field (dat) interiors — the reuse
+        #: footprint of one pass over the loop chain.
+        self.state_bytes = 0
+        self._queue: list[dict] = []  # pending loops in tiled mode
+
+    # ------------------------------------------------------------------
+
+    @property
+    def nranks(self) -> int:
+        return self.comm.size if self.comm is not None else 1
+
+    def block(self, name: str, shape: tuple[int, ...]) -> Block:
+        """Declare a global structured block."""
+        return Block(self, name, shape)
+
+    # ------------------------------------------------------------------
+
+    def par_loop(
+        self,
+        kernel: Callable,
+        name: str,
+        block: Block,
+        rng: Sequence[tuple[int, int]],
+        *args: ArgDat | ArgGbl,
+        flops_per_point: float = 0.0,
+    ) -> None:
+        """Execute (or enqueue, in tiled mode) one parallel loop.
+
+        ``rng`` is the global iteration range, one ``(lo, hi)`` per block
+        dimension; it may extend into the physical halo for boundary
+        loops.  ``flops_per_point`` is the kernel author's flop count,
+        recorded for the performance model.
+        """
+        if len(rng) != block.ndim:
+            raise ValueError(f"loop {name!r}: range dimensionality mismatch")
+        for a in args:
+            if isinstance(a, ArgDat) and a.dat.block is not block:
+                raise ValueError(f"loop {name!r}: dat {a.dat.name!r} on a different block")
+            if isinstance(a, ArgDat) and a.access.reads and a.stencil.radius > a.dat.halo:
+                raise ValueError(
+                    f"loop {name!r}: stencil radius {a.stencil.radius} exceeds "
+                    f"halo depth {a.dat.halo} of {a.dat.name!r}"
+                )
+        if self.tile is not None:
+            # Lazy execution: READ globals must be captured *now* — the
+            # caller may overwrite them (e.g. the per-iteration dt)
+            # before the queue flushes.  This mirrors OPS, which copies
+            # gbl read buffers at ops_par_loop time.
+            args = tuple(
+                ArgGbl(a.value.copy(), a.access)
+                if isinstance(a, ArgGbl) and a.access is Access.READ
+                else a
+                for a in args
+            )
+        job = dict(
+            kernel=kernel, name=name, block=block,
+            rng=[tuple(r) for r in rng], args=args, flops=flops_per_point,
+        )
+        if self.tile is not None:
+            has_reduction = any(isinstance(a, ArgGbl) and a.access is not Access.READ
+                                for a in args)
+            self._queue.append(job)
+            if has_reduction:
+                self.flush()
+            return
+        self._execute(job)
+
+    def flush(self) -> None:
+        """Execute any queued loops (tiled mode); no-op otherwise."""
+        if not self._queue:
+            return
+        from .tiling import execute_tiled
+
+        queue, self._queue = self._queue, []
+        execute_tiled(self, queue, self.tile)
+
+    # ------------------------------------------------------------------
+
+    def _sync_halos(self, args: Sequence[ArgDat | ArgGbl], bulk: bool = True) -> None:
+        """Exchange dirty halos read through non-trivial stencils.
+
+        ``bulk`` marks loops spanning (most of) the interior; only those
+        count toward the halo-exchange statistics the communication model
+        consumes — tiny boundary-strip loops exchange for correctness but
+        piggyback on the bulk exchanges in real OPS.
+        """
+        seen: set[int] = set()
+        fields = 0
+        for a in args:
+            if not isinstance(a, ArgDat):
+                continue
+            if not (a.access.reads and a.stencil.radius > 0 and a.dat.halo_dirty):
+                continue
+            if id(a.dat) in seen:
+                continue
+            seen.add(id(a.dat))
+            fields += 1
+            if self.comm is not None and self.grid.size > 1 and a.dat.halo > 0:
+                exchange_halos(self.comm, self.grid, a.dat.data, a.dat.halo)
+            a.dat.halo_dirty = False
+        if fields and bulk:
+            self.halo_exchange_count += 1
+            self.halo_fields_exchanged += fields
+
+    def _local_range(
+        self, block: Block, rng: Sequence[tuple[int, int]], halo_needed: int
+    ) -> list[tuple[int, int]] | None:
+        """Intersect the global range with this rank's owned-extended
+        region; None when empty."""
+        owned = block.owned_extended(halo_needed)
+        out = []
+        for (lo, hi), (s, e) in zip(rng, owned):
+            a, b = max(lo, s), min(hi, e)
+            if a >= b:
+                return None
+            out.append((a, b))
+        return out
+
+    def _execute(self, job: dict, rng_override: list[tuple[int, int]] | None = None) -> None:
+        block: Block = job["block"]
+        args = job["args"]
+        rng = rng_override if rng_override is not None else job["rng"]
+
+        rng_points = 1
+        for lo, hi in rng:
+            rng_points *= max(hi - lo, 0)
+        interior_points = 1
+        for d in block.shape:
+            interior_points *= d
+        self._sync_halos(args, bulk=rng_points >= 0.5 * interior_points)
+
+        # Halo reach of writes determines how far into physical ghosts the
+        # range may extend on this rank.
+        max_halo = max(
+            (a.dat.halo for a in args if isinstance(a, ArgDat)), default=0
+        )
+        local = self._local_range(block, rng, max_halo)
+
+        accessors: list[DatAccessor | GblAccessor] = []
+        gbls: list[tuple[ArgGbl, GblAccessor]] = []
+        npoints = 0
+        if local is not None:
+            npoints = int(np.prod([b - a for a, b in local]))
+            for a in args:
+                if isinstance(a, ArgDat):
+                    base, extent = execution_view(a.dat, local)
+                    accessors.append(DatAccessor(a, base, extent))
+                else:
+                    acc = GblAccessor(a)
+                    accessors.append(acc)
+                    if a.access is not Access.READ:
+                        gbls.append((a, acc))
+            job["kernel"](*accessors)
+        else:
+            # Ranks with no points still participate in reductions.
+            for a in args:
+                if isinstance(a, ArgGbl) and a.access is not Access.READ:
+                    acc = GblAccessor(a)
+                    gbls.append((a, acc))
+
+        # Mark written halos dirty.
+        for a in args:
+            if isinstance(a, ArgDat) and a.access.writes:
+                a.dat.halo_dirty = True
+
+        self._finish_reductions(gbls)
+        self._record(job, npoints, args)
+
+    def _finish_reductions(self, gbls: list[tuple[ArgGbl, GblAccessor]]) -> None:
+        for arg, acc in gbls:
+            contribution = acc.acc
+            if self.comm is not None:
+                op = {"inc": "sum", "min": "min", "max": "max"}[arg.access.value]
+                contribution = self.comm.allreduce(contribution, op=op)
+            if arg.access is Access.INC:
+                arg.value += contribution
+            elif arg.access is Access.MIN:
+                np.minimum(arg.value, contribution, out=arg.value)
+            else:
+                np.maximum(arg.value, contribution, out=arg.value)
+            self.reduction_count += 1
+
+    # ------------------------------------------------------------------
+
+    def _record(self, job: dict, npoints: int, args) -> None:
+        name = job["name"]
+        rec = self.records.get(name)
+        if rec is None:
+            rec = LoopRecord(name)
+            self.records[name] = rec
+            self.loop_order.append(name)
+        dat_args = [a for a in args if isinstance(a, ArgDat)]
+        nbytes = sum(
+            npoints * a.dat.dtype_bytes * a.access.transfers for a in dat_args
+        )
+        read_radius = max(
+            (a.stencil.radius for a in dat_args if a.access.reads), default=0
+        )
+        rec.calls += 1
+        rec.points += npoints
+        rec.bytes += nbytes
+        rec.flops += npoints * job["flops"]
+        rec.radius = max(rec.radius, read_radius)
+        rec.streams = max(rec.streams, len(dat_args))
+        ext = tuple(hi - lo for lo, hi in job["rng"])
+        if not rec.extents:
+            rec.extents = ext
+        else:
+            rec.extents = tuple(max(a, b) for a, b in zip(rec.extents, ext))
+        if dat_args:
+            rec.dtype_bytes = dat_args[0].dat.dtype_bytes
+
+        if self.timing is not None and npoints > 0:
+            spec = LoopSpec(
+                name, npoints,
+                nbytes / npoints,
+                job["flops"],
+                read_radius,
+                dtype_bytes=rec.dtype_bytes,
+                streams=max(rec.streams, 1),
+            )
+            dt = self.timing.rank_time(spec, job["block"].ndim, self.nranks)
+            if self.comm is not None:
+                self.comm.compute(dt)
+            else:
+                self.simulated_time += dt
+
+    # ------------------------------------------------------------------
+
+    def loop_specs(
+        self,
+        iterations: int = 1,
+        point_scale: float | tuple[float, ...] = 1.0,
+        run_domain: tuple[int, ...] | None = None,
+    ) -> list[LoopSpec]:
+        """Convert the accumulated records to per-iteration
+        :class:`~repro.perfmodel.kernelmodel.LoopSpec` inputs.
+
+        ``iterations`` divides the accumulated totals (records are
+        whole-run).  ``point_scale`` extrapolates a scaled-down run to
+        the paper's problem size: a scalar multiplies every loop; a
+        per-dimension tuple (with ``run_domain``) scales each loop only
+        along dimensions its range actually spans — so boundary strips
+        grow with the surface while bulk loops grow with the volume.
+        """
+        self.flush()
+        out = []
+        for name in self.loop_order:
+            r = self.records[name]
+            if r.points == 0:
+                continue
+            if isinstance(point_scale, tuple):
+                if run_domain is None or not r.extents:
+                    raise ValueError("per-dimension scaling needs run_domain and extents")
+                scale = 1.0
+                for d, ratio in enumerate(point_scale):
+                    if d < len(r.extents) and r.extents[d] >= 0.5 * run_domain[d]:
+                        scale *= ratio
+            else:
+                scale = point_scale
+            out.append(
+                LoopSpec(
+                    name=name,
+                    points=r.points / iterations * scale,
+                    bytes_per_point=r.bytes_per_point,
+                    flops_per_point=r.flops_per_point,
+                    radius=r.radius,
+                    dtype_bytes=r.dtype_bytes,
+                    streams=max(r.streams, 1),
+                    invocations=r.calls / iterations,
+                )
+            )
+        return out

@@ -1,0 +1,69 @@
+"""Analytic performance model: roofline + latency + configuration effects.
+
+Turns (kernel byte/flop counts measured from the real numpy kernels,
+platform model, run configuration) into simulated runtimes:
+
+- :class:`~repro.perfmodel.kernelmodel.LoopSpec` /
+  :class:`~repro.perfmodel.kernelmodel.AppSpec` — model inputs;
+- :func:`~repro.perfmodel.roofline.loop_time` /
+  :func:`~repro.perfmodel.roofline.estimate_app` — the estimator;
+- :mod:`~repro.perfmodel.configmodel` — compiler/ZMM/HT/runtime effects;
+- :mod:`~repro.perfmodel.commmodel` — halo-exchange and collective costs;
+- :mod:`~repro.perfmodel.calibration` — every tunable constant, with the
+  mechanism and paper statement that justifies it.
+"""
+
+from .analysis import (
+    RooflinePoint,
+    bottleneck_summary,
+    render_roofline,
+    roofline_points,
+)
+from .commmodel import CommEstimate, estimate_comm, structured_comm, unstructured_comm
+from .configmodel import (
+    app_memory_bandwidth,
+    bandwidth_multiplier,
+    kernel_concurrency,
+    effective_flops,
+    gather_throughput,
+    kernel_vectorizes,
+    loop_overhead,
+    sycl_time_multiplier,
+    traffic_multiplier,
+    vector_width_used,
+)
+from .kernelmodel import AppClass, AppSpec, LoopSpec, stencil_traffic_factor
+from .roofline import AppEstimate, LoopTime, estimate_app, loop_time
+from .scaling import ScalingPoint, comm_share_curve, strong_scaling
+
+__all__ = [
+    "AppClass",
+    "LoopSpec",
+    "AppSpec",
+    "stencil_traffic_factor",
+    "LoopTime",
+    "AppEstimate",
+    "loop_time",
+    "estimate_app",
+    "CommEstimate",
+    "estimate_comm",
+    "structured_comm",
+    "unstructured_comm",
+    "vector_width_used",
+    "kernel_vectorizes",
+    "effective_flops",
+    "bandwidth_multiplier",
+    "app_memory_bandwidth",
+    "kernel_concurrency",
+    "traffic_multiplier",
+    "loop_overhead",
+    "sycl_time_multiplier",
+    "gather_throughput",
+    "RooflinePoint",
+    "roofline_points",
+    "render_roofline",
+    "bottleneck_summary",
+    "ScalingPoint",
+    "strong_scaling",
+    "comm_share_curve",
+]

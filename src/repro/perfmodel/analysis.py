@@ -1,0 +1,118 @@
+"""Roofline analysis and text visualization.
+
+The paper's whole argument is a roofline story: the Xeon MAX's machine
+balance drops to 9.4 flop/byte, so codes that were bandwidth-bound
+elsewhere move toward the compute/latency region.  This module extracts
+per-loop roofline coordinates from an application estimate and renders a
+terminal roofline chart:
+
+    from repro.harness import app_spec
+    from repro.perfmodel.analysis import roofline_points, render_roofline
+    pts = roofline_points(app_spec("cloverleaf2d"), XEON_MAX_9480, cfg)
+    print(render_roofline(pts, XEON_MAX_9480))
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..machine.config import RunConfig
+from ..machine.spec import PlatformSpec
+from .kernelmodel import AppSpec
+from .roofline import estimate_app
+
+__all__ = ["RooflinePoint", "roofline_points", "render_roofline", "bottleneck_summary"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position on the roofline."""
+
+    name: str
+    intensity: float  # flops / byte (counted)
+    gflops: float  # achieved GFLOP/s
+    bottleneck: str  # bandwidth | compute | latency
+    time_share: float  # fraction of kernel time
+
+
+def roofline_points(
+    app: AppSpec, platform: PlatformSpec, config: RunConfig
+) -> list[RooflinePoint]:
+    """Per-loop (intensity, achieved GFLOP/s) under the model, weighted
+    with each loop's share of total kernel time."""
+    est = estimate_app(app, platform, config)
+    total = sum(lt.time for lt in est.per_loop)
+    out = []
+    for lt in est.per_loop:
+        if lt.counted_bytes <= 0 or lt.time <= 0:
+            continue
+        ai = lt.flops / lt.counted_bytes if lt.counted_bytes else 0.0
+        gf = lt.flops / lt.time / 1e9 if lt.flops else 0.0
+        out.append(RooflinePoint(lt.name, ai, gf, lt.bottleneck, lt.time / total))
+    return out
+
+
+def bottleneck_summary(points: list[RooflinePoint]) -> dict[str, float]:
+    """Time-weighted share of each bottleneck class."""
+    shares: dict[str, float] = {}
+    for p in points:
+        shares[p.bottleneck] = shares.get(p.bottleneck, 0.0) + p.time_share
+    return shares
+
+
+def render_roofline(
+    points: list[RooflinePoint],
+    platform: PlatformSpec,
+    width: int = 64,
+    height: int = 16,
+    dtype_bytes: int = 8,
+) -> str:
+    """ASCII roofline: the bandwidth slope, the compute ceiling, and the
+    kernels (marked by their time-share magnitude: '.', 'o', 'O')."""
+    if not points:
+        raise ValueError("no points to render")
+    bw = platform.stream_bandwidth
+    peak = platform.peak_flops(dtype_bytes)
+    ridge = peak / bw
+
+    ai_vals = [p.intensity for p in points if p.intensity > 0]
+    x_min = min(min(ai_vals, default=0.01), 0.01)
+    x_max = max(max(ai_vals, default=ridge), ridge * 4)
+    y_max = peak / 1e9 * 1.2
+    y_min = y_max / 10**4
+
+    def xpix(ai):
+        return int((math.log10(ai) - math.log10(x_min))
+                   / (math.log10(x_max) - math.log10(x_min)) * (width - 1))
+
+    def ypix(gf):
+        gf = max(gf, y_min)
+        return int((math.log10(gf) - math.log10(y_min))
+                   / (math.log10(y_max) - math.log10(y_min)) * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    # Roof: min(bw * ai, peak).
+    for px in range(width):
+        ai = 10 ** (math.log10(x_min) + px / (width - 1)
+                    * (math.log10(x_max) - math.log10(x_min)))
+        roof = min(bw * ai, peak) / 1e9
+        py = ypix(roof)
+        grid[height - 1 - py][px] = "_" if roof >= peak / 1e9 * 0.999 else "/"
+    # Kernels.
+    for p in points:
+        if p.intensity <= 0:
+            continue
+        mark = "O" if p.time_share > 0.25 else ("o" if p.time_share > 0.05 else ".")
+        px = min(max(xpix(p.intensity), 0), width - 1)
+        py = min(max(ypix(p.gflops), 0), height - 1)
+        grid[height - 1 - py][px] = mark
+
+    lines = [f"roofline: {platform.name}  "
+             f"(peak {peak / 1e12:.1f} TFLOPS, STREAM {bw / 1e9:.0f} GB/s, "
+             f"ridge {ridge:.1f} flop/B)"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" intensity {x_min:.3g} .. {x_max:.3g} flop/byte (log); "
+                 "marks: O >25% of kernel time, o >5%, . otherwise")
+    return "\n".join(lines)

@@ -1,0 +1,247 @@
+"""Configuration effects: compiler, ZMM width, hyperthreading, runtime.
+
+Maps a (:class:`~repro.machine.spec.PlatformSpec`,
+:class:`~repro.machine.config.RunConfig`, :class:`~repro.perfmodel.kernelmodel.AppSpec`)
+triple onto the effective machine parameters of one kernel execution:
+
+- :func:`effective_flops` — node flop throughput with the configured
+  vector width, clock response, compiler codegen quality, vectorization
+  success, and SMT effects;
+- :func:`bandwidth_multiplier` / :func:`traffic_multiplier` — achieved
+  bandwidth and extra data-movement effects (HT contention, coloring
+  locality loss, vector pack/unpack traffic);
+- :func:`loop_overhead` — per-parallel-loop runtime cost (OpenMP
+  fork/barrier, SYCL/OpenCL submission, CUDA launch);
+- :func:`gather_throughput` — sustained irregular accesses/s for
+  latency-bound unstructured kernels.
+
+Every constant lives in :mod:`repro.perfmodel.calibration` with its
+justification.
+"""
+
+from __future__ import annotations
+
+from ..machine.config import Compiler, Parallelization, RunConfig, ZmmUsage
+from ..machine.spec import DeviceKind, PlatformSpec
+from . import calibration as cal
+from .kernelmodel import AppClass, AppSpec, LoopSpec
+
+__all__ = [
+    "vector_width_used",
+    "kernel_concurrency",
+    "app_memory_bandwidth",
+    "kernel_vectorizes",
+    "effective_flops",
+    "bandwidth_multiplier",
+    "traffic_multiplier",
+    "loop_overhead",
+    "gather_throughput",
+    "sycl_time_multiplier",
+]
+
+
+def vector_width_used(platform: PlatformSpec, config: RunConfig) -> int:
+    """SIMD width (bits) the generated code uses."""
+    if platform.kind is DeviceKind.GPU:
+        return platform.isa.width_bits
+    if platform.isa.width_bits >= 512 and config.zmm is ZmmUsage.HIGH:
+        return 512
+    return min(platform.isa.width_bits, 256)
+
+
+def kernel_vectorizes(config: RunConfig, app: AppSpec, loop: LoopSpec) -> bool:
+    """Whether this loop executes as SIMD code under this configuration.
+
+    Structured kernels auto-vectorize everywhere.  Unstructured kernels
+    with indirect increments only vectorize under the explicit "MPI vec"
+    packing scheme or as SYCL "flat" (paper Sec. 4: "While the OpenMP
+    version does not auto-vectorize, we can generate SYCL code that
+    vectorizes"; pure MPI without vec processes elements sequentially).
+    """
+    if config.parallelization is Parallelization.CUDA:
+        return True
+    if loop.vectorizable:
+        return True
+    return config.parallelization in (
+        Parallelization.MPI_VEC,
+        Parallelization.MPI_SYCL_FLAT,
+    )
+
+
+def _clock(platform: PlatformSpec, width: int) -> float:
+    """All-core clock under the configured vector width."""
+    f = platform.turbo_freq
+    if width >= 512:
+        f *= platform.isa.freq_penalty_full_width
+    return f
+
+
+def effective_flops(
+    platform: PlatformSpec, config: RunConfig, app: AppSpec, loop: LoopSpec
+) -> float:
+    """Node-level sustained flop rate (flops/s) for this kernel."""
+    width = vector_width_used(platform, config)
+    freq = _clock(platform, width)
+    if kernel_vectorizes(config, app, loop):
+        full_lanes = platform.isa.lanes(loop.dtype_bytes)
+        per_core = full_lanes * platform.isa.fma_units * 2
+        lanes = width // (8 * loop.dtype_bytes)
+        if 0 < lanes < full_lanes:
+            # Sub-full-width code loses throughput sublinearly (the
+            # non-FMA share of the kernel is width-insensitive).
+            per_core *= (lanes / full_lanes) ** cal.VECTOR_WIDTH_EXPONENT
+    else:
+        # Scalar with ILP: the FMA pipes still dual-issue scalar ops.
+        per_core = platform.isa.fma_units * 2 * cal.SCALAR_ILP_FLOPS_FRACTION
+    rate = platform.total_cores * per_core * freq
+    if platform.kind is DeviceKind.CPU:
+        rate *= cal.FLOP_MIX.get(app.klass.value, 1.0)
+    if (
+        config.hyperthreading
+        and app.klass is AppClass.COMPUTE_BOUND
+        and platform.kind is DeviceKind.CPU
+    ):
+        rate *= cal.HT_COMPUTE_PENALTY
+    return rate
+
+
+def bandwidth_multiplier(
+    platform: PlatformSpec, config: RunConfig, app: AppSpec, loop: LoopSpec
+) -> float:
+    """Multiplier on the hierarchy model's achievable bandwidth."""
+    m = 1.0
+    if platform.kind is DeviceKind.GPU:
+        return cal.GPU_BW_EFFICIENCY
+    if config.hyperthreading:
+        m *= cal.HT_BANDWIDTH_PENALTY
+        if config.parallelization.threads_within_rank:
+            m *= cal.HT_OMP_SCHED_PENALTY
+    if app.klass is AppClass.UNSTRUCTURED and config.parallelization.threads_within_rank:
+        # Colored execution breaks spatial locality (Sec. 5).
+        m *= cal.UNSTRUCT_OMP_LOCALITY_LOSS
+    return m
+
+
+def traffic_multiplier(
+    platform: PlatformSpec, config: RunConfig, app: AppSpec, loop: LoopSpec
+) -> float:
+    """Multiplier on the kernel's counted memory traffic."""
+    m = 1.0
+    if (
+        config.parallelization is Parallelization.MPI_VEC
+        and loop.indirect_per_point > 0
+    ):
+        width = vector_width_used(platform, config)
+        m *= cal.VEC_PACK_OVERHEAD_512 if width >= 512 else cal.VEC_PACK_OVERHEAD_256
+    return m
+
+
+def loop_overhead(platform: PlatformSpec, config: RunConfig) -> float:
+    """Per-parallel-loop runtime cost (seconds), per rank."""
+    par = config.parallelization
+    if par is Parallelization.CUDA:
+        return cal.CUDA_LAUNCH_OVERHEAD
+    if par.uses_sycl:
+        return cal.SYCL_LAUNCH_OVERHEAD
+    if par is Parallelization.MPI_OMP:
+        threads = config.threads_per_rank(platform)
+        return cal.OMP_FORK_BASE + threads * cal.OMP_BARRIER_PER_THREAD
+    return cal.LOOP_OVERHEAD_MPI
+
+
+def sycl_time_multiplier(config: RunConfig) -> float:
+    """Extra kernel-time factor for the ndrange SYCL variant (one
+    app-wide workgroup shape vs. runtime-chosen per-kernel shapes)."""
+    if config.parallelization is Parallelization.MPI_SYCL_NDRANGE:
+        return 1.0 + cal.SYCL_NDRANGE_EXTRA
+    return 1.0
+
+
+def kernel_concurrency(
+    platform: PlatformSpec, config: RunConfig, loop: LoopSpec
+) -> float:
+    """In-flight cache lines per core this kernel sustains.
+
+    Starts from the prefetch-assisted streaming figure and dilutes it by
+    the kernel's stencil radius and concurrent stream count; SMT adds a
+    modest boost.  See the "Concurrency-limited application bandwidth"
+    block in :mod:`repro.perfmodel.calibration`.
+    """
+    c = cal.MEM_CONCURRENCY_BASE
+    c /= 1.0 + cal.CONCURRENCY_RADIUS_DILUTION * loop.radius**2
+    if loop.streams > cal.CONCURRENCY_STREAMS_REF:
+        c *= (cal.CONCURRENCY_STREAMS_REF / loop.streams) ** cal.CONCURRENCY_STREAMS_EXP
+    if config.hyperthreading and platform.kind is DeviceKind.CPU:
+        c *= cal.CONCURRENCY_HT_BOOST
+    return c
+
+
+def app_memory_bandwidth(
+    platform: PlatformSpec,
+    config: RunConfig,
+    app: AppSpec,
+    loop: LoopSpec,
+    hierarchy_bw: float,
+) -> float:
+    """Achievable bandwidth for one application kernel (bytes/s).
+
+    ``hierarchy_bw`` is the working-set-dependent figure from
+    :class:`~repro.mem.hierarchy.HierarchyModel`; this applies the
+    application derate, the per-core concurrency ceiling (binding on HBM,
+    slack on DDR — the Figure 8 mechanism), and the configuration
+    multipliers.
+    """
+    mult = bandwidth_multiplier(platform, config, app, loop)
+    if platform.kind is DeviceKind.GPU:
+        return hierarchy_bw * mult  # GPU_BW_EFFICIENCY applied by the multiplier
+    if hierarchy_bw > platform.stream_bandwidth * 1.01:
+        # Cache-resident working set: the miss-concurrency ceiling does
+        # not apply (latency is an order of magnitude lower); only the
+        # application derate does.
+        return hierarchy_bw * cal.APP_STREAM_DERATE * mult
+    line = platform.caches[0].line_size
+    per_core = kernel_concurrency(platform, config, loop) * line / platform.memory.latency
+    ceiling = per_core * platform.total_cores
+    return min(hierarchy_bw * cal.APP_STREAM_DERATE, ceiling) * mult
+
+
+def gather_throughput(
+    platform: PlatformSpec,
+    config: RunConfig,
+    app: AppSpec | None = None,
+    loop: LoopSpec | None = None,
+) -> float:
+    """Sustained irregular (gather) accesses per second, node-wide.
+
+    Latency-bound indirect access is limited by outstanding misses per
+    core x cores / memory latency; SMT raises the sustainable miss count
+    (the +13% HT benefit on unstructured apps, Sec. 5), and GPUs hide
+    latency with warp oversubscription.
+    """
+    mlp = cal.UNSTRUCT_GATHER_MLP
+    if platform.kind is DeviceKind.GPU:
+        mlp *= cal.GPU_SMT_LATENCY_FACTOR
+    else:
+        if config.hyperthreading:
+            mlp *= cal.HT_CONCURRENCY_BOOST
+        if loop is not None and app is not None and kernel_vectorizes(config, app, loop):
+            mlp *= cal.VEC_GATHER_MLP_BOOST
+    # Renumbered meshes keep most gathers on chip; blend latencies.
+    llc = platform.last_level_cache.latency
+    hit = cal.GATHER_CACHE_HIT_RATE
+    if app is not None and app.gather_hit is not None:
+        hit = app.gather_hit
+    if app is not None:
+        # When the gathered field itself (the solution vector: ~4
+        # components per mesh point) is LLC-resident, gathers hit cache
+        # regardless of mesh numbering — the EPYC V-cache's MG-CFD
+        # advantage (Sec. 6).
+        gathered = app.gridpoints * 4.0 * app.dtype_bytes
+        llc_cap = (
+            platform.cache_capacity_total(platform.last_level_cache.name)
+            * cal.CACHE_UTILIZATION
+        )
+        if gathered <= llc_cap:
+            hit = max(hit, cal.GATHER_LLC_HIT)
+    eff_latency = hit * llc + (1.0 - hit) * platform.memory.latency
+    return platform.total_cores * mlp / eff_latency

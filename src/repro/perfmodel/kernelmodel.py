@@ -1,0 +1,232 @@
+"""Kernel and application descriptors consumed by the performance model.
+
+A :class:`LoopSpec` describes one parallel loop's per-iteration resource
+profile — points processed, memory traffic, flops, stencil radius,
+indirect accesses.  The DSLs (:mod:`repro.ops`, :mod:`repro.op2`) produce
+these automatically from their access descriptors when an application
+runs; the numbers are *measured from the real numpy kernels*, then scaled
+analytically to the paper's problem sizes.
+
+An :class:`AppSpec` aggregates the loops plus the application-level facts
+the model needs: problem size, halo depth and exchanged fields (for the
+communication model), iteration count, and the compiler affinity factors
+from the paper's Section 5 discussion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..machine.config import Compiler
+from ..machine.spec import PlatformSpec
+
+__all__ = ["AppClass", "LoopSpec", "AppSpec", "stencil_traffic_factor"]
+
+
+class AppClass(Enum):
+    """Coarse application behaviour class (paper Section 3)."""
+
+    STRUCTURED_BW = "structured-bandwidth"  # CloverLeaf, OpenSBLI SA, miniWeather
+    STRUCTURED_COMPUTE = "structured-compute"  # Acoustic, OpenSBLI SN
+    UNSTRUCTURED = "unstructured"  # MG-CFD, Volna
+    COMPUTE_BOUND = "compute"  # miniBUDE
+
+    @property
+    def is_structured(self) -> bool:
+        return self in (AppClass.STRUCTURED_BW, AppClass.STRUCTURED_COMPUTE)
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """Per-iteration resource profile of one parallel loop.
+
+    Attributes
+    ----------
+    name:
+        Kernel name (for per-loop breakdowns).
+    points:
+        Elements processed per application iteration (grid points, mesh
+        edges, poses x atoms, ...), at the scale being modeled.
+    bytes_per_point:
+        Main-memory traffic per point, from the DSL access descriptors
+        (reads + writes, read-modify-write counted twice), i.e. the same
+        accounting OPS uses for the paper's Figure 8.
+    flops_per_point:
+        Floating-point operations per point (declared by each kernel).
+    radius:
+        Stencil radius for structured kernels (0 = pointwise); drives the
+        cache-pressure traffic amplification for high-order stencils.
+    indirect_per_point:
+        Irregular (gather/scatter) accesses per point for unstructured
+        kernels; drives the latency bottleneck term.
+    indirect_bytes_per_point:
+        Share of ``bytes_per_point`` moved through indirect accesses —
+        served from cache when the gathered field is LLC-resident (the
+        EPYC V-cache effect of Sec. 6).
+    vectorizable:
+        Whether compilers auto-vectorize the kernel in its natural form
+        (unstructured kernels with race conditions are not, unless the
+        explicit "MPI vec" packing scheme is used).
+    dtype_bytes:
+        Element size (4 = single precision, 8 = double).
+    streams:
+        Number of distinct arrays the kernel reads/writes concurrently
+        (from the DSL's dat arguments); dilutes per-core memory
+        concurrency — see ``calibration.CONCURRENCY_STREAMS_REF``.
+    invocations:
+        Times the loop launches per application iteration (``points`` is
+        the per-iteration total across them); each launch pays the
+        per-loop runtime overhead — many small boundary kernels are what
+        hurt SYCL on CloverLeaf (Sec. 5.1).
+    """
+
+    name: str
+    points: float
+    bytes_per_point: float
+    flops_per_point: float
+    radius: int = 0
+    indirect_per_point: float = 0.0
+    indirect_bytes_per_point: float = 0.0
+    vectorizable: bool = True
+    dtype_bytes: int = 8
+    streams: int = 4
+    invocations: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.points < 0 or self.bytes_per_point < 0 or self.flops_per_point < 0:
+            raise ValueError(f"loop {self.name}: negative resource counts")
+        if self.dtype_bytes not in (4, 8):
+            raise ValueError(f"loop {self.name}: dtype_bytes must be 4 or 8")
+
+    @property
+    def bytes_total(self) -> float:
+        return self.points * self.bytes_per_point
+
+    @property
+    def flops_total(self) -> float:
+        return self.points * self.flops_per_point
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte of memory traffic."""
+        if self.bytes_total == 0:
+            return math.inf
+        return self.flops_total / self.bytes_total
+
+    def scaled(self, factor: float) -> "LoopSpec":
+        """Same loop with ``points`` scaled by ``factor`` (used to
+        extrapolate a scaled-down run to the paper's problem size)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return LoopSpec(
+            self.name,
+            self.points * factor,
+            self.bytes_per_point,
+            self.flops_per_point,
+            self.radius,
+            self.indirect_per_point,
+            self.indirect_bytes_per_point,
+            self.vectorizable,
+            self.dtype_bytes,
+            self.streams,
+            self.invocations,
+        )
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Application-level model input.
+
+    ``compiler_affinity`` maps a compiler to a relative *performance*
+    factor (1.0 = reference).  These encode the paper's Section 5 codegen
+    observations (e.g. Classic 34% slower on miniWeather, Classic stalls
+    on miniBUDE -> factor 0); they are software-quality inputs the model
+    cannot derive from hardware specs.
+    """
+
+    name: str
+    klass: AppClass
+    dtype_bytes: int
+    iterations: int
+    loops: tuple[LoopSpec, ...]
+    domain: tuple[int, ...]  # global grid (structured) / (cells,) (unstructured)
+    halo_depth: int = 1
+    fields_exchanged: float = 1.0  # dats exchanged per halo exchange
+    exchanges_per_iter: float = 1.0
+    reductions_per_iter: float = 0.0
+    compiler_affinity: dict[Compiler, float] = field(default_factory=dict)
+    mesh_neighbors: float = 6.0  # avg partition neighbors (unstructured)
+    #: Total field storage (bytes) — the reuse footprint one iteration
+    #: sweeps through; residency decisions use this, not per-loop traffic.
+    state_bytes: float = 0.0
+    #: Cache hit rate of this mesh's gathers (None = calibration default).
+    gather_hit: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if not self.loops:
+            raise ValueError("an application must have at least one loop")
+        if any(d < 1 for d in self.domain):
+            raise ValueError("domain extents must be positive")
+
+    @property
+    def ndims(self) -> int:
+        return len(self.domain)
+
+    @property
+    def gridpoints(self) -> float:
+        p = 1.0
+        for d in self.domain:
+            p *= d
+        return p
+
+    def affinity(self, compiler: Compiler) -> float:
+        return self.compiler_affinity.get(compiler, 1.0)
+
+    def bytes_per_iteration(self) -> float:
+        return sum(l.bytes_total for l in self.loops)
+
+    def flops_per_iteration(self) -> float:
+        return sum(l.flops_total for l in self.loops)
+
+
+def stencil_traffic_factor(
+    loop: LoopSpec,
+    platform: PlatformSpec,
+    points_per_core: float,
+    ndims: int,
+) -> float:
+    """Cache-pressure amplification of a structured stencil's traffic.
+
+    A radius-``r`` stencil in the slowest dimension revisits ``2r+1``
+    planes of its input; if a core's share of those planes exceeds its
+    private cache, neighbor accesses miss and each sweep re-fetches parts
+    of the field.  The model charges one extra fetch of the read traffic
+    for every plane-set overflow factor, which is what makes the 8th-order
+    Acoustic solver "bandwidth and cache locality bound" (Sec. 3) and
+    drops its achieved effective bandwidth to ~41% of STREAM on the Xeon
+    MAX (Figure 8) while CloverLeaf 2D's radius-1 kernels stay near 75%.
+    """
+    if loop.radius <= 0 or ndims < 2:
+        return 1.0
+    # Per-core plane working set: (2r+1) planes of the core's subdomain.
+    plane_points = points_per_core ** ((ndims - 1) / ndims)
+    window_bytes = (2 * loop.radius + 1) * plane_points * loop.dtype_bytes
+    l2 = platform.cache("L2").capacity if _has_cache(platform, "L2") else platform.caches[0].capacity
+    overflow = window_bytes / l2
+    if overflow <= 1.0:
+        return 1.0
+    # Amplification saturates at the no-reuse bound: every one of the
+    # 2r+1 neighbour planes fetched from memory.
+    return float(min(1.0 + math.log2(overflow), 2 * loop.radius + 1.0))
+
+
+def _has_cache(platform: PlatformSpec, name: str) -> bool:
+    try:
+        platform.cache(name)
+        return True
+    except KeyError:
+        return False

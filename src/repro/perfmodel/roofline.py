@@ -1,0 +1,214 @@
+"""Roofline-with-latency kernel timing and whole-application estimates.
+
+The execution time of one parallel loop combines three bottleneck terms —
+memory traffic over achievable bandwidth, flops over effective compute
+throughput, and irregular accesses over gather throughput — blended with
+a p-norm (see :data:`~repro.perfmodel.calibration.BOTTLENECK_PNORM`),
+plus the per-loop runtime overhead.  Summing loops, adding the
+communication estimate and rank imbalance, and multiplying by the
+iteration count yields the application estimate whose derived metrics
+map directly onto the paper's figures:
+
+- ``total_time`` → Figures 3/4/5/6/9 (runtimes, normalized or absolute);
+- ``mpi_fraction`` → Figure 7;
+- ``effective_bandwidth`` (counted bytes / kernel time, the same
+  accounting OPS reports) → Figure 8;
+- ``achieved_flops`` → the miniBUDE 6 TFLOPS figure (Sec. 5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..machine.config import RunConfig
+from ..machine.spec import DeviceKind, PlatformSpec
+from ..mem.hierarchy import HierarchyModel, Scope
+from . import calibration as cal
+from .commmodel import CommEstimate, estimate_comm
+from .configmodel import (
+    app_memory_bandwidth,
+    effective_flops,
+    gather_throughput,
+    loop_overhead,
+    sycl_time_multiplier,
+    traffic_multiplier,
+)
+from .kernelmodel import AppSpec, LoopSpec, stencil_traffic_factor
+
+__all__ = ["LoopTime", "AppEstimate", "loop_time", "estimate_app"]
+
+
+@dataclass(frozen=True)
+class LoopTime:
+    """Timing breakdown of one parallel loop (one invocation, node-wide)."""
+
+    name: str
+    time: float
+    t_bandwidth: float
+    t_compute: float
+    t_latency: float
+    overhead: float
+    counted_bytes: float
+    flops: float
+
+    @property
+    def bottleneck(self) -> str:
+        terms = {
+            "bandwidth": self.t_bandwidth,
+            "compute": self.t_compute,
+            "latency": self.t_latency,
+        }
+        return max(terms, key=terms.get)
+
+
+@dataclass(frozen=True)
+class AppEstimate:
+    """Whole-run estimate of an application on a platform/config."""
+
+    app: str
+    platform: str
+    config_label: str
+    total_time: float
+    compute_time: float
+    mpi_time: float
+    per_loop: tuple[LoopTime, ...]
+    counted_bytes: float
+    flops: float
+    comm: CommEstimate
+
+    @property
+    def mpi_fraction(self) -> float:
+        return self.mpi_time / self.total_time if self.total_time else 0.0
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Counted data movement / kernel time, excluding MPI — the
+        quantity OPS reports and Figure 8 plots."""
+        return self.counted_bytes / self.compute_time if self.compute_time else 0.0
+
+    @property
+    def achieved_flops(self) -> float:
+        return self.flops / self.compute_time if self.compute_time else 0.0
+
+
+def _pnorm(*terms: float, p: float = cal.BOTTLENECK_PNORM) -> float:
+    s = sum(t**p for t in terms if t > 0)
+    return s ** (1.0 / p) if s > 0 else 0.0
+
+
+def loop_time(
+    loop: LoopSpec,
+    app: AppSpec,
+    platform: PlatformSpec,
+    config: RunConfig,
+    hierarchy: HierarchyModel | None = None,
+    working_set: float | None = None,
+) -> LoopTime:
+    """Time one invocation of one parallel loop, node-wide.
+
+    ``working_set`` overrides the resident-set size used for the
+    bandwidth lookup — the cache-blocking tiling optimization (Figure 9)
+    passes its tile footprint here to price cache-resident traffic.
+    """
+    hm = hierarchy or HierarchyModel(platform, utilization=cal.CACHE_UTILIZATION)
+    affinity = app.affinity(config.compiler)
+    if affinity <= 0.0:
+        raise ValueError(
+            f"{app.name} does not run under {config.compiler.value} "
+            "(the paper reports the generated code stalls)"
+        )
+
+    traffic = (
+        loop.bytes_total
+        * traffic_multiplier(platform, config, app, loop)
+        * stencil_traffic_factor(
+            loop, platform, loop.points / platform.total_cores, app.ndims
+        )
+    )
+    # Residency is governed by the reuse distance: a loop re-reads its
+    # fields only after the rest of the chain has streamed a whole
+    # iteration's traffic (>= the application state) through the caches.
+    if working_set is not None:
+        ws = working_set
+    else:
+        ws = max(
+            traffic,
+            app.state_bytes,
+            app.bytes_per_iteration() * cal.REUSE_TRAFFIC_FACTOR,
+            1.0,
+        )
+    bw = app_memory_bandwidth(
+        platform, config, app, loop, hm.effective_bandwidth(ws)
+    )
+    t_bw = traffic / bw if traffic > 0 else 0.0
+    if (
+        loop.indirect_bytes_per_point > 0
+        and platform.kind is DeviceKind.CPU
+        and working_set is None
+    ):
+        # Gathered-field residency: when the indirect target (~4
+        # components per mesh point) fits the LLC, its traffic is served
+        # from cache — the EPYC V-cache's locality advantage (Sec. 6).
+        gathered = app.gridpoints * 4.0 * app.dtype_bytes
+        llc_cap = (
+            platform.cache_capacity_total(platform.last_level_cache.name)
+            * cal.CACHE_UTILIZATION
+        )
+        if gathered <= llc_cap:
+            ind_frac = min(loop.indirect_bytes_per_point / loop.bytes_per_point, 1.0)
+            cache_bw = app_memory_bandwidth(
+                platform, config, app, loop, hm.effective_bandwidth(gathered)
+            )
+            t_bw = traffic * (1.0 - ind_frac) / bw + traffic * ind_frac / cache_bw
+
+    flops = loop.flops_total
+    t_fl = flops / effective_flops(platform, config, app, loop) if flops > 0 else 0.0
+
+    indirect = loop.points * loop.indirect_per_point
+    t_lat = (
+        indirect / gather_throughput(platform, config, app, loop)
+        if indirect > 0
+        else 0.0
+    )
+
+    core = _pnorm(t_bw, t_fl, t_lat) * sycl_time_multiplier(config) / affinity
+    ovh = loop_overhead(platform, config) * max(loop.invocations, 1.0)
+    return LoopTime(
+        loop.name, core + ovh, t_bw, t_fl, t_lat, ovh, loop.bytes_total, flops
+    )
+
+
+def estimate_app(
+    app: AppSpec,
+    platform: PlatformSpec,
+    config: RunConfig,
+    hierarchy: HierarchyModel | None = None,
+) -> AppEstimate:
+    """Estimate the full run of ``app`` on ``platform`` under ``config``."""
+    hm = hierarchy or HierarchyModel(platform, utilization=cal.CACHE_UTILIZATION)
+    loops = tuple(loop_time(l, app, platform, config, hm) for l in app.loops)
+    compute_per_iter = sum(lt.time for lt in loops)
+    comm = estimate_comm(app, platform, config)
+    # Rank imbalance turns into MPI_Wait on the faster ranks; it grows
+    # with the rank count (pure MPI pays more than one-rank-per-NUMA).
+    nranks = config.ranks(platform)
+    imbalance = (
+        compute_per_iter * cal.IMBALANCE_PER_LOG2_RANKS * math.log2(nranks)
+        if platform.kind is DeviceKind.CPU and nranks > 1
+        else 0.0
+    )
+    mpi_per_iter = comm.time_per_iter + imbalance
+    n = app.iterations
+    return AppEstimate(
+        app=app.name,
+        platform=platform.short_name,
+        config_label=config.label(),
+        total_time=(compute_per_iter + mpi_per_iter) * n,
+        compute_time=compute_per_iter * n,
+        mpi_time=mpi_per_iter * n,
+        per_loop=loops,
+        counted_bytes=sum(lt.counted_bytes for lt in loops) * n,
+        flops=sum(lt.flops for lt in loops) * n,
+        comm=comm,
+    )

@@ -1,0 +1,121 @@
+"""Intra-node scaling studies: runtime vs. resources used.
+
+The paper's configuration sweeps vary *how* the node is used (ranks vs.
+threads, HT on/off); this module generalizes that into classic scaling
+curves on the machine models:
+
+- :func:`strong_scaling` — fix the problem, grow the rank count (by
+  scaling a platform clone's core count), reporting time, speedup and
+  parallel efficiency;
+- :func:`comm_share_curve` — how the MPI fraction grows as compute
+  shrinks per rank (the strong-scaling limit the Xeon MAX reaches
+  earlier than DDR machines, because its kernels finish 4x sooner while
+  message latencies stay put — the paper's bottleneck-shift story as a
+  curve).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..machine.config import RunConfig
+from ..machine.spec import PlatformSpec
+from .kernelmodel import AppSpec
+from .roofline import estimate_app
+
+__all__ = ["ScalingPoint", "strong_scaling", "comm_share_curve"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a scaling curve."""
+
+    cores: int
+    time: float
+    speedup: float
+    efficiency: float
+    mpi_fraction: float
+
+
+def _clone_with_cores(platform: PlatformSpec, cores_per_socket: int) -> PlatformSpec:
+    """A platform clone using only ``cores_per_socket`` cores per socket
+    (memory system unchanged — cores are disabled, not removed, exactly
+    like running a job on a subset of cores)."""
+    if cores_per_socket < 1 or cores_per_socket > platform.cores_per_socket:
+        raise ValueError("cores_per_socket out of range")
+    numa = min(platform.numa_per_socket, cores_per_socket)
+    while cores_per_socket % numa:
+        numa -= 1
+    return dataclasses.replace(
+        platform,
+        cores_per_socket=cores_per_socket,
+        numa_per_socket=numa,
+        short_name=f"{platform.short_name}-{cores_per_socket}c",
+    )
+
+
+def strong_scaling(
+    app: AppSpec,
+    platform: PlatformSpec,
+    config: RunConfig,
+    core_counts: list[int] | None = None,
+) -> list[ScalingPoint]:
+    """Fixed problem, growing core count (per socket).
+
+    Efficiency is measured against the smallest core count evaluated.
+    Bandwidth-bound apps stop scaling once the cores saturate memory —
+    much earlier on DDR platforms than on the HBM part.
+    """
+    if core_counts is None:
+        base = platform.cores_per_socket
+        core_counts = sorted({max(1, base // k) for k in (8, 4, 2, 1)})
+    pts: list[ScalingPoint] = []
+    base_time = None
+    base_cores = None
+    for cps in core_counts:
+        clone = _clone_with_cores(platform, cps)
+        est = estimate_app(app, clone, config)
+        if base_time is None:
+            base_time, base_cores = est.total_time, clone.total_cores
+        speedup = base_time / est.total_time
+        ideal = clone.total_cores / base_cores
+        pts.append(
+            ScalingPoint(
+                cores=clone.total_cores,
+                time=est.total_time,
+                speedup=speedup,
+                efficiency=speedup / ideal,
+                mpi_fraction=est.mpi_fraction,
+            )
+        )
+    return pts
+
+
+def comm_share_curve(
+    app: AppSpec,
+    platform: PlatformSpec,
+    config: RunConfig,
+    shrink_factors: list[float] = (1.0, 4.0, 16.0, 64.0),
+) -> list[tuple[float, float]]:
+    """MPI fraction as the per-rank problem shrinks (strong-scaling limit).
+
+    Returns ``(shrink, mpi_fraction)`` pairs: shrinking the domain by a
+    factor leaves message latencies fixed while compute falls, so the
+    fraction rises — faster on the Xeon MAX, whose compute is already 4x
+    cheaper per byte.
+    """
+    out = []
+    for f in shrink_factors:
+        if f < 1.0:
+            raise ValueError("shrink factors must be >= 1")
+        shrunk = dataclasses.replace(
+            app,
+            loops=tuple(l.scaled(1.0 / f) for l in app.loops),
+            domain=tuple(max(1, int(round(d / f ** (1 / app.ndims))))
+                         for d in app.domain),
+            state_bytes=app.state_bytes / f,
+        )
+        est = estimate_app(shrunk, platform, config)
+        out.append((f, est.mpi_fraction))
+    return out

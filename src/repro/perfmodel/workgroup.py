@@ -1,0 +1,154 @@
+"""SYCL workgroup-shape model (the paper's Section 5.1 study).
+
+The paper compares SYCL's "flat" scheme (the runtime picks a workgroup
+shape per kernel) with "ndrange" (the user fixes one shape for the whole
+application), fine-tunes the latter by exhaustive search, and observes:
+
+    "better performance is achieved when the workgroup size in the
+    contiguous dimension matches the size of the domain, and the other
+    dimensions are small — in this case a shape of 160x4x4 gave 2%
+    faster execution than the default size with 'flat'.  This is
+    consistent with our understanding of cache prefetchers and task
+    granularity."
+
+This module models exactly those two mechanisms on CPU:
+
+* **prefetcher streaming** — a workgroup whose contiguous-dimension
+  extent is shorter than the domain row restarts the hardware
+  prefetcher at every row fragment; efficiency grows with the fraction
+  of the row covered;
+* **task granularity / balance** — the workgroups must tile the domain
+  evenly over the worker threads; ragged tiling leaves threads idle in
+  the last wave, and very many tiny groups pay per-group scheduling.
+
+:func:`workgroup_time_factor` returns a >= 1 multiplier on kernel time;
+:func:`exhaustive_search` reproduces the paper's tuning experiment; and
+:func:`flat_heuristic` stands in for the runtime's per-kernel choice.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+from ..machine.spec import PlatformSpec
+
+__all__ = [
+    "workgroup_time_factor",
+    "flat_heuristic",
+    "exhaustive_search",
+    "WorkgroupChoice",
+]
+
+#: Elements of contiguous access after which the L2 streamer runs at
+#: full efficiency (~2 cache lines of FP64 per stream start-up).
+PREFETCH_RAMP = 64
+
+#: Relative cost of a cold prefetch stream (first accesses of each row
+#: fragment run at demand-miss latency).
+PREFETCH_PENALTY = 0.35
+
+#: Per-workgroup scheduling cost, as a fraction of the work of
+#: PREFETCH_RAMP grid points (CPU OpenCL runtime queue overhead).
+SCHED_COST_POINTS = 18.0
+
+
+@dataclass(frozen=True)
+class WorkgroupChoice:
+    """Result of a workgroup search."""
+
+    shape: tuple[int, ...]
+    factor: float  # kernel-time multiplier (1.0 = ideal)
+
+
+def workgroup_time_factor(
+    shape: tuple[int, ...],
+    domain: tuple[int, ...],
+    platform: PlatformSpec,
+    threads: int | None = None,
+) -> float:
+    """Kernel-time multiplier (>= 1) of running ``domain`` with
+    ``shape``-sized workgroups on ``threads`` CPU workers.
+
+    The last tuple element is the contiguous dimension, matching the
+    paper's "workgroup size in the contiguous dimension" phrasing.
+    """
+    if len(shape) != len(domain):
+        raise ValueError("shape/domain dimensionality mismatch")
+    if any(s < 1 for s in shape) or any(d < 1 for d in domain):
+        raise ValueError("extents must be positive")
+    if threads is None:
+        threads = platform.cores_per_numa
+    # --- prefetcher streaming ------------------------------------------
+    contig = min(shape[-1], domain[-1])
+    ramp = min(1.0, contig / PREFETCH_RAMP)
+    stream_eff = 1.0 / (1.0 + PREFETCH_PENALTY * (1.0 - ramp))
+
+    # --- balance over threads -------------------------------------------
+    ngroups = 1
+    for s, d in zip(shape, domain):
+        ngroups *= math.ceil(d / s)
+    waves = math.ceil(ngroups / threads)
+    utilization = ngroups / (waves * threads)
+
+    # --- ragged tiling: groups sticking out of the domain do no work ----
+    padded = 1
+    for s, d in zip(shape, domain):
+        padded *= math.ceil(d / s) * s
+    coverage = (1.0 * _prod(domain)) / padded
+
+    # --- per-group scheduling cost ----------------------------------------
+    points = _prod(domain)
+    sched = 1.0 + SCHED_COST_POINTS * ngroups / points
+
+    return sched / (stream_eff * utilization * coverage)
+
+
+def _prod(t):
+    p = 1
+    for x in t:
+        p *= x
+    return p
+
+
+def flat_heuristic(
+    domain: tuple[int, ...], platform: PlatformSpec, threads: int | None = None
+) -> WorkgroupChoice:
+    """The runtime's per-kernel choice: full contiguous rows, then grow
+    the outer dimensions until there is about one group per thread wave
+    — a good but not exhaustively optimal shape ("the runtime does a
+    very good job at picking good workgroup sizes", Sec. 5.1)."""
+    if threads is None:
+        threads = platform.cores_per_numa
+    shape = [1] * len(domain)
+    shape[-1] = domain[-1]
+    # Grow the second-fastest dimension to coarsen granularity slightly.
+    if len(domain) >= 2:
+        outer_points = _prod(domain[:-1])
+        target_groups = threads * 8  # ~8 groups per thread for balance
+        grow = max(1, outer_points // target_groups)
+        shape[-2] = min(domain[-2], max(1, int(round(grow ** (1 / max(1, len(domain) - 1))))))
+    t = tuple(shape)
+    return WorkgroupChoice(t, workgroup_time_factor(t, domain, platform, threads))
+
+
+def exhaustive_search(
+    domain: tuple[int, ...],
+    platform: PlatformSpec,
+    threads: int | None = None,
+    candidates: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 160, 256, 320),
+) -> WorkgroupChoice:
+    """The paper's tuning experiment: try every candidate shape and keep
+    the fastest (returns the best :class:`WorkgroupChoice`)."""
+    best: WorkgroupChoice | None = None
+    dims = len(domain)
+    for shape in itertools.product(candidates, repeat=dims):
+        if any(s > d for s, d in zip(shape, domain)):
+            continue
+        f = workgroup_time_factor(shape, domain, platform, threads)
+        if best is None or f < best.factor:
+            best = WorkgroupChoice(shape, f)
+    if best is None:
+        raise ValueError("no candidate shape fits the domain")
+    return best

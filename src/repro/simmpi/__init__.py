@@ -1,0 +1,54 @@
+"""Simulated MPI: deterministic in-process SPMD runtime with virtual time.
+
+- :class:`~repro.simmpi.comm.World` — run an SPMD program on N ranks with
+  real data transfer and deterministic scheduling.
+- :class:`~repro.simmpi.comm.Communicator` — per-rank MPI-like API
+  (send/recv/isend/irecv/wait, barrier, bcast, reduce/allreduce,
+  gather/allgather/scatter, sendrecv, probe).
+- :mod:`~repro.simmpi.clock` — virtual clocks and message cost models
+  (the MPI-wait accounting behind Figure 7).
+- :mod:`~repro.simmpi.cart` — Cartesian grids and ghost-layer exchange.
+"""
+
+from .cart import CartGrid, dims_create, exchange_halos, local_range
+from .clock import (
+    CostModel,
+    MachineCostModel,
+    VirtualClock,
+    ZeroCostModel,
+    default_placement,
+)
+from .comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CollectiveMismatchError,
+    Communicator,
+    DeadlockError,
+    RankFailedError,
+    RankStats,
+    Request,
+    Status,
+    World,
+)
+
+__all__ = [
+    "World",
+    "Communicator",
+    "Request",
+    "Status",
+    "RankStats",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "DeadlockError",
+    "CollectiveMismatchError",
+    "RankFailedError",
+    "VirtualClock",
+    "CostModel",
+    "ZeroCostModel",
+    "MachineCostModel",
+    "default_placement",
+    "CartGrid",
+    "dims_create",
+    "local_range",
+    "exchange_halos",
+]

@@ -1,0 +1,195 @@
+"""Cartesian process grids and structured halo exchange.
+
+The structured-mesh applications decompose their domain with "a standard
+cartesian mesh decomposition ... over MPI, with ghost cell exchanges
+triggered as needed before each bulk parallel computational step"
+(paper Section 4).  This module provides:
+
+- :func:`dims_create` — balanced factorization of the rank count into a
+  process grid (the MPI_Dims_create algorithm);
+- :class:`CartGrid` — rank ↔ coordinate mapping and neighbor lookup;
+- :func:`local_range` — block distribution of a global extent;
+- :class:`HaloSpec` / :func:`exchange_halos` — depth-``d`` ghost-layer
+  exchange of an N-d numpy array, dimension by dimension so that corner
+  ghosts arrive correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .comm import Communicator
+
+__all__ = ["dims_create", "CartGrid", "local_range", "exchange_halos"]
+
+
+def dims_create(nranks: int, ndims: int) -> tuple[int, ...]:
+    """Factor ``nranks`` into ``ndims`` factors as evenly as possible,
+    largest first — the MPI_Dims_create contract."""
+    if nranks < 1 or ndims < 1:
+        raise ValueError("nranks and ndims must be positive")
+    dims = [1] * ndims
+    remaining = nranks
+    # Repeatedly peel the largest prime factor onto the smallest dim.
+    factors: list[int] = []
+    n = remaining
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    for p in sorted(factors, reverse=True):
+        dims[int(np.argmin(dims))] *= p
+    return tuple(sorted(dims, reverse=True))
+
+
+def local_range(global_n: int, parts: int, index: int) -> tuple[int, int]:
+    """Block distribution of ``global_n`` items over ``parts`` owners;
+    returns the half-open [start, end) of block ``index``.  The first
+    ``global_n % parts`` blocks get one extra item."""
+    if not (0 <= index < parts):
+        raise ValueError(f"index {index} out of range for {parts} parts")
+    base, extra = divmod(global_n, parts)
+    start = index * base + min(index, extra)
+    size = base + (1 if index < extra else 0)
+    return start, start + size
+
+
+@dataclass(frozen=True)
+class CartGrid:
+    """A Cartesian process grid (row-major rank ordering, like MPI)."""
+
+    dims: tuple[int, ...]
+    periodic: tuple[bool, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if any(d < 1 for d in self.dims):
+            raise ValueError("all grid dimensions must be >= 1")
+        if self.periodic is not None and len(self.periodic) != len(self.dims):
+            raise ValueError("periodic flags must match dimensionality")
+
+    @property
+    def ndims(self) -> int:
+        return len(self.dims)
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.dims))
+
+    def is_periodic(self, dim: int) -> bool:
+        return bool(self.periodic and self.periodic[dim])
+
+    def coords(self, rank: int) -> tuple[int, ...]:
+        if not (0 <= rank < self.size):
+            raise ValueError(f"rank {rank} out of range")
+        out = []
+        for d in reversed(self.dims):
+            out.append(rank % d)
+            rank //= d
+        return tuple(reversed(out))
+
+    def rank(self, coords: tuple[int, ...]) -> int:
+        if len(coords) != self.ndims:
+            raise ValueError("coordinate dimensionality mismatch")
+        r = 0
+        for c, d in zip(coords, self.dims):
+            if not (0 <= c < d):
+                raise ValueError(f"coordinate {coords} outside grid {self.dims}")
+            r = r * d + c
+        return r
+
+    def neighbor(self, rank: int, dim: int, disp: int) -> int | None:
+        """Rank displaced ``disp`` along ``dim``; None outside a
+        non-periodic boundary."""
+        coords = list(self.coords(rank))
+        c = coords[dim] + disp
+        if self.is_periodic(dim):
+            c %= self.dims[dim]
+        elif not (0 <= c < self.dims[dim]):
+            return None
+        coords[dim] = c
+        return self.rank(tuple(coords))
+
+    def neighbors(self, rank: int) -> dict[tuple[int, int], int]:
+        """All face neighbors as {(dim, ±1): rank}."""
+        out = {}
+        for dim in range(self.ndims):
+            for disp in (-1, 1):
+                n = self.neighbor(rank, dim, disp)
+                if n is not None:
+                    out[(dim, disp)] = n
+        return out
+
+
+def _face_slices(shape: tuple[int, ...], dim: int, depth: int):
+    """Send/recv slab slices for one dimension of a halo'd array.
+
+    Returns (send_low, recv_low, send_high, recv_high): the interior slab
+    adjacent to each ghost region and the ghost region itself.
+    """
+    full = [slice(None)] * len(shape)
+    send_low = list(full)
+    send_low[dim] = slice(depth, 2 * depth)
+    recv_low = list(full)
+    recv_low[dim] = slice(0, depth)
+    send_high = list(full)
+    send_high[dim] = slice(shape[dim] - 2 * depth, shape[dim] - depth)
+    recv_high = list(full)
+    recv_high[dim] = slice(shape[dim] - depth, shape[dim])
+    return tuple(send_low), tuple(recv_low), tuple(send_high), tuple(recv_high)
+
+
+def exchange_halos(
+    comm: Communicator,
+    grid: CartGrid,
+    local: np.ndarray,
+    depth: int,
+    tag_base: int = 1000,
+) -> None:
+    """Exchange depth-``depth`` ghost layers of ``local`` with Cartesian
+    neighbors, in place.
+
+    ``local`` must include the ghost layers (shape = interior + 2*depth in
+    every decomposed dimension).  Dimensions are exchanged one at a time,
+    so corner/edge ghosts are correct after the full sweep.  Boundaries of
+    a non-periodic grid are left untouched (the application applies its
+    physical boundary condition there).
+    """
+    if depth < 1:
+        raise ValueError("halo depth must be >= 1")
+    if local.ndim != grid.ndims:
+        raise ValueError("array dimensionality must match grid")
+    rank = comm.rank
+    for dim in range(grid.ndims):
+        if local.shape[dim] < 3 * depth:
+            raise ValueError(
+                f"local extent {local.shape[dim]} too small for depth {depth} halos"
+            )
+        lo = grid.neighbor(rank, dim, -1)
+        hi = grid.neighbor(rank, dim, +1)
+        s_lo, r_lo, s_hi, r_hi = _face_slices(local.shape, dim, depth)
+        tag_down = tag_base + 2 * dim
+        tag_up = tag_base + 2 * dim + 1
+        reqs = []
+        if lo is not None:
+            reqs.append(comm.irecv(lo, tag_up, buffer=np.ascontiguousarray(local[r_lo])))
+        if hi is not None:
+            reqs.append(comm.irecv(hi, tag_down, buffer=np.ascontiguousarray(local[r_hi])))
+        if lo is not None:
+            comm.isend(np.ascontiguousarray(local[s_lo]), lo, tag_down)
+        if hi is not None:
+            comm.isend(np.ascontiguousarray(local[s_hi]), hi, tag_up)
+        # Complete receives and write the ghost slabs back (the irecv
+        # buffers are contiguous copies because slabs are strided views).
+        results = comm.waitall(reqs)
+        idx = 0
+        if lo is not None:
+            local[r_lo] = results[idx]
+            idx += 1
+        if hi is not None:
+            local[r_hi] = results[idx]

@@ -1,0 +1,177 @@
+"""Message cost models and per-rank virtual time accounting.
+
+Every rank in the simulated MPI world owns a :class:`VirtualClock`: compute
+phases advance it explicitly (the DSLs do this with modeled kernel times),
+and communication operations advance it through a :class:`CostModel` that
+prices a message between two ranks.  The split between "busy" time and
+"waiting in MPI" time is what Figure 7 plots.
+
+Two cost models are provided:
+
+* :class:`ZeroCostModel` — free communication; used by correctness tests
+  where only data movement matters.
+* :class:`MachineCostModel` — prices messages from the platform's
+  core-to-core latency classes and link bandwidths, given a rank→core
+  placement.  An MPI message costs a software per-message overhead, a
+  rendezvous handshake at the core-to-core latency, and a serialization
+  term at the link bandwidth of the narrowest hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.spec import PlatformSpec
+from ..machine.topology import PairKind, classify_pair
+
+__all__ = [
+    "VirtualClock",
+    "CostModel",
+    "ZeroCostModel",
+    "MachineCostModel",
+    "default_placement",
+]
+
+
+@dataclass
+class VirtualClock:
+    """Per-rank simulated time, split into busy and MPI-wait components."""
+
+    now: float = 0.0
+    compute_time: float = 0.0
+    mpi_time: float = 0.0
+
+    def advance_compute(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("cannot advance time backwards")
+        self.now += dt
+        self.compute_time += dt
+
+    def advance_mpi(self, until: float) -> None:
+        """Move the clock forward to ``until``, charging the gap to MPI."""
+        if until > self.now:
+            self.mpi_time += until - self.now
+            self.now = until
+
+    def charge_mpi(self, dt: float) -> None:
+        """Charge ``dt`` of unavoidable MPI software overhead."""
+        if dt < 0:
+            raise ValueError("negative MPI charge")
+        self.now += dt
+        self.mpi_time += dt
+
+    @property
+    def mpi_fraction(self) -> float:
+        return self.mpi_time / self.now if self.now > 0 else 0.0
+
+
+class CostModel:
+    """Interface: price point-to-point messages and collectives."""
+
+    def message_overhead(self, src: int, dst: int) -> float:
+        """Software cost charged to both endpoints per message."""
+        raise NotImplementedError
+
+    def transfer_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Wire time: handshake latency + serialization."""
+        raise NotImplementedError
+
+    def collective_time(self, nranks: int, nbytes: int) -> float:
+        """Cost of a reduction/broadcast style collective."""
+        raise NotImplementedError
+
+
+class ZeroCostModel(CostModel):
+    """Free communication — pure semantics, for correctness tests."""
+
+    def message_overhead(self, src: int, dst: int) -> float:
+        return 0.0
+
+    def transfer_time(self, src: int, dst: int, nbytes: int) -> float:
+        return 0.0
+
+    def collective_time(self, nranks: int, nbytes: int) -> float:
+        return 0.0
+
+
+def default_placement(platform: PlatformSpec, nranks: int, hyperthreading: bool = False) -> list[int]:
+    """Map ranks to hardware threads the way ``I_MPI_PIN`` compact
+    placement does: fill physical cores first, then SMT siblings."""
+    limit = platform.total_cores * (2 if hyperthreading else 1)
+    if nranks > limit:
+        raise ValueError(
+            f"{nranks} ranks exceed {limit} available hardware threads on {platform.name}"
+        )
+    if nranks <= platform.total_cores:
+        # Spread across the whole machine so rank i sits on core
+        # floor(i * cores / nranks) — matches block placement per NUMA.
+        return [i * platform.total_cores // nranks for i in range(nranks)]
+    return list(range(nranks))
+
+
+@dataclass
+class MachineCostModel(CostModel):
+    """Message costs on a concrete platform with a rank→core placement.
+
+    Parameters
+    ----------
+    platform:
+        Machine model supplying latencies.
+    placement:
+        ``placement[rank]`` is the hardware thread the rank is pinned to.
+    sw_overhead:
+        Per-message MPI library cost (matching, progress engine) charged
+        to each endpoint.  Intel MPI intra-node is ~0.3 us per message.
+    intra_numa_bw / intra_socket_bw / cross_socket_bw:
+        Per-pair copy bandwidth *caps* for shared-memory transport.
+        Intra-NUMA messages move at cache/memory copy speed; cross-socket
+        ones cross UPI/xGMI.
+    sharing_ranks:
+        Shared-memory message transfer is a memory copy: when many ranks
+        exchange simultaneously the achievable per-pair bandwidth is the
+        node's memory bandwidth divided among them (send+receive sides).
+        The effective rate is ``min(cap, stream_bw / (2 * sharing_ranks))``
+        — this is why MPI+OpenMP's few large messages are cheap while
+        224-rank pure MPI contends.
+    """
+
+    platform: PlatformSpec
+    placement: list[int]
+    sw_overhead: float = 0.3e-6
+    intra_numa_bw: float = 25e9
+    intra_socket_bw: float = 20e9
+    cross_socket_bw: float = 10e9
+    sharing_ranks: int = 1
+
+    def _threads(self, src: int, dst: int) -> tuple[int, int]:
+        try:
+            return self.placement[src], self.placement[dst]
+        except IndexError:
+            raise ValueError(f"rank {max(src, dst)} not in placement") from None
+
+    def message_overhead(self, src: int, dst: int) -> float:
+        return self.sw_overhead
+
+    def transfer_time(self, src: int, dst: int, nbytes: int) -> float:
+        a, b = self._threads(src, dst)
+        kind = classify_pair(self.platform, a, b)
+        # Handshake: one core-to-core round trip (rendezvous protocol).
+        from ..machine.topology import pair_latency
+
+        lat = 2.0 * pair_latency(self.platform, a, b).latency + self.sw_overhead
+        if kind in (PairKind.SELF, PairKind.SMT_SIBLING, PairKind.SAME_NUMA):
+            bw = self.intra_numa_bw
+        elif kind is PairKind.SAME_SOCKET:
+            bw = self.intra_socket_bw
+        else:
+            bw = self.cross_socket_bw
+        share = self.platform.stream_bandwidth / (2.0 * max(self.sharing_ranks, 1))
+        return lat + nbytes / min(bw, share)
+
+    def collective_time(self, nranks: int, nbytes: int) -> float:
+        """Binomial-tree collective: log2(P) stages of the worst hop."""
+        if nranks <= 1:
+            return 0.0
+        stages = max(1, (nranks - 1).bit_length())
+        worst = 2.0 * self.platform.latency_cross_socket + self.sw_overhead
+        return stages * (worst + nbytes / self.cross_socket_bw)

@@ -1,0 +1,701 @@
+"""Deterministic in-process simulated MPI with virtual time.
+
+:class:`World` runs an SPMD ``program(comm, *args)`` on ``nranks`` ranks.
+Each rank executes in its own thread, but a token-passing scheduler allows
+exactly one rank to run at a time and always picks the lowest-numbered
+runnable rank, so execution (and therefore message matching) is fully
+deterministic.  Ranks block on receives, waits and collectives; sends are
+eager (buffered) as intra-node MPI sends of these sizes are in practice.
+
+Virtual time: ranks advance their own :class:`~repro.simmpi.clock.VirtualClock`
+for compute via :meth:`Communicator.compute`; communication calls charge
+MPI time through the world's :class:`~repro.simmpi.clock.CostModel`.  The
+per-rank busy/MPI split is what the paper's Figure 7 reports via
+``MPI_Wait`` timing.
+
+Semantics implemented: blocking/nonblocking point-to-point with tag and
+ANY_SOURCE/ANY_TAG matching (FIFO per channel), ``sendrecv``,
+``waitany``, barrier, broadcast, reduce/allreduce (sum/min/max),
+gather/allgather/scatter/alltoall, communicator ``split`` (sub-groups
+with isolated message contexts), and deadlock detection with a full
+state dump.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from .clock import CostModel, VirtualClock, ZeroCostModel
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Status",
+    "Request",
+    "Communicator",
+    "World",
+    "DeadlockError",
+    "CollectiveMismatchError",
+    "RankFailedError",
+]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_SCHEDULER = -1
+
+
+class DeadlockError(RuntimeError):
+    """No rank can make progress and at least one has not finished."""
+
+
+class CollectiveMismatchError(RuntimeError):
+    """Ranks disagree on which collective they are executing."""
+
+
+class RankFailedError(RuntimeError):
+    """A rank's program raised; carries the original exception."""
+
+    def __init__(self, rank: int, original: BaseException) -> None:
+        super().__init__(f"rank {rank} raised {type(original).__name__}: {original}")
+        self.rank = rank
+        self.original = original
+
+
+class _Abort(BaseException):
+    """Internal: unwind a rank thread after another rank failed."""
+
+
+@dataclass(frozen=True)
+class Status:
+    """Completion information of a receive."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+
+def _payload_copy(data: Any) -> tuple[Any, int]:
+    """Copy a message payload, returning (copy, size-in-bytes)."""
+    if isinstance(data, np.ndarray):
+        return data.copy(), data.nbytes
+    if np.isscalar(data):
+        return data, 8
+    cp = _copy.deepcopy(data)
+    return cp, 64  # nominal size for small pickled objects
+
+
+@dataclass
+class _Message:
+    src: int
+    dst: int
+    tag: int
+    payload: Any
+    nbytes: int
+    send_time: float
+
+
+class Request:
+    """Handle for a nonblocking operation; complete with
+    :meth:`Communicator.wait` / :meth:`Communicator.waitall`."""
+
+    def __init__(self, kind: str, owner: int, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+                 buffer: np.ndarray | None = None) -> None:
+        self.kind = kind  # 'send' | 'recv'
+        self.owner = owner
+        self.src = src
+        self.tag = tag
+        self.buffer = buffer
+        self.completed = kind == "send"  # eager sends complete at post
+        self.data: Any = None
+        self.status: Status | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.completed else "pending"
+        return f"<Request {self.kind} owner={self.owner} src={self.src} tag={self.tag} {state}>"
+
+
+@dataclass
+class _BlockInfo:
+    """Why a rank is blocked, consumed by the scheduler."""
+
+    kind: str  # 'recv' | 'collective'
+    request: Request | None = None
+    post_time: float = 0.0
+    coll_seq: int = -1
+    coll_kind: str = ""
+    coll_payload: Any = None
+    coll_root: int = 0
+    coll_op: str = ""
+    coll_result: Any = None
+    coll_group: tuple = ()
+    coll_ctx: Any = 0
+    comm: "Communicator | None" = None
+
+
+@dataclass
+class RankStats:
+    """Per-rank traffic counters (Figure 7's raw material)."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_received: int = 0
+    bytes_received: int = 0
+    collectives: int = 0
+
+
+class Communicator:
+    """Per-rank MPI-like interface. Created by :class:`World`; user
+    programs receive one as their first argument.
+
+    A communicator may be the world communicator or a sub-communicator
+    created by :meth:`split`; sub-communicators share the rank's clock
+    and statistics but have an isolated message context (tags do not
+    cross communicators) and their own rank numbering.
+    """
+
+    def __init__(
+        self,
+        world: "World",
+        rank: int,
+        group: tuple[int, ...] | None = None,
+        ctx_id=0,
+        clock: VirtualClock | None = None,
+        stats: "RankStats | None" = None,
+    ) -> None:
+        self._world = world
+        self._grank = rank  # global (world) rank
+        self._group = group  # tuple of global ranks, or None = world
+        self._ctx = ctx_id
+        self.clock = clock if clock is not None else VirtualClock()
+        self.stats = stats if stats is not None else RankStats()
+        self._coll_seq = 0
+        self._split_seq = 0
+
+    # ---- identity ----------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        if self._group is None:
+            return self._grank
+        return self._group.index(self._grank)
+
+    @property
+    def size(self) -> int:
+        return self._world.nranks if self._group is None else len(self._group)
+
+    @property
+    def group(self) -> tuple[int, ...]:
+        """Global ranks of this communicator's members."""
+        return self._group if self._group is not None else tuple(range(self._world.nranks))
+
+    def _to_global(self, local: int) -> int:
+        if not (0 <= local < self.size):
+            raise ValueError(f"rank {local} out of range 0..{self.size - 1}")
+        return self.group[local]
+
+    def _to_local(self, global_rank: int) -> int:
+        return self.group.index(global_rank)
+
+    def split(self, color: int, key: int | None = None) -> "Communicator | None":
+        """Collective: partition this communicator by ``color``; members
+        of the same color form a new communicator ordered by ``key``
+        (default: current rank).  ``color=None`` returns None (the MPI
+        ``MPI_UNDEFINED`` idiom)."""
+        me = (color, key if key is not None else self.rank, self.rank)
+        data = self.allgather(me)
+        seq = self._split_seq
+        self._split_seq += 1
+        if color is None:
+            return None
+        members = sorted((k, r) for c, k, r in data if c == color)
+        group = tuple(self._to_global(r) for _, r in members)
+        return Communicator(
+            self._world,
+            self._grank,
+            group=group,
+            ctx_id=(self._ctx, seq, color),
+            clock=self.clock,
+            stats=self.stats,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Communicator rank={self.rank}/{self.size} ctx={self._ctx}>"
+
+    # ---- time --------------------------------------------------------
+
+    def compute(self, seconds: float) -> None:
+        """Advance this rank's virtual clock by a compute phase."""
+        self.clock.advance_compute(seconds)
+
+    # ---- point to point ------------------------------------------------
+
+    def isend(self, data: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking (eager/buffered) send; completes immediately."""
+        w = self._world
+        gdest = self._to_global(dest)
+        payload, nbytes = _payload_copy(data)
+        self.clock.charge_mpi(w.cost_model.message_overhead(self._grank, gdest))
+        msg = _Message(self._grank, gdest, tag, payload, nbytes, self.clock.now)
+        w._mailboxes.setdefault((self._grank, gdest, self._ctx), deque()).append(msg)
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += nbytes
+        return Request("send", self._grank)
+
+    def send(self, data: Any, dest: int, tag: int = 0) -> None:
+        """Blocking send (buffered, so identical to isend+wait)."""
+        self.wait(self.isend(data, dest, tag))
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              buffer: np.ndarray | None = None) -> Request:
+        """Post a nonblocking receive.  If ``buffer`` is given the payload
+        is copied into it on completion, else it is returned by wait()."""
+        gsource = source if source == ANY_SOURCE else self._to_global(source)
+        req = Request("recv", self._grank, gsource, tag, buffer)
+        req.comm = self
+        return req
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             buffer: np.ndarray | None = None) -> Any:
+        """Blocking receive; returns the payload (or fills ``buffer``)."""
+        return self.wait(self.irecv(source, tag, buffer))
+
+    def sendrecv(self, senddata: Any, dest: int, source: int = ANY_SOURCE,
+                 sendtag: int = 0, recvtag: int = ANY_TAG,
+                 buffer: np.ndarray | None = None) -> Any:
+        """Combined send+receive (deadlock-free halo-exchange primitive)."""
+        self.isend(senddata, dest, sendtag)
+        return self.recv(source, recvtag, buffer)
+
+    def wait(self, request: Request) -> Any:
+        """Complete one request, blocking as needed; returns recv payload."""
+        if request.owner != self._grank:
+            raise ValueError("cannot wait on another rank's request")
+        if request.completed:
+            return request.data
+        # Try immediate match; otherwise block.
+        if not self._world._try_complete_recv(self, request, post_time=self.clock.now):
+            self._world._block(self._grank, _BlockInfo("recv", request, self.clock.now))
+        return request.data
+
+    def waitall(self, requests: list[Request]) -> list[Any]:
+        """Complete a list of requests in order; returns recv payloads."""
+        return [self.wait(r) for r in requests]
+
+    def waitany(self, requests: list[Request]) -> tuple[int, Any]:
+        """Complete (at least) one request; returns (index, payload).
+
+        Completed requests are preferred; otherwise pending receives are
+        polled in order and the first that can complete is returned,
+        blocking on the first request only when none is ready (a fair
+        deterministic approximation of MPI_Waitany).
+        """
+        if not requests:
+            raise ValueError("waitany needs at least one request")
+        for i, r in enumerate(requests):
+            if r.completed:
+                return i, r.data
+        for i, r in enumerate(requests):
+            if self.test(r):
+                return i, r.data
+        return 0, self.wait(requests[0])
+
+    def test(self, request: Request) -> bool:
+        """Nonblocking completion test (no time charged unless completed)."""
+        if request.completed:
+            return True
+        return self._world._try_complete_recv(self, request, post_time=self.clock.now)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status | None:
+        """Check for a matching message without receiving it."""
+        gsource = source if source == ANY_SOURCE else self._to_global(source)
+        found = self._world._find_message(self._grank, gsource, tag, self._ctx)
+        if found is None:
+            return None
+        _, _, msg = found
+        return Status(self._to_local(msg.src), msg.tag, msg.nbytes)
+
+    # ---- collectives --------------------------------------------------
+
+    def barrier(self) -> None:
+        self._collective("barrier", None)
+
+    def bcast(self, data: Any, root: int = 0) -> Any:
+        return self._collective("bcast", data, root=root)
+
+    def reduce(self, value: Any, op: str = "sum", root: int = 0) -> Any:
+        """Reduce to root; other ranks get None."""
+        return self._collective("reduce", value, root=root, reduce_op=op)
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        return self._collective("allreduce", value, reduce_op=op)
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        return self._collective("gather", value, root=root)
+
+    def allgather(self, value: Any) -> list[Any]:
+        return self._collective("allgather", value)
+
+    def scatter(self, values: list[Any] | None, root: int = 0) -> Any:
+        return self._collective("scatter", values, root=root)
+
+    def alltoall(self, values: list[Any]) -> list[Any]:
+        """Each rank supplies one value per peer; receives one from each
+        (result[i] is what rank i sent to this rank)."""
+        if len(values) != self.size:
+            raise ValueError("alltoall needs exactly one value per rank")
+        return self._collective("alltoall", values)
+
+    def _collective(self, kind: str, payload: Any, root: int = 0, reduce_op: str = "sum") -> Any:
+        seq = self._coll_seq
+        self._coll_seq += 1
+        self.stats.collectives += 1
+        info = _BlockInfo(
+            "collective",
+            post_time=self.clock.now,
+            coll_seq=seq,
+            coll_kind=kind,
+            coll_payload=_payload_copy(payload)[0] if payload is not None else None,
+            coll_root=root,
+            coll_op=reduce_op,
+            coll_group=self.group,
+            coll_ctx=self._ctx,
+            comm=self,
+        )
+        if self.size == 1:
+            self._world._complete_collective([info], [self])
+        else:
+            self._world._block(self._grank, info)
+        return info.coll_result
+
+
+class World:
+    """An ``nranks``-rank simulated MPI world.
+
+    Parameters
+    ----------
+    nranks:
+        Number of ranks.
+    cost_model:
+        Prices messages and collectives;
+        defaults to :class:`~repro.simmpi.clock.ZeroCostModel`.
+    """
+
+    def __init__(self, nranks: int, cost_model: CostModel | None = None) -> None:
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        self.nranks = nranks
+        self.cost_model = cost_model or ZeroCostModel()
+        self._mailboxes: dict[tuple[int, int], deque[_Message]] = {}
+        self.comms = [Communicator(self, r) for r in range(nranks)]
+        # Scheduling state (initialized per run()):
+        self._cv = threading.Condition()
+        self._turn = _SCHEDULER
+        self._blocked: dict[int, _BlockInfo] = {}
+        self._finished: set[int] = set()
+        self._failure: RankFailedError | None = None
+        self._results: list[Any] = [None] * nranks
+
+    # ---- public API ----------------------------------------------------
+
+    def run(self, program: Callable[..., Any], *args: Any, **kwargs: Any) -> list[Any]:
+        """Run ``program(comm, *args, **kwargs)`` on every rank; returns
+        the per-rank return values."""
+        self._blocked.clear()
+        self._finished.clear()
+        self._failure = None
+        self._results = [None] * self.nranks
+
+        threads = [
+            threading.Thread(
+                target=self._thread_body, args=(r, program, args, kwargs), daemon=True
+            )
+            for r in range(self.nranks)
+        ]
+        with self._cv:
+            self._turn = _SCHEDULER
+        for t in threads:
+            t.start()
+        try:
+            self._scheduler_loop()
+        except BaseException:
+            # Make sure every rank thread can unwind before re-raising.
+            with self._cv:
+                if self._failure is None:
+                    self._failure = RankFailedError(-1, DeadlockError("scheduler aborted"))
+                self._blocked.clear()
+                self._cv.notify_all()
+            raise
+        finally:
+            for t in threads:
+                t.join(timeout=10.0)
+        if self._failure is not None:
+            raise self._failure
+        return list(self._results)
+
+    @property
+    def clocks(self) -> list[VirtualClock]:
+        return [c.clock for c in self.comms]
+
+    @property
+    def stats(self) -> list[RankStats]:
+        return [c.stats for c in self.comms]
+
+    @property
+    def max_time(self) -> float:
+        return max(c.clock.now for c in self.comms)
+
+    def mpi_fraction(self) -> float:
+        """Mean fraction of rank time spent in MPI (Figure 7's metric)."""
+        fracs = [c.clock.mpi_fraction for c in self.comms]
+        return float(np.mean(fracs))
+
+    # ---- internal: rank threads ----------------------------------------
+
+    def _thread_body(self, rank: int, program: Callable, args: tuple, kwargs: dict) -> None:
+        try:
+            self._wait_for_turn(rank)
+            self._results[rank] = program(self.comms[rank], *args, **kwargs)
+        except _Abort:
+            return
+        except BaseException as exc:  # noqa: BLE001 - report any rank failure
+            with self._cv:
+                if self._failure is None:
+                    self._failure = RankFailedError(rank, exc)
+        finally:
+            with self._cv:
+                self._finished.add(rank)
+                self._blocked.pop(rank, None)
+                self._turn = _SCHEDULER
+                self._cv.notify_all()
+
+    def _wait_for_turn(self, rank: int) -> None:
+        with self._cv:
+            while self._turn != rank:
+                if self._failure is not None:
+                    raise _Abort()
+                self._cv.wait()
+            if self._failure is not None:
+                raise _Abort()
+
+    def _yield_to_scheduler(self, rank: int) -> None:
+        with self._cv:
+            self._turn = _SCHEDULER
+            self._cv.notify_all()
+        self._wait_for_turn(rank)
+
+    def _block(self, rank: int, info: _BlockInfo) -> None:
+        """Called from a rank thread: record the blockage and yield."""
+        with self._cv:
+            self._blocked[rank] = info
+        self._yield_to_scheduler(rank)
+        # On resume the scheduler has fulfilled the op (or aborted us).
+
+    # ---- internal: scheduler --------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        while True:
+            with self._cv:
+                while self._turn != _SCHEDULER:
+                    self._cv.wait()
+                if self._failure is not None:
+                    self._cv.notify_all()  # wake and abort everyone
+                    if len(self._finished) == self.nranks:
+                        return
+                if len(self._finished) == self.nranks:
+                    return
+            progressed = self._fulfill_ready()
+            with self._cv:
+                runnable = [
+                    r
+                    for r in range(self.nranks)
+                    if r not in self._finished and r not in self._blocked
+                ]
+                if self._failure is not None:
+                    # Abort blocked ranks so their threads unwind.
+                    for r in list(self._blocked):
+                        self._blocked.pop(r)
+                    self._cv.notify_all()
+                    runnable = []
+                    if len(self._finished) == self.nranks:
+                        return
+                    continue
+                if not runnable:
+                    if not progressed:
+                        self._raise_deadlock()
+                    continue
+                self._turn = runnable[0]
+                self._cv.notify_all()
+
+    def _raise_deadlock(self) -> None:
+        lines = [f"deadlock: {len(self._blocked)} rank(s) blocked, none can progress"]
+        for r, info in sorted(self._blocked.items()):
+            if info.kind == "recv":
+                req = info.request
+                lines.append(
+                    f"  rank {r}: recv(source={req.src}, tag={req.tag}) at t={info.post_time:.3e}"
+                )
+            else:
+                lines.append(
+                    f"  rank {r}: collective #{info.coll_seq} {info.coll_kind!r}"
+                )
+        err = DeadlockError("\n".join(lines))
+        with self._cv:
+            self._failure = RankFailedError(-1, err)
+            self._failure.__cause__ = err
+            for r in list(self._blocked):
+                self._blocked.pop(r)
+            self._cv.notify_all()
+        raise err
+
+    # ---- internal: op fulfillment ----------------------------------------
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.nranks):
+            raise ValueError(f"rank {rank} out of range 0..{self.nranks - 1}")
+
+    def _find_message(self, dst: int, source: int, tag: int, ctx=0) -> tuple[tuple, int, _Message] | None:
+        """Locate the first matching message; returns (key, index, msg)."""
+        sources = [source] if source != ANY_SOURCE else list(range(self.nranks))
+        for src in sources:
+            q = self._mailboxes.get((src, dst, ctx))
+            if not q:
+                continue
+            for i, msg in enumerate(q):
+                if tag == ANY_TAG or msg.tag == tag:
+                    return (src, dst, ctx), i, msg
+        return None
+
+    def _try_complete_recv(self, comm: Communicator, req: Request, post_time: float) -> bool:
+        rcomm = getattr(req, "comm", None) or comm
+        found = self._find_message(rcomm._grank, req.src, req.tag, rcomm._ctx)
+        if found is None:
+            return False
+        key, idx, msg = found
+        q = self._mailboxes[key]
+        del q[idx]
+        arrival = msg.send_time + self.cost_model.transfer_time(msg.src, msg.dst, msg.nbytes)
+        comm.clock.advance_mpi(max(arrival, post_time))
+        comm.clock.charge_mpi(self.cost_model.message_overhead(msg.src, msg.dst))
+        if req.buffer is not None and isinstance(msg.payload, np.ndarray):
+            np.copyto(req.buffer, msg.payload.reshape(req.buffer.shape))
+            req.data = req.buffer
+        else:
+            req.data = msg.payload
+        req.status = Status(rcomm._to_local(msg.src), msg.tag, msg.nbytes)
+        req.completed = True
+        comm.stats.messages_received += 1
+        comm.stats.bytes_received += msg.nbytes
+        return True
+
+    def _fulfill_ready(self) -> bool:
+        """Complete any blocked ops that can now finish. Returns True if
+        anything progressed."""
+        progressed = False
+        with self._cv:
+            blocked_now = dict(self._blocked)
+        # Receives.
+        for rank, info in blocked_now.items():
+            if info.kind != "recv":
+                continue
+            comm = self.comms[rank]
+            if self._try_complete_recv(comm, info.request, info.post_time):
+                with self._cv:
+                    self._blocked.pop(rank, None)
+                progressed = True
+        # Collectives: a collective completes when *every member of its
+        # communicator* is blocked on a collective of the same context.
+        with self._cv:
+            blocked_now = dict(self._blocked)
+        colls = {r: i for r, i in blocked_now.items() if i.kind == "collective"}
+        by_ctx: dict = {}
+        for r, info in colls.items():
+            by_ctx.setdefault(info.coll_ctx, {})[r] = info
+        for ctx, members_blocked in by_ctx.items():
+            group = next(iter(members_blocked.values())).coll_group
+            if not all(r in members_blocked for r in group):
+                continue  # someone is still computing (or has finished: deadlock)
+            infos = [members_blocked[r] for r in group]
+            kinds = {i.coll_kind for i in infos}
+            roots = {i.coll_root for i in infos}
+            if len(kinds) > 1 or len(roots) > 1:
+                raise CollectiveMismatchError(
+                    f"ranks disagree on collective: kinds={kinds}, roots={roots}"
+                )
+            comms = [i.comm for i in infos]
+            self._complete_collective(infos, comms)
+            with self._cv:
+                for r in group:
+                    self._blocked.pop(r, None)
+            progressed = True
+        return progressed
+
+    def _complete_collective(self, infos: list[_BlockInfo], comms: list[Communicator]) -> None:
+        kind = infos[0].coll_kind
+        root = infos[0].coll_root
+        op = infos[0].coll_op
+        payloads = [i.coll_payload for i in infos]
+        nbytes = max(
+            (p.nbytes if isinstance(p, np.ndarray) else 8)
+            for p in payloads
+        ) if any(p is not None for p in payloads) else 0
+
+        if kind == "barrier":
+            results = [None] * len(infos)
+        elif kind == "bcast":
+            data = payloads[root]
+            results = [_payload_copy(data)[0] for _ in infos]
+        elif kind in ("reduce", "allreduce"):
+            total = _reduce_payloads(payloads, op)
+            if kind == "allreduce":
+                results = [_payload_copy(total)[0] for _ in infos]
+            else:
+                results = [
+                    _payload_copy(total)[0] if c.rank == root else None for c in comms
+                ]
+        elif kind == "gather":
+            gathered = [_payload_copy(p)[0] for p in payloads]
+            results = [gathered if c.rank == root else None for c in comms]
+        elif kind == "allgather":
+            gathered = [_payload_copy(p)[0] for p in payloads]
+            results = [list(gathered) for _ in infos]
+        elif kind == "scatter":
+            values = payloads[root]
+            if values is None or len(values) != len(comms):
+                raise ValueError("scatter root must supply one value per rank")
+            results = [_payload_copy(v)[0] for v in values]
+        elif kind == "alltoall":
+            results = [
+                [_payload_copy(payloads[i][j])[0] for i in range(len(comms))]
+                for j in range(len(comms))
+            ]
+        else:  # pragma: no cover - guarded by Communicator API
+            raise ValueError(f"unknown collective {kind!r}")
+
+        t_done = max(c.clock.now for c in comms) + self.cost_model.collective_time(
+            len(comms), nbytes
+        )
+        for info, c, res in zip(infos, comms, results):
+            c.clock.advance_mpi(t_done)
+            info.coll_result = res
+
+
+def _reduce_payloads(payloads: list[Any], op: str) -> Any:
+    ops = {
+        "sum": lambda a, b: a + b,
+        "min": lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b),
+        "max": lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b),
+    }
+    if op not in ops:
+        raise ValueError(f"unsupported reduction op {op!r}; use sum/min/max")
+    f = ops[op]
+    acc = payloads[0]
+    for p in payloads[1:]:
+        acc = f(acc, p)
+    return acc

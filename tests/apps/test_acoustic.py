@@ -1,0 +1,125 @@
+"""Tests for the 8th-order acoustic wave solver."""
+
+import numpy as np
+import pytest
+
+from repro.apps.acoustic import LAPLACIAN_COEFFS, run_acoustic
+from repro.ops import OpsContext
+from repro.simmpi import CartGrid, World
+
+
+class TestStencilCoefficients:
+    def test_sum_to_zero(self):
+        """A second-derivative stencil must annihilate constants."""
+        c0, c1, c2, c3, c4 = LAPLACIAN_COEFFS
+        assert c0 + 2 * (c1 + c2 + c3 + c4) == pytest.approx(0.0, abs=1e-14)
+
+    def test_second_moment(self):
+        """Sum of k^2 * c_k must equal 2 (d2/dx2 of x^2/2 = 1)."""
+        _, c1, c2, c3, c4 = LAPLACIAN_COEFFS
+        m2 = 2 * sum(k * k * c for k, c in zip((1, 2, 3, 4), (c1, c2, c3, c4)))
+        assert m2 == pytest.approx(2.0, abs=1e-12)
+
+    def test_fourth_moment_vanishes(self):
+        """High-order accuracy: sum k^4 c_k = 0."""
+        _, c1, c2, c3, c4 = LAPLACIAN_COEFFS
+        m4 = 2 * sum(k**4 * c for k, c in zip((1, 2, 3, 4), (c1, c2, c3, c4)))
+        assert m4 == pytest.approx(0.0, abs=1e-10)
+
+
+class TestWavePhysics:
+    def test_zero_field_is_fixed_point(self):
+        d = run_acoustic(OpsContext(), (16, 16, 16), 3, source="none")
+        np.testing.assert_array_equal(d["field"], 0.0)
+        assert all(a == 0.0 for a in d["amplitude"])
+
+    @pytest.fixture(scope="class")
+    def point_result(self):
+        # Odd size: the source cell sits exactly at the center.
+        return run_acoustic(OpsContext(), (21, 21, 21), 6)
+
+    def test_wave_propagates(self, point_result):
+        """The wavefront must leave the source cell."""
+        f = np.abs(point_result["field"])
+        c = 10
+        ring = f[c - 4, c, c] + f[c + 4, c, c] + f[c, c - 4, c] + f[c, c + 4, c]
+        assert ring > 0.0
+
+    def test_xy_symmetry(self, point_result):
+        """Velocity varies only in z: x<->y swap is an exact symmetry."""
+        f = point_result["field"]
+        np.testing.assert_allclose(f, f.transpose(1, 0, 2), atol=1e-5)
+
+    def test_x_reflection_symmetry(self, point_result):
+        f = point_result["field"]
+        np.testing.assert_allclose(f, f[::-1, :, :], atol=1e-5)
+
+    def test_amplitude_bounded_at_cfl(self, point_result):
+        """Leapfrog at CFL 0.4 < 1/sqrt(3): no blowup."""
+        amps = point_result["amplitude"]
+        assert max(amps) < 10.0
+
+    def test_unstable_above_cfl_limit(self):
+        """Past the 3-D leapfrog stability limit the scheme must blow up —
+        evidence the update really is the wave operator."""
+        d = run_acoustic(OpsContext(), (12, 12, 12), 30, cfl=1.8)
+        assert max(d["amplitude"]) > 1e3
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="3-D"):
+            run_acoustic(OpsContext(), (16, 16), 1)
+
+
+class TestDistributed:
+    def test_distributed_equals_serial(self):
+        serial = run_acoustic(OpsContext(), (16, 16, 16), 3)
+
+        def program(comm):
+            ctx = OpsContext(comm=comm, grid=CartGrid((2, 2, 1)))
+            return run_acoustic(ctx, (16, 16, 16), 3)
+
+        results = World(4).run(program)
+        np.testing.assert_array_equal(results[0]["field"], serial["field"])
+
+
+class TestAccounting:
+    def test_radius_4_recorded(self):
+        ctx = OpsContext()
+        run_acoustic(ctx, (16, 16, 16), 2)
+        rec = ctx.records["wave_update"]
+        assert rec.radius == 4
+        assert rec.dtype_bytes == 4  # single precision
+
+    def test_spec_is_compute_heavier_than_clover(self):
+        """Acoustic has a much higher flop/byte ratio than CloverLeaf —
+        the property behind its lower Figure 8 efficiency."""
+        from repro.apps import build_spec, get_app
+
+        ac = build_spec(get_app("acoustic"))
+        cl = build_spec(get_app("cloverleaf2d"))
+        ai_ac = ac.flops_per_iteration() / ac.bytes_per_iteration()
+        ai_cl = cl.flops_per_iteration() / cl.bytes_per_iteration()
+        assert ai_ac > 2 * ai_cl
+
+
+class TestWaveSpeed:
+    def test_1d_pulse_travels_at_c(self):
+        """Launch a plane pulse along x in a homogeneous medium and track
+        its crest: after k steps it must have moved ~ c*dt*k/dx cells."""
+        n = 48
+        ctx = OpsContext()
+        # Homogeneous medium: run with no source, inject a plane wave by
+        # hand through the returned dt and a custom initial condition is
+        # not exposed — instead use the point source and measure the
+        # radial arrival time at a probe.
+        d = run_acoustic(ctx, (n, n, n), 14, cfl=0.45)
+        field = np.abs(d["field"])
+        c0 = n // 2
+        # Radius where the wavefront sits: strongest |u| ring distance.
+        profile = field[c0:, c0, c0]
+        front = int(np.argmax(profile[2:]) + 2)  # skip the source cell
+        dt = d["dt"]
+        dx = 1.0 / n
+        expected_cells = 14 * dt * 1.0 / dx  # c = 1 in the upper layers
+        # The crest trails the leading edge; allow a wide but bounded band.
+        assert 0.4 * expected_cells <= front <= 1.6 * expected_cells

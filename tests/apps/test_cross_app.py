@@ -1,0 +1,99 @@
+"""Cross-application integration tests: spec sanity, tiled execution of
+the real applications, and relative characteristics the paper relies on."""
+
+import numpy as np
+import pytest
+
+from repro.apps import APP_ORDER, build_spec, get_app
+from repro.apps.cloverleaf import run_cloverleaf
+from repro.apps.acoustic import run_acoustic
+from repro.harness.runner import app_spec
+from repro.ops import OpsContext, TilePlan
+
+
+class TestAllSpecs:
+    @pytest.fixture(scope="class")
+    def specs(self):
+        return {name: app_spec(name) for name in APP_ORDER}
+
+    def test_every_app_builds(self, specs):
+        assert len(specs) == 9
+
+    def test_paper_scale_domains(self, specs):
+        assert specs["cloverleaf2d"].gridpoints == 7680**2
+        assert specs["acoustic"].gridpoints == 320**3
+        assert specs["volna"].gridpoints == pytest.approx(30e6, rel=0.01)
+        assert specs["mgcfd"].gridpoints == pytest.approx(8e6, rel=0.01)
+        assert specs["minibude"].gridpoints == 65536
+
+    def test_precisions_match_paper(self, specs):
+        """Sec. 3: single precision for miniBUDE, Acoustic, Volna;
+        double for the rest."""
+        singles = {"minibude", "acoustic", "volna"}
+        for name, spec in specs.items():
+            expected = 4 if name in singles else 8
+            assert spec.dtype_bytes == expected, name
+
+    def test_arithmetic_intensity_ordering(self, specs):
+        """miniBUDE >> SN > SA, and CloverLeaf is the leanest."""
+
+        def ai(s):
+            return s.flops_per_iteration() / s.bytes_per_iteration()
+
+        assert ai(specs["minibude"]) > 100 * ai(specs["opensbli_sn"])
+        assert ai(specs["opensbli_sn"]) > ai(specs["opensbli_sa"])
+        assert ai(specs["cloverleaf2d"]) < ai(specs["acoustic"])
+
+    def test_unstructured_apps_carry_indirection(self, specs):
+        for name in ("mgcfd", "volna"):
+            total_ind = sum(l.indirect_per_point * l.points for l in specs[name].loops)
+            assert total_ind > 0, name
+        for name in ("cloverleaf2d", "acoustic"):
+            total_ind = sum(l.indirect_per_point * l.points for l in specs[name].loops)
+            assert total_ind == 0, name
+
+    def test_state_bytes_plausible(self, specs):
+        # CloverLeaf 2D: 17 fields x 7680^2 x 8B ~ 8 GB.
+        assert 5e9 < specs["cloverleaf2d"].state_bytes < 12e9
+        # Acoustic: 4 fields x 320^3 x 4B ~ 0.5 GB.
+        assert 3e8 < specs["acoustic"].state_bytes < 8e8
+
+    def test_halo_depths(self, specs):
+        assert specs["acoustic"].halo_depth == 4
+        assert specs["cloverleaf2d"].halo_depth == 2
+
+
+class TestTiledApplications:
+    """The Figure 9 transformation applied to the *actual* applications."""
+
+    def test_cloverleaf_tiled_equals_untiled(self):
+        base = run_cloverleaf(OpsContext(), (24, 24), 3, init="sod")
+        ctx = OpsContext(tile=TilePlan(6))
+        tiled = run_cloverleaf(ctx, (24, 24), 3, init="sod")
+        ctx.flush()
+        np.testing.assert_array_equal(tiled["density"], base["density"])
+        np.testing.assert_array_equal(tiled["energy_field"], base["energy_field"])
+        for a, b in zip(tiled["velocity"], base["velocity"]):
+            np.testing.assert_array_equal(a, b)
+
+    def test_acoustic_tiled_equals_untiled(self):
+        base = run_acoustic(OpsContext(), (16, 16, 16), 3)
+        ctx = OpsContext(tile=TilePlan(5))
+        tiled = run_acoustic(ctx, (16, 16, 16), 3)
+        ctx.flush()
+        np.testing.assert_array_equal(tiled["field"], base["field"])
+
+
+class TestDefinitions:
+    def test_registry_complete_and_ordered(self):
+        from repro.apps import all_apps
+
+        assert [d.name for d in all_apps()] == APP_ORDER
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError, match="unknown"):
+            get_app("hpl")
+
+    def test_build_spec_accepts_custom_size(self):
+        spec = build_spec(get_app("miniweather"), domain=(20, 10), iterations=2)
+        assert spec.domain == (4000, 2000)  # still extrapolated to paper scale

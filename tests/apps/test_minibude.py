@@ -1,0 +1,135 @@
+"""Tests for the miniBUDE docking-energy proxy."""
+
+import numpy as np
+import pytest
+
+from repro.apps.minibude import (
+    FLOPS_PER_PAIR,
+    Deck,
+    pair_energy,
+    pose_energies,
+    rotation_matrices,
+    run_minibude,
+    synthetic_deck,
+)
+from repro.ops import OpsContext
+from repro.simmpi import CartGrid, World
+
+
+def tiny_deck(poses: np.ndarray) -> Deck:
+    """One ligand atom at the origin, one protein atom at (d, 0, 0)."""
+    f32 = np.float32
+    return Deck(
+        protein_pos=np.array([[3.0, 0.0, 0.0]], dtype=f32),
+        protein_charge=np.array([0.2], dtype=f32),
+        protein_radius=np.array([1.5], dtype=f32),
+        ligand_pos=np.array([[0.0, 0.0, 0.0]], dtype=f32),
+        ligand_charge=np.array([-0.3], dtype=f32),
+        ligand_radius=np.array([1.5], dtype=f32),
+        poses=poses.astype(f32),
+    )
+
+
+class TestRotations:
+    def test_identity(self):
+        r = rotation_matrices(np.zeros((1, 3), dtype=np.float64))
+        np.testing.assert_allclose(r[0], np.eye(3), atol=1e-14)
+
+    def test_orthonormal(self):
+        rng = np.random.default_rng(3)
+        angles = rng.uniform(-np.pi, np.pi, (20, 3))
+        rs = rotation_matrices(angles)
+        for r in rs:
+            np.testing.assert_allclose(r @ r.T, np.eye(3), atol=1e-12)
+            assert np.linalg.det(r) == pytest.approx(1.0, abs=1e-12)
+
+
+class TestEnergy:
+    def test_analytic_two_atom(self):
+        """Identity pose: distance 3, sigma 3 -> steric (1 - 1)^2 = 0...
+        check against the closed-form pair energy."""
+        deck = tiny_deck(np.zeros((1, 6)))
+        e = pose_energies(deck)
+        dist = 3.0
+        sigma = 3.0
+        steric = max(0.0, 1.0 - dist / sigma)
+        elec = (-0.3) * 0.2 * max(0.0, 1.0 - dist / (2 * sigma))
+        expected = 4.0 * steric**2 + elec
+        assert e[0] == pytest.approx(expected, rel=1e-4)
+
+    def test_translation_changes_energy(self):
+        """Moving the ligand toward the protein raises the steric term."""
+        poses = np.array([[0, 0, 0, 0, 0, 0], [0, 0, 0, 2.0, 0, 0]])
+        e = pose_energies(tiny_deck(poses))
+        assert e[1] > e[0]
+
+    def test_rotation_invariance_of_centered_atom(self):
+        """A ligand atom at the origin is rotation-invariant: energies
+        must be identical for all pure rotations."""
+        poses = np.zeros((5, 6))
+        poses[:, 0] = np.linspace(0, 3, 5)  # vary an Euler angle only
+        e = pose_energies(tiny_deck(poses))
+        np.testing.assert_allclose(e, e[0], rtol=1e-6)
+
+    def test_pair_energy_clamps(self):
+        """Beyond the cutoff both terms vanish."""
+        e = pair_energy(np.array([100.0]), 1.0, 1.0, 0.5, 0.5)
+        assert e[0] == pytest.approx(0.0, abs=1e-6)
+
+
+class TestRun:
+    def test_dsl_run_matches_reference(self):
+        deck = synthetic_deck(n_poses=64)
+        d = run_minibude(OpsContext(), (64,), 1, deck=deck)
+        np.testing.assert_allclose(
+            d["energies"], pose_energies(deck), rtol=1e-5
+        )
+
+    def test_best_energy_is_minimum(self):
+        deck = synthetic_deck(n_poses=128)
+        d = run_minibude(OpsContext(), (128,), 2, deck=deck)
+        assert d["best"] == pytest.approx(float(d["energies"].min()), rel=1e-6)
+
+    def test_deterministic(self):
+        a = run_minibude(OpsContext(), (32,), 1)
+        b = run_minibude(OpsContext(), (32,), 1)
+        np.testing.assert_array_equal(a["energies"], b["energies"])
+
+    def test_rejects_2d_domain(self):
+        with pytest.raises(ValueError, match="1-D"):
+            run_minibude(OpsContext(), (8, 8), 1)
+
+    def test_deck_size_mismatch(self):
+        with pytest.raises(ValueError, match="pose count"):
+            run_minibude(OpsContext(), (64,), 1, deck=synthetic_deck(n_poses=32))
+
+
+class TestDistributed:
+    def test_pose_split_equals_serial(self):
+        deck = synthetic_deck(n_poses=60)
+        serial = run_minibude(OpsContext(), (60,), 1, deck=deck)
+
+        def program(comm):
+            ctx = OpsContext(comm=comm, grid=CartGrid((3,)))
+            return run_minibude(ctx, (60,), 1, deck=deck)
+
+        results = World(3).run(program)
+        np.testing.assert_array_equal(results[0]["energies"], serial["energies"])
+        assert results[0]["best"] == serial["best"]
+
+
+class TestAccounting:
+    def test_compute_bound_profile(self):
+        """Flops per byte must be enormous — this is the compute-bound
+        outlier of the suite (6 TFLOPS/s in the paper)."""
+        from repro.apps import build_spec, get_app
+
+        spec = build_spec(get_app("minibude"))
+        ai = spec.flops_per_iteration() / spec.bytes_per_iteration()
+        assert ai > 1000.0
+        assert spec.dtype_bytes == 4
+
+    def test_flops_per_pose_accounting(self):
+        deck = synthetic_deck(n_poses=16)
+        expected = deck.n_ligand * (deck.n_protein * FLOPS_PER_PAIR + 30)
+        assert deck.flops_per_pose() == expected

@@ -1,0 +1,93 @@
+"""Tests for the miniWeather atmospheric dynamics proxy."""
+
+import numpy as np
+import pytest
+
+from repro.apps.miniweather import run_miniweather
+from repro.ops import OpsContext
+from repro.simmpi import CartGrid, World
+
+
+class TestEquilibrium:
+    def test_hydrostatic_equilibrium_exact(self):
+        """Zero perturbations are an exact discrete equilibrium of the
+        perturbation-flux formulation."""
+        d = run_miniweather(OpsContext(), (24, 12), 5, init="equilibrium")
+        assert all(w == 0.0 for w in d["max_w"])
+        for name, f in d["fields"].items():
+            np.testing.assert_array_equal(f, 0.0, err_msg=name)
+
+
+class TestThermalBubble:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_miniweather(OpsContext(), (40, 20), 10, init="thermal")
+
+    def test_bubble_rises(self, result):
+        """Positive buoyancy (warm anomaly) must create upward momentum
+        that grows during the early transient."""
+        w = result["max_w"]
+        assert w[-1] > w[0] > 0.0
+
+    def test_upward_motion_where_warm(self, result):
+        rhow = result["fields"]["rhow"]
+        rhot = result["fields"]["rhot"]
+        # Vertical momentum is positive where the anomaly is largest.
+        i, j = np.unravel_index(np.argmax(rhot), rhot.shape)
+        assert rhow[i, j] > 0.0
+
+    def test_mass_drift_small(self, result):
+        assert abs(result["mass"]) < 1e-2
+
+    def test_x_symmetry(self, result):
+        """Bubble centered in x: the solution is mirror-symmetric."""
+        rhot = result["fields"]["rhot"]
+        np.testing.assert_allclose(rhot, rhot[::-1, :], atol=1e-10)
+        rhou = result["fields"]["rhou"]
+        np.testing.assert_allclose(rhou, -rhou[::-1, :], atol=1e-10)
+
+    def test_stability(self, result):
+        for f in result["fields"].values():
+            assert np.all(np.isfinite(f))
+            assert np.abs(f).max() < 10.0
+
+
+class TestValidation:
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            run_miniweather(OpsContext(), (8, 8, 8), 1)
+
+    def test_rejects_unknown_init(self):
+        with pytest.raises(ValueError, match="unknown init"):
+            run_miniweather(OpsContext(), (8, 8), 1, init="hurricane")
+
+
+class TestDistributed:
+    def test_distributed_equals_serial(self):
+        serial = run_miniweather(OpsContext(), (24, 12), 4)
+
+        def program(comm):
+            ctx = OpsContext(comm=comm, grid=CartGrid((2, 2)))
+            return run_miniweather(ctx, (24, 12), 4)
+
+        results = World(4).run(program)
+        for name in serial["fields"]:
+            np.testing.assert_array_equal(
+                results[0]["fields"][name], serial["fields"][name], err_msg=name
+            )
+        assert results[0]["max_w"] == pytest.approx(serial["max_w"], rel=1e-12)
+
+
+class TestAccounting:
+    def test_tend_kernels_radius2(self):
+        ctx = OpsContext()
+        run_miniweather(ctx, (16, 8), 2)
+        assert ctx.records["tend_x"].radius == 2
+        assert ctx.records["tend_z"].radius == 2
+
+    def test_spec(self):
+        from repro.apps import build_spec, get_app
+
+        spec = build_spec(get_app("miniweather"))
+        assert spec.domain == (4000, 2000)
+        assert spec.klass.value == "structured-bandwidth"

@@ -1,0 +1,115 @@
+"""Tests for the OpenSBLI SA/SN compressible-flow variants."""
+
+import numpy as np
+import pytest
+
+from repro.apps.opensbli import run_opensbli
+from repro.ops import OpsContext
+from repro.simmpi import CartGrid, World
+
+
+class TestSAequalsSN:
+    """SA and SN are the same arithmetic with different storage — they
+    must agree to rounding (this is the paper's premise for comparing
+    them as two formulations of one problem)."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        sa = run_opensbli(OpsContext(), (10, 10, 10), 4, variant="sa")
+        sn = run_opensbli(OpsContext(), (10, 10, 10), 4, variant="sn")
+        return sa, sn
+
+    def test_all_fields_match(self, pair):
+        sa, sn = pair
+        for name in sa["fields"]:
+            np.testing.assert_allclose(
+                sa["fields"][name], sn["fields"][name], rtol=1e-12, atol=1e-14,
+                err_msg=name,
+            )
+
+    def test_scalars_match(self, pair):
+        sa, sn = pair
+        assert sa["mass"] == pytest.approx(sn["mass"], rel=1e-13)
+        assert sa["max_speed"] == pytest.approx(sn["max_speed"], rel=1e-10)
+
+
+class TestPhysics:
+    def test_uniform_flow_preserved(self):
+        d = run_opensbli(OpsContext(), (8, 8, 8), 4, variant="sn", init="uniform")
+        np.testing.assert_array_equal(d["fields"]["rho"], 1.0)
+        assert d["max_speed"] == 0.0
+
+    def test_wave_advances(self):
+        d = run_opensbli(OpsContext(), (12, 8, 8), 5, variant="sa")
+        assert d["max_speed"] > 0.05  # background flow persists
+        rho = d["fields"]["rho"]
+        assert rho.min() > 0.9 and rho.max() < 1.1  # small-amplitude wave
+
+    def test_transverse_invariance(self):
+        """The initial wave varies only in x — y/z slices stay equal."""
+        d = run_opensbli(OpsContext(), (10, 6, 6), 4, variant="sn")
+        rho = d["fields"]["rho"]
+        assert np.allclose(rho, rho[:, :1, :1], rtol=1e-12)
+
+    def test_rejects_bad_variant(self):
+        with pytest.raises(ValueError, match="variant"):
+            run_opensbli(OpsContext(), (8, 8, 8), 1, variant="sx")
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="3-D"):
+            run_opensbli(OpsContext(), (8, 8), 1)
+
+
+class TestStorageContrast:
+    """The defining difference: SA moves much more data, SN does many
+    more flops — the paper's 'trading off data movement for computations'."""
+
+    @pytest.fixture(scope="class")
+    def specs(self):
+        from repro.apps import build_spec, get_app
+
+        return build_spec(get_app("opensbli_sa")), build_spec(get_app("opensbli_sn"))
+
+    def test_sa_moves_more_bytes(self, specs):
+        sa, sn = specs
+        assert sa.bytes_per_iteration() > 2 * sn.bytes_per_iteration()
+
+    def test_sn_is_more_arithmetically_intense(self, specs):
+        """SN trades data movement for recomputation: its flop/byte
+        intensity is well above SA's."""
+        sa, sn = specs
+        ai_sa = sa.flops_per_iteration() / sa.bytes_per_iteration()
+        ai_sn = sn.flops_per_iteration() / sn.bytes_per_iteration()
+        assert ai_sn > 1.8 * ai_sa
+
+    def test_sa_has_many_more_loops(self, specs):
+        sa, sn = specs
+        bulk_sa = [l for l in sa.loops if l.points > 1e6]
+        bulk_sn = [l for l in sn.loops if l.points > 1e6]
+        assert len(bulk_sa) > 3 * len(bulk_sn)
+
+
+class TestDistributed:
+    def test_sn_distributed_equals_serial(self):
+        serial = run_opensbli(OpsContext(), (8, 8, 8), 2, variant="sn")
+
+        def program(comm):
+            ctx = OpsContext(comm=comm, grid=CartGrid((2, 2, 1)))
+            return run_opensbli(ctx, (8, 8, 8), 2, variant="sn")
+
+        results = World(4).run(program)
+        np.testing.assert_array_equal(
+            results[0]["fields"]["rho"], serial["fields"]["rho"]
+        )
+
+    def test_sa_distributed_equals_serial(self):
+        serial = run_opensbli(OpsContext(), (8, 8, 8), 2, variant="sa")
+
+        def program(comm):
+            ctx = OpsContext(comm=comm, grid=CartGrid((2, 1, 2)))
+            return run_opensbli(ctx, (8, 8, 8), 2, variant="sa")
+
+        results = World(4).run(program)
+        np.testing.assert_array_equal(
+            results[0]["fields"]["E"], serial["fields"]["E"]
+        )

@@ -1,0 +1,51 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_apps_and_platforms(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "cloverleaf2d" in out
+        assert "max9480" in out
+        assert "minibude" in out
+
+
+class TestRun:
+    def test_single_platform(self, capsys):
+        assert main(["run", "miniweather"]) == 0
+        out = capsys.readouterr().out
+        assert "max9480" in out
+        assert "effBW" in out
+
+    def test_compare(self, capsys):
+        assert main(["run", "minibude", "--compare"]) == 0
+        out = capsys.readouterr().out
+        for p in ("max9480", "icx8360y", "epyc7v73x", "a100"):
+            assert p in out
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "linpack"])
+
+
+class TestFigures:
+    def test_single_figure(self, capsys):
+        assert main(["figures", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out
+        assert "cross-socket" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+
+
+class TestValidate:
+    def test_validate_runs_numerics(self, capsys):
+        assert main(["validate", "volna"]) == 0
+        out = capsys.readouterr().out
+        assert "volume" in out
+        assert "loops:" in out

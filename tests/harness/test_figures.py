@@ -1,0 +1,72 @@
+"""Smoke/structure tests for the lighter figure generators.
+
+(The heavyweight shape assertions live in ``benchmarks/``; these tests
+cover the generator plumbing itself: columns, row counts, and that paper
+reference values are attached where expected.)
+"""
+
+import pytest
+
+from repro.harness import fig1, fig2
+from repro.harness.figures import _config_matrix
+from repro.machine import XEON_MAX_9480, structured_config_sweep
+
+
+class TestFig1Structure:
+    @pytest.fixture(scope="class")
+    def f1(self):
+        return fig1()
+
+    def test_columns(self, f1):
+        assert f1.columns == ("platform", "scope", "model GB/s", "paper GB/s")
+
+    def test_five_node_rows_with_paper_values(self, f1):
+        node_rows = [r for r in f1.rows if r[1] == "node"]
+        assert len(node_rows) == 5
+        assert all(r[3] is not None for r in node_rows)
+
+    def test_scope_rows_present(self, f1):
+        assert any(r[1] == "numa" for r in f1.rows)
+        assert any(r[1] == "socket" for r in f1.rows)
+
+    def test_cache_ratio_notes(self, f1):
+        assert sum("cache:memory" in n for n in f1.notes) == 3
+
+    def test_optional_size_sweep(self):
+        import numpy as np
+
+        f = fig1(sizes=np.array([2**20, 2**24]))
+        assert sum("n=" in n for n in f.notes) == 2
+
+
+class TestFig2Structure:
+    def test_rows_per_platform(self):
+        f2 = fig2()
+        by_platform = {}
+        for r in f2.rows:
+            by_platform.setdefault(r[0], []).append(r[1])
+        assert len(by_platform["max9480"]) == 4  # smt/adjacent/numa/socket
+        assert len(by_platform["icx8360y"]) == 3
+        assert len(by_platform["epyc7v73x"]) == 3
+
+    def test_latencies_in_nanoseconds(self):
+        f2 = fig2()
+        for r in f2.rows:
+            assert 1.0 < r[2] < 1000.0  # sane ns range
+
+
+class TestConfigMatrix:
+    def test_normalized_to_best(self):
+        table, rows = _config_matrix(
+            ["miniweather"], XEON_MAX_9480, structured_config_sweep
+        )
+        vals = [r[1] for r in table if r[1] is not None]
+        assert min(vals) == pytest.approx(1.0)
+        assert all(v >= 1.0 for v in vals)
+
+    def test_sorted_by_mean(self):
+        table, _ = _config_matrix(
+            ["miniweather"], XEON_MAX_9480, structured_config_sweep
+        )
+        means = [r[1] for r in table if r[1] is not None]
+        assert means == sorted(means)

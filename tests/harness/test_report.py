@@ -1,0 +1,67 @@
+"""Tests for the table renderer and FigureResult container."""
+
+import pytest
+
+from repro.harness.report import FigureResult, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        out = format_table(("name", "value"), [("abc", 1.5), ("d", 22.0)])
+        lines = out.split("\n")
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_none_rendered_as_dash(self):
+        out = format_table(("a",), [(None,)])
+        assert out.split("\n")[2] == "-"
+
+    def test_float_formats(self):
+        out = format_table(("v",), [(1234.5,), (42.123,), (1.23456,), (0.0,)])
+        body = out.split("\n")[2:]
+        assert body[0].strip() == "1234"  # >= 1000: integer
+        assert body[1].strip() == "42.1"  # >= 10: one decimal
+        assert body[2].strip() == "1.23"  # 3 significant digits
+        assert body[3].strip() == "0"
+
+    def test_empty_rows(self):
+        out = format_table(("x", "y"), [])
+        assert "x" in out
+
+
+class TestFigureResult:
+    def make(self):
+        return FigureResult(
+            "figX", "demo", ("app", "val"),
+            rows=[("a", 1.0), ("b", 2.0)],
+            notes=["hello"],
+        )
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "== figX: demo ==" in text
+        assert "note: hello" in text
+        assert "a" in text and "b" in text
+
+    def test_column(self):
+        assert self.make().column("val") == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            self.make().column("nope")
+
+    def test_row_map(self):
+        m = self.make().row_map()
+        assert m["a"] == ("a", 1.0)
+
+
+class TestCsvExport:
+    def test_to_csv_roundtrips(self):
+        import csv
+        import io
+
+        fig = FigureResult("f", "t", ("a", "b"), rows=[("x", 1.5), ("y", None)])
+        text = fig.to_csv()
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["x", "1.5"]
+        assert rows[2] == ["y", ""]  # None -> empty field

@@ -1,0 +1,69 @@
+"""Tests for the benchmark runner (spec caching, sweeps, best-run)."""
+
+import pytest
+
+from repro.harness.runner import app_spec, best_run, clear_cache, run_application, sweep
+from repro.machine import (
+    XEON_MAX_9480,
+    Compiler,
+    Parallelization,
+    RunConfig,
+    structured_config_sweep,
+)
+
+
+class TestSpecCache:
+    def test_cached_identity(self):
+        a = app_spec("cloverleaf2d")
+        b = app_spec("cloverleaf2d")
+        assert a is b
+
+    def test_clear_cache(self):
+        a = app_spec("cloverleaf2d")
+        clear_cache()
+        b = app_spec("cloverleaf2d")
+        assert a is not b
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError, match="unknown application"):
+            app_spec("doom")
+
+    def test_spec_has_paper_scale(self):
+        spec = app_spec("cloverleaf2d")
+        assert spec.domain == (7680, 7680)
+        assert spec.iterations == 50
+        assert spec.state_bytes > 1e9  # ~17 fields x 472 MB
+
+
+class TestRunAndSweep:
+    def test_run_application(self):
+        cfg = RunConfig(Compiler.ONEAPI, Parallelization.MPI)
+        est = run_application("miniweather", XEON_MAX_9480, cfg)
+        assert est.total_time > 0
+        assert est.platform == "max9480"
+        assert est.app == "miniweather"
+
+    def test_sweep_covers_all_configs(self):
+        cfgs = structured_config_sweep(XEON_MAX_9480)
+        runs = sweep("miniweather", XEON_MAX_9480, cfgs)
+        assert len(runs) == len(cfgs)
+        assert all(e is not None for _, e in runs)
+
+    def test_sweep_marks_stalling_compiler_none(self):
+        cfgs = [RunConfig(Compiler.CLASSIC, Parallelization.MPI),
+                RunConfig(Compiler.ONEAPI, Parallelization.MPI)]
+        runs = dict(sweep("minibude", XEON_MAX_9480, cfgs))
+        assert runs[cfgs[0]] is None
+        assert runs[cfgs[1]] is not None
+
+    def test_best_run_is_minimum(self):
+        cfgs = structured_config_sweep(XEON_MAX_9480)
+        best_cfg, best_est = best_run("miniweather", XEON_MAX_9480, cfgs)
+        for cfg, est in sweep("miniweather", XEON_MAX_9480, cfgs):
+            if est is not None:
+                assert best_est.total_time <= est.total_time
+
+    def test_best_run_no_feasible_raises(self):
+        with pytest.raises(ValueError, match="no feasible"):
+            best_run("minibude", XEON_MAX_9480,
+                     [RunConfig(Compiler.CLASSIC, Parallelization.MPI)])

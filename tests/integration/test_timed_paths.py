@@ -1,0 +1,105 @@
+"""Cross-validation of the two MPI-time paths.
+
+The library measures MPI time two ways: (a) the *simulated-MPI* path —
+the app actually runs distributed, ranks advance virtual clocks and
+accumulate MPI-wait time through the message cost model; (b) the
+*analytic* path — `perfmodel.commmodel` prices the decomposition's
+messages directly (what the figure harness uses at paper scale).  On the
+same small problem the two must agree on the qualitative split.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.cloverleaf import run_cloverleaf
+from repro.apps.volna import run_volna, synthetic_ocean
+from repro.machine import XEON_MAX_9480, Compiler, Parallelization, RunConfig
+from repro.op2 import DistOp2Context, Op2Context
+from repro.ops import OpsContext, TimingModel
+from repro.perfmodel import AppClass
+from repro.simmpi import CartGrid, MachineCostModel, World, default_placement
+
+CFG = RunConfig(Compiler.ONEAPI, Parallelization.MPI)
+
+
+class TestStructuredTimedPath:
+    @pytest.fixture(scope="class")
+    def timed_run(self):
+        nranks = 4
+        platform = XEON_MAX_9480
+
+        def program(comm):
+            ctx = OpsContext(
+                comm=comm, grid=CartGrid((2, 2)),
+                timing=TimingModel(platform, CFG),
+            )
+            run_cloverleaf(ctx, (24, 24), 3, init="sod")
+            return comm.clock.compute_time, comm.clock.mpi_time
+
+        cm = MachineCostModel(
+            platform, default_placement(platform, nranks), sharing_ranks=nranks
+        )
+        world = World(nranks, cm)
+        results = world.run(program)
+        return world, results
+
+    def test_all_ranks_advance_both_clocks(self, timed_run):
+        _, results = timed_run
+        for comp, mpi in results:
+            assert comp > 0.0
+            assert mpi > 0.0
+
+    def test_message_costs_raise_mpi_fraction(self, timed_run):
+        """The same run under a zero-cost message model only accumulates
+        imbalance waits; real message costs must raise the fraction."""
+        from repro.simmpi import ZeroCostModel
+
+        world_priced, _ = timed_run
+        platform = XEON_MAX_9480
+
+        def program(comm):
+            ctx = OpsContext(
+                comm=comm, grid=CartGrid((2, 2)),
+                timing=TimingModel(platform, CFG),
+            )
+            run_cloverleaf(ctx, (24, 24), 3, init="sod")
+            return None
+
+        world_free = World(4, ZeroCostModel())
+        world_free.run(program)
+        assert world_priced.mpi_fraction() > world_free.mpi_fraction()
+        assert 0.0 < world_priced.mpi_fraction() < 1.0
+
+    def test_clocks_roughly_balanced(self, timed_run):
+        world, _ = timed_run
+        now = [c.now for c in world.clocks]
+        assert max(now) / min(now) < 1.5
+
+
+class TestUnstructuredTimedPath:
+    def test_distributed_op2_with_timing(self):
+        platform = XEON_MAX_9480
+        mesh = synthetic_ocean(8, 4)
+
+        def program(comm):
+            ctx = DistOp2Context(
+                comm,
+                timing=TimingModel(platform, CFG, klass=AppClass.UNSTRUCTURED,
+                                   dtype_bytes=4),
+            )
+            run_volna(ctx, (16, 4), 3, mesh=mesh)
+            return comm.clock.compute_time, comm.clock.mpi_time
+
+        cm = MachineCostModel(platform, default_placement(platform, 2),
+                              sharing_ranks=2)
+        results = World(2, cm).run(program)
+        for comp, mpi in results:
+            assert comp > 0.0
+            assert mpi > 0.0
+
+    def test_serial_op2_timing_accumulates(self):
+        ctx = Op2Context(timing=TimingModel(XEON_MAX_9480, CFG,
+                                            klass=AppClass.UNSTRUCTURED,
+                                            dtype_bytes=4))
+        run_volna(ctx, (12, 4), 2)
+        assert ctx.simulated_time > 0.0

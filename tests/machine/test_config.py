@@ -1,0 +1,124 @@
+"""Tests for run configurations, feasibility rules, and sweeps."""
+
+import pytest
+
+from repro.machine import (
+    A100_40GB,
+    EPYC_7V73X,
+    XEON_8360Y,
+    XEON_MAX_9480,
+    Compiler,
+    Parallelization,
+    RunConfig,
+    ZmmUsage,
+    best_practice_config,
+    check_feasible,
+    feasible,
+    native_compilers,
+    structured_config_sweep,
+    unstructured_config_sweep,
+)
+
+
+class TestFeasibility:
+    def test_sycl_requires_oneapi(self):
+        cfg = RunConfig(Compiler.CLASSIC, Parallelization.MPI_SYCL_FLAT)
+        with pytest.raises(ValueError, match="SYCL"):
+            check_feasible(cfg, XEON_MAX_9480)
+
+    def test_zmm_high_requires_avx512(self):
+        cfg = RunConfig(Compiler.GCC, Parallelization.MPI, ZmmUsage.HIGH)
+        with pytest.raises(ValueError, match="AVX-512"):
+            check_feasible(cfg, EPYC_7V73X)
+
+    def test_ht_requires_smt(self):
+        cfg = RunConfig(Compiler.GCC, Parallelization.MPI, hyperthreading=True)
+        with pytest.raises(ValueError, match="SMT"):
+            check_feasible(cfg, EPYC_7V73X)
+
+    def test_cuda_requires_gpu(self):
+        cfg = RunConfig(Compiler.NVCC, Parallelization.CUDA)
+        assert feasible(cfg, A100_40GB)
+        assert not feasible(cfg, XEON_MAX_9480)
+
+    def test_cpu_parallelization_rejected_on_gpu(self):
+        cfg = RunConfig(Compiler.NVCC, Parallelization.MPI)
+        assert not feasible(cfg, A100_40GB)
+
+    def test_wrong_compiler_per_platform(self):
+        assert not feasible(RunConfig(Compiler.CLASSIC, Parallelization.MPI), EPYC_7V73X)
+        assert not feasible(RunConfig(Compiler.GCC, Parallelization.MPI), XEON_MAX_9480)
+
+    def test_native_compilers(self):
+        assert native_compilers(XEON_MAX_9480) == (Compiler.CLASSIC, Compiler.ONEAPI)
+        assert native_compilers(EPYC_7V73X) == (Compiler.GCC, Compiler.AOCC)
+        assert native_compilers(A100_40GB) == (Compiler.NVCC,)
+
+
+class TestPlacement:
+    def test_pure_mpi_rank_counts(self):
+        cfg = RunConfig(Compiler.ONEAPI, Parallelization.MPI)
+        assert cfg.ranks(XEON_MAX_9480) == 112
+        assert cfg.with_(hyperthreading=True).ranks(XEON_MAX_9480) == 224
+
+    def test_mpi_omp_one_rank_per_numa(self):
+        cfg = RunConfig(Compiler.ONEAPI, Parallelization.MPI_OMP)
+        assert cfg.ranks(XEON_MAX_9480) == 8  # SNC4, 2 sockets
+        assert cfg.ranks(XEON_8360Y) == 2
+        assert cfg.threads_per_rank(XEON_MAX_9480) == 14
+        assert cfg.with_(hyperthreading=True).threads_per_rank(XEON_MAX_9480) == 28
+
+    def test_pure_mpi_single_thread_per_rank(self):
+        cfg = RunConfig(Compiler.ONEAPI, Parallelization.MPI)
+        assert cfg.threads_per_rank(XEON_MAX_9480) == 1
+
+    def test_cuda_single_rank(self):
+        cfg = RunConfig(Compiler.NVCC, Parallelization.CUDA)
+        assert cfg.ranks(A100_40GB) == 1
+
+
+class TestSweeps:
+    def test_structured_sweep_is_24_rows_on_max(self):
+        # Figure 3: 2 compilers x 2 zmm x 2 ht x {MPI, MPI+OMP} = 16, plus
+        # oneAPI-only SYCL flat/ndrange x 2 zmm x 2 ht = 8.
+        assert len(structured_config_sweep(XEON_MAX_9480)) == 24
+
+    def test_unstructured_sweep_is_25_rows_on_max(self):
+        # Figure 4: {MPI, MPI vec, MPI+OMP} x 2 x 2 x 2 = 24 + 1 SYCL row.
+        assert len(unstructured_config_sweep(XEON_MAX_9480)) == 25
+
+    def test_sweeps_all_feasible(self):
+        for p in (XEON_MAX_9480, XEON_8360Y, EPYC_7V73X):
+            for cfg in structured_config_sweep(p) + unstructured_config_sweep(p):
+                assert feasible(cfg, p), cfg
+
+    def test_epyc_sweep_collapses_zmm_and_ht(self):
+        # No AVX-512, no SMT: only compiler x parallelization remain.
+        cfgs = structured_config_sweep(EPYC_7V73X)
+        assert all(c.zmm is ZmmUsage.DEFAULT for c in cfgs)
+        assert all(not c.hyperthreading for c in cfgs)
+        assert len(cfgs) == 4  # 2 compilers x {MPI, MPI+OMP}
+
+    def test_labels_unique(self):
+        labels = [c.label() for c in structured_config_sweep(XEON_MAX_9480)]
+        assert len(labels) == len(set(labels))
+
+
+class TestBestPractice:
+    def test_paper_recommendation_on_max(self):
+        # Sec. 5: "the best performing combination appears to be
+        # MPI+OpenMP, with OneAPI, ZMM high, and HT disabled"
+        cfg = best_practice_config(XEON_MAX_9480)
+        assert cfg.compiler is Compiler.ONEAPI
+        assert cfg.parallelization is Parallelization.MPI_OMP
+        assert cfg.zmm is ZmmUsage.HIGH
+        assert not cfg.hyperthreading
+
+    def test_adapts_to_epyc(self):
+        cfg = best_practice_config(EPYC_7V73X)
+        assert feasible(cfg, EPYC_7V73X)
+        assert cfg.zmm is ZmmUsage.DEFAULT
+
+    def test_gpu_gets_cuda(self):
+        cfg = best_practice_config(A100_40GB)
+        assert cfg.parallelization is Parallelization.CUDA

@@ -1,0 +1,120 @@
+"""The platform models must reproduce the paper's Section 2 figures."""
+
+import pytest
+
+from repro.machine import (
+    A100_40GB,
+    ALL_PLATFORMS,
+    CPU_PLATFORMS,
+    EPYC_7V73X,
+    XEON_8360Y,
+    XEON_MAX_9480,
+    DeviceKind,
+    get_platform,
+)
+
+
+class TestPaperSection2Numbers:
+    """Every assertion here cites a number printed in the paper."""
+
+    def test_max9480_core_count(self):
+        # "Two sockets, each with 56 cores, Hyperthreading on"
+        assert XEON_MAX_9480.sockets == 2
+        assert XEON_MAX_9480.cores_per_socket == 56
+        assert XEON_MAX_9480.smt == 2
+
+    def test_max9480_numa_layout(self):
+        # "2x4 NUMA regions ... with SNC4"
+        assert XEON_MAX_9480.total_numa_domains == 8
+
+    def test_max9480_peak_fp32(self):
+        # "theoretical 13.6-18.6 FP32 TFLOPS/s"
+        lo, hi = XEON_MAX_9480.peak_flops_range(4)
+        assert lo / 1e12 == pytest.approx(13.6, rel=0.01)
+        assert hi / 1e12 == pytest.approx(18.6, rel=0.01)
+
+    def test_max9480_peak_bandwidth(self):
+        # "on Intel Xeon CPU MAX Series this is around 2x1300 GB/s"
+        assert XEON_MAX_9480.peak_bandwidth / 1e9 == pytest.approx(2600, rel=0.01)
+
+    def test_max9480_stream_plateaus(self):
+        # "The former achieves 1446 GB/s ... the latter 1643 GB/s"
+        assert XEON_MAX_9480.stream_bandwidth / 1e9 == pytest.approx(1446, rel=0.005)
+        assert XEON_MAX_9480.stream_bandwidth_tuned / 1e9 == pytest.approx(1643, rel=0.005)
+
+    def test_max9480_stream_efficiency_range(self):
+        # "only 55%/63% of peak is reached"
+        assert XEON_MAX_9480.memory.stream_efficiency == pytest.approx(0.55, abs=0.01)
+        assert XEON_MAX_9480.memory.stream_efficiency_tuned == pytest.approx(0.63, abs=0.01)
+
+    def test_8360y_core_count_and_clocks(self):
+        # "Two sockets, each with 36 cores ... 2.4 (base) - 2.8 (turbo)"
+        assert XEON_8360Y.total_cores == 72
+        assert XEON_8360Y.base_freq == pytest.approx(2.4e9)
+        assert XEON_8360Y.turbo_freq == pytest.approx(2.8e9)
+
+    def test_8360y_peak_fp32(self):
+        # "theoretical 11-13 FP32 TFLOPS/s"
+        lo, hi = XEON_8360Y.peak_flops_range(4)
+        assert lo / 1e12 == pytest.approx(11.0, rel=0.01)
+        assert hi / 1e12 == pytest.approx(12.9, rel=0.01)
+
+    def test_8360y_stream(self):
+        # "the Xeon Platinum 8360Y and the EPYC 7V73X achieve close to 75%
+        #  of peak at 296 GB/s and 310 GB/s respectively"
+        assert XEON_8360Y.stream_bandwidth / 1e9 == pytest.approx(296, rel=0.005)
+        assert EPYC_7V73X.stream_bandwidth / 1e9 == pytest.approx(310, rel=0.005)
+
+    def test_epyc_core_count_no_smt(self):
+        # "Two sockets, each with 60 available cores, Hyperthreading off"
+        assert EPYC_7V73X.total_cores == 120
+        assert EPYC_7V73X.smt == 1
+
+    def test_epyc_peak_fp32(self):
+        # "theoretical 8.45-13.45 FP32 TFLOPS/s"
+        lo, hi = EPYC_7V73X.peak_flops_range(4)
+        assert lo / 1e12 == pytest.approx(8.45, rel=0.01)
+        assert hi / 1e12 == pytest.approx(13.45, rel=0.01)
+
+    def test_epyc_avx2_only(self):
+        # "EPYC 7V73X only has 256-bit AVX2" (Sec. 6)
+        assert EPYC_7V73X.isa.width_bits == 256
+
+    def test_flop_byte_ratios(self):
+        # "significantly reduced on the Intel Xeon CPU MAX 9480 Processor
+        #  to 9.4, compared to 36 on the Xeon Platinum 8360Y and 28 on the
+        #  EPYC 7V73X"
+        assert XEON_MAX_9480.flop_byte_ratio(4) == pytest.approx(9.4, abs=0.2)
+        assert XEON_8360Y.flop_byte_ratio(4) == pytest.approx(36, abs=2.0)
+        assert EPYC_7V73X.flop_byte_ratio(4) == pytest.approx(28, abs=1.0)
+
+    def test_a100_achievable_bandwidth(self):
+        # "an achievable peak memory bandwidth of 1310 GB/s - 10% lower
+        #  than that measured on the Intel Xeon CPU MAX 9480"
+        assert A100_40GB.stream_bandwidth / 1e9 == pytest.approx(1310, rel=0.005)
+        assert A100_40GB.stream_bandwidth < XEON_MAX_9480.stream_bandwidth_tuned
+
+    def test_epyc_cross_socket_latency_ratio(self):
+        # "the latency across different sockets is 1.6x times worse"
+        intel_avg = 0.5 * (
+            XEON_MAX_9480.latency_cross_socket + XEON_8360Y.latency_cross_socket
+        )
+        assert EPYC_7V73X.latency_cross_socket / intel_avg == pytest.approx(1.6, abs=0.1)
+
+
+class TestRegistry:
+    def test_get_platform_roundtrip(self):
+        for p in ALL_PLATFORMS:
+            assert get_platform(p.short_name) is p
+
+    def test_get_platform_unknown(self):
+        with pytest.raises(KeyError, match="unknown platform"):
+            get_platform("pentium3")
+
+    def test_cpu_platforms_are_cpus(self):
+        assert all(p.kind is DeviceKind.CPU for p in CPU_PLATFORMS)
+        assert A100_40GB.kind is DeviceKind.GPU
+
+    def test_memory_capacity_positive(self):
+        for p in ALL_PLATFORMS:
+            assert p.memory.capacity > 0

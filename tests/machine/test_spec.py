@@ -1,0 +1,164 @@
+"""Unit tests for the platform specification dataclasses."""
+
+import math
+
+import pytest
+
+from repro.machine.spec import (
+    GIB,
+    KIB,
+    MIB,
+    CacheLevel,
+    DeviceKind,
+    MemoryKind,
+    MemorySpec,
+    PlatformSpec,
+    VectorISA,
+    gbs,
+    ghz,
+    ns,
+)
+
+
+def make_platform(**overrides) -> PlatformSpec:
+    """A small, well-formed CPU platform for unit tests."""
+    kw = dict(
+        name="TestBox",
+        short_name="test",
+        kind=DeviceKind.CPU,
+        sockets=2,
+        cores_per_socket=8,
+        numa_per_socket=2,
+        smt=2,
+        base_freq=ghz(2.0),
+        turbo_freq=ghz(3.0),
+        isa=VectorISA("AVX-512", 512, fma_units=2),
+        caches=(
+            CacheLevel("L1", 32 * KIB, gbs(100.0), ns(1.0), scope="core"),
+            CacheLevel("L2", 1 * MIB, gbs(50.0), ns(5.0), scope="core"),
+            CacheLevel("L3", 16 * MIB, gbs(400.0), ns(20.0), scope="socket"),
+        ),
+        memory=MemorySpec(MemoryKind.DDR4, 64 * GIB, gbs(100.0), 0.8),
+        latency_smt_sibling=ns(20.0),
+        latency_same_socket=ns(50.0),
+        latency_cross_socket=ns(100.0),
+        latency_cross_numa=ns(70.0),
+    )
+    kw.update(overrides)
+    return PlatformSpec(**kw)
+
+
+class TestVectorISA:
+    def test_lanes_fp32_avx512(self):
+        assert VectorISA("AVX-512", 512).lanes(4) == 16
+
+    def test_lanes_fp64_avx2(self):
+        assert VectorISA("AVX2", 256).lanes(8) == 4
+
+    def test_flops_per_cycle(self):
+        # 16 lanes * 2 FMA pipes * 2 flops = 64 FP32 flops/cycle
+        assert VectorISA("AVX-512", 512, fma_units=2).flops_per_cycle(4) == 64
+        assert VectorISA("AVX2", 256, fma_units=2).flops_per_cycle(4) == 32
+
+
+class TestCacheLevel:
+    def test_num_sets(self):
+        lvl = CacheLevel("L1", 32 * KIB, gbs(1.0), ns(1.0), associativity=8)
+        assert lvl.num_sets == 32 * KIB // (64 * 8)
+
+    def test_rejects_bad_scope(self):
+        with pytest.raises(ValueError, match="scope"):
+            CacheLevel("L1", 32 * KIB, gbs(1.0), ns(1.0), scope="chip")
+
+    def test_rejects_nondivisible_capacity(self):
+        with pytest.raises(ValueError):
+            CacheLevel("L1", 1000, gbs(1.0), ns(1.0), associativity=8)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CacheLevel("L1", 0, gbs(1.0), ns(1.0))
+
+
+class TestMemorySpec:
+    def test_achievable_bandwidth(self):
+        mem = MemorySpec(MemoryKind.HBM2E, GIB, gbs(1000.0), 0.5, 0.6)
+        assert mem.achievable_bandwidth == pytest.approx(gbs(500.0))
+        assert mem.achievable_bandwidth_tuned == pytest.approx(gbs(600.0))
+
+    def test_tuned_falls_back(self):
+        mem = MemorySpec(MemoryKind.DDR4, GIB, gbs(100.0), 0.75)
+        assert mem.achievable_bandwidth_tuned == mem.achievable_bandwidth
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            MemorySpec(MemoryKind.DDR4, GIB, gbs(100.0), 1.5)
+        with pytest.raises(ValueError):
+            MemorySpec(MemoryKind.DDR4, GIB, gbs(100.0), 0.5, 0.0)
+
+
+class TestPlatformSpec:
+    def test_counts(self):
+        p = make_platform()
+        assert p.total_cores == 16
+        assert p.total_threads == 32
+        assert p.total_numa_domains == 4
+        assert p.cores_per_numa == 4
+
+    def test_peak_flops_base_and_turbo(self):
+        p = make_platform()
+        # 16 cores * 64 flops/cycle * 2 GHz
+        assert p.peak_flops(4) == pytest.approx(16 * 64 * 2e9)
+        lo, hi = p.peak_flops_range(4)
+        assert hi / lo == pytest.approx(1.5)
+
+    def test_flop_byte_ratio_achieved_vs_peak(self):
+        p = make_platform()
+        assert p.flop_byte_ratio(4, achieved=True) > p.flop_byte_ratio(4, achieved=False)
+        assert p.flop_byte_ratio(4, achieved=True) == pytest.approx(
+            p.peak_flops(4) / p.stream_bandwidth
+        )
+
+    def test_numa_domains_cover_all_cores_once(self):
+        p = make_platform()
+        seen = []
+        for d in p.numa_domains():
+            seen.extend(d.cores)
+        assert sorted(seen) == list(range(p.total_cores))
+
+    def test_numa_of_core_matches_enumeration(self):
+        p = make_platform()
+        for d in p.numa_domains():
+            for c in d.cores:
+                assert p.numa_of_core(c) == d.domain_id
+                assert p.socket_of_core(c) == d.socket
+
+    def test_socket_of_core_bounds(self):
+        p = make_platform()
+        with pytest.raises(ValueError):
+            p.socket_of_core(p.total_cores)
+        with pytest.raises(ValueError):
+            p.numa_of_core(-1)
+
+    def test_cache_lookup(self):
+        p = make_platform()
+        assert p.cache("l2").name == "L2"
+        with pytest.raises(KeyError):
+            p.cache("L4")
+
+    def test_cache_totals_scale_by_scope(self):
+        p = make_platform()
+        assert p.cache_capacity_total("L1") == 32 * KIB * 16
+        assert p.cache_capacity_total("L3") == 16 * MIB * 2
+        assert p.cache_bandwidth_total("L3") == pytest.approx(gbs(800.0))
+
+    def test_validation_rejects_bad_numa_split(self):
+        with pytest.raises(ValueError):
+            make_platform(cores_per_socket=7, numa_per_socket=2)
+
+    def test_validation_rejects_turbo_below_base(self):
+        with pytest.raises(ValueError):
+            make_platform(turbo_freq=ghz(1.0))
+
+    def test_validation_rejects_bad_smt(self):
+        with pytest.raises(ValueError):
+            make_platform(smt=3)

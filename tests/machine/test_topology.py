@@ -1,0 +1,125 @@
+"""Tests for core topology classification and the Figure 2 latency model."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    EPYC_7V73X,
+    XEON_8360Y,
+    XEON_MAX_9480,
+    CoreToCoreBenchmark,
+    PairKind,
+    classify_pair,
+    latency_matrix,
+    pair_latency,
+)
+from repro.machine.topology import hw_thread_to_core
+
+
+class TestThreadMapping:
+    def test_first_block_is_physical_cores(self):
+        p = XEON_MAX_9480
+        for t in range(p.total_cores):
+            assert hw_thread_to_core(p, t) == t
+
+    def test_second_block_is_smt_siblings(self):
+        p = XEON_MAX_9480
+        for t in range(p.total_cores):
+            assert hw_thread_to_core(p, t + p.total_cores) == t
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            hw_thread_to_core(XEON_MAX_9480, XEON_MAX_9480.total_threads)
+
+
+class TestClassification:
+    def test_self(self):
+        assert classify_pair(XEON_MAX_9480, 3, 3) is PairKind.SELF
+
+    def test_smt_sibling(self):
+        p = XEON_MAX_9480
+        assert classify_pair(p, 0, p.total_cores) is PairKind.SMT_SIBLING
+
+    def test_same_numa(self):
+        # Cores 0 and 1 are in NUMA domain 0 on every platform here.
+        assert classify_pair(XEON_MAX_9480, 0, 1) is PairKind.SAME_NUMA
+
+    def test_same_socket_cross_numa(self):
+        p = XEON_MAX_9480  # SNC4: 14 cores per NUMA domain
+        assert classify_pair(p, 0, p.cores_per_numa) is PairKind.SAME_SOCKET
+
+    def test_cross_socket(self):
+        p = XEON_MAX_9480
+        assert classify_pair(p, 0, p.cores_per_socket) is PairKind.CROSS_SOCKET
+
+    def test_8360y_has_no_cross_numa_class(self):
+        p = XEON_8360Y  # 1 NUMA domain per socket
+        kinds = {classify_pair(p, 0, t) for t in range(1, p.total_cores)}
+        assert PairKind.SAME_SOCKET not in kinds
+
+
+class TestLatencies:
+    def test_latency_ordering(self):
+        """SMT sibling < same NUMA < cross NUMA < cross socket."""
+        p = XEON_MAX_9480
+        smt = pair_latency(p, 0, p.total_cores).latency
+        near = pair_latency(p, 0, 1).latency
+        numa = pair_latency(p, 0, p.cores_per_numa).latency
+        far = pair_latency(p, 0, p.cores_per_socket).latency
+        assert smt < near < numa < far
+
+    def test_self_latency_zero(self):
+        assert pair_latency(XEON_MAX_9480, 5, 5).latency == 0.0
+
+    def test_matrix_symmetric_zero_diag(self):
+        m = latency_matrix(XEON_MAX_9480, threads=list(range(8)))
+        assert np.allclose(m, m.T)
+        assert np.all(np.diag(m) == 0.0)
+
+    def test_epyc_cross_numa_penalty(self):
+        """Milan-X chiplet hop is expensive relative to in-CCX."""
+        p = EPYC_7V73X
+        near = pair_latency(p, 0, 1).latency
+        numa = pair_latency(p, 0, p.cores_per_numa).latency
+        assert numa / near > 3.0
+
+
+class TestCoreToCoreBenchmark:
+    def test_contention_grows_with_lines(self):
+        few = CoreToCoreBenchmark(XEON_MAX_9480, num_lines=1)
+        many = CoreToCoreBenchmark(XEON_MAX_9480, num_lines=64)
+        assert many.measure(0, 1) > few.measure(0, 1)
+
+    def test_single_line_equals_base_latency(self):
+        bench = CoreToCoreBenchmark(XEON_MAX_9480, num_lines=1)
+        assert bench.measure(0, 1) == pytest.approx(
+            pair_latency(XEON_MAX_9480, 0, 1).latency
+        )
+
+    def test_rejects_zero_lines(self):
+        with pytest.raises(ValueError):
+            CoreToCoreBenchmark(XEON_MAX_9480, num_lines=0)
+
+    def test_representative_pairs_intel(self):
+        pairs = CoreToCoreBenchmark(XEON_MAX_9480).representative_pairs()
+        assert {"smt-siblings", "adjacent-cores", "cross-numa", "cross-socket"} <= set(pairs)
+        assert pairs["smt-siblings"] < pairs["adjacent-cores"] < pairs["cross-socket"]
+
+    def test_representative_pairs_epyc_no_smt(self):
+        pairs = CoreToCoreBenchmark(EPYC_7V73X).representative_pairs()
+        assert "smt-siblings" not in pairs
+        assert {"adjacent-cores", "cross-numa", "cross-socket"} <= set(pairs)
+
+    def test_epyc_cross_socket_worst(self):
+        """Figure 2: EPYC cross-socket ~1.6x worse than Intel systems."""
+        epyc = CoreToCoreBenchmark(EPYC_7V73X).representative_pairs()
+        intel = CoreToCoreBenchmark(XEON_8360Y).representative_pairs()
+        assert epyc["cross-socket"] / intel["cross-socket"] > 1.4
+
+    def test_max9480_no_latency_improvement_over_8360y(self):
+        """Figure 2: 'there hasn't been a significant improvement (in some
+        cases even slight regression)' vs the 8360Y."""
+        new = CoreToCoreBenchmark(XEON_MAX_9480).representative_pairs()
+        old = CoreToCoreBenchmark(XEON_8360Y).representative_pairs()
+        for key in ("smt-siblings", "adjacent-cores", "cross-socket"):
+            assert new[key] >= old[key]

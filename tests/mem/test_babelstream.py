@@ -1,0 +1,78 @@
+"""Tests for the full BabelStream suite."""
+
+import numpy as np
+import pytest
+
+from repro.machine import XEON_8360Y, XEON_MAX_9480
+from repro.mem import Scope
+from repro.mem.babelstream import KERNEL_BYTES, BabelStream, KernelResult
+
+
+class TestSuite:
+    @pytest.fixture(scope="class")
+    def results(self):
+        suite = BabelStream(n=2**14)
+        return suite, suite.run(repetitions=3)
+
+    def test_all_five_kernels(self, results):
+        _, res = results
+        assert set(res) == {"copy", "mul", "add", "triad", "dot"}
+
+    def test_verification_passed_implicitly(self, results):
+        """run() raises on verification failure; reaching here means the
+        closed-form check held after 3 repetitions."""
+        suite, _ = results
+        assert np.all(np.isfinite(suite.arrays.a))
+
+    def test_timings_positive(self, results):
+        _, res = results
+        for r in res.values():
+            assert r.best_time > 0
+            assert r.mean_time >= r.best_time
+            assert r.best_bandwidth > 0
+
+    def test_byte_counts(self, results):
+        suite, res = results
+        assert res["copy"].nbytes == 2 * suite.n * 8
+        assert res["triad"].nbytes == 3 * suite.n * 8
+
+    def test_verification_catches_corruption(self):
+        suite = BabelStream(n=1024)
+        suite.run(repetitions=2)
+        suite.arrays.a[5] += 1.0
+        with pytest.raises(AssertionError, match="verification"):
+            suite.verify(2, float(np.dot(suite.arrays.a, suite.arrays.b)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BabelStream(n=1)
+        with pytest.raises(ValueError):
+            BabelStream(n=64).run(repetitions=0)
+
+
+class TestModeled:
+    def test_triad_matches_figure1_plateau(self):
+        suite = BabelStream(n=2**27)
+        bw = suite.modeled_bandwidth(XEON_MAX_9480)
+        assert bw / 1e9 == pytest.approx(1446, rel=0.02)
+
+    def test_tuned_flag(self):
+        suite = BabelStream(n=2**27)
+        assert suite.modeled_bandwidth(XEON_MAX_9480, tuned=True) > suite.modeled_bandwidth(
+            XEON_MAX_9480
+        )
+
+    def test_scope(self):
+        suite = BabelStream(n=2**27)
+        assert suite.modeled_bandwidth(XEON_MAX_9480, scope=Scope.NUMA) < \
+            suite.modeled_bandwidth(XEON_MAX_9480)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            BabelStream(n=64).modeled_bandwidth(XEON_8360Y, kernel="nstream")
+
+    def test_report_renders(self):
+        suite = BabelStream(n=2**12)
+        res = suite.run(repetitions=2)
+        text = suite.report(res, XEON_MAX_9480)
+        assert "triad" in text and "max9480" in text

@@ -1,0 +1,194 @@
+"""Unit and property-based tests for the set-associative cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.cache import Cache, CacheHierarchy
+
+
+class TestCacheBasics:
+    def test_geometry(self):
+        c = Cache(capacity=8192, line_size=64, associativity=4)
+        assert c.num_sets == 32
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Cache(capacity=1000, line_size=64, associativity=4)
+        with pytest.raises(ValueError):
+            Cache(capacity=0)
+
+    def test_cold_miss_then_hit(self):
+        c = Cache(4096)
+        assert c.access(0) is False
+        assert c.access(0) is True
+        assert c.access(63) is True  # same line
+        assert c.access(64) is False  # next line
+
+    def test_stats_consistency(self):
+        c = Cache(4096)
+        for a in range(0, 1024, 64):
+            c.access(a)
+        assert c.stats.accesses == c.stats.hits + c.stats.misses
+        assert c.stats.misses == 16
+
+    def test_lru_eviction_order(self):
+        # Direct-ish cache: 1 set with 2 ways.
+        c = Cache(capacity=128, line_size=64, associativity=2)
+        c.access(0)  # line 0
+        c.access(64)  # line 1
+        c.access(128)  # line 2 -> evicts line 0 (LRU)
+        assert not c.contains(0)
+        assert c.contains(64)
+        assert c.contains(128)
+
+    def test_lru_touch_refreshes(self):
+        c = Cache(capacity=128, line_size=64, associativity=2)
+        c.access(0)
+        c.access(64)
+        c.access(0)  # refresh line 0; line 1 is now LRU
+        c.access(128)
+        assert c.contains(0)
+        assert not c.contains(64)
+
+    def test_writeback_counted(self):
+        c = Cache(capacity=128, line_size=64, associativity=1)
+        c.access(0, write=True)
+        c.access(64)  # maps to a different set; no eviction
+        c.access(128)  # same set as line 0 -> evicts dirty line
+        assert c.stats.writebacks == 1
+
+    def test_flush_reports_dirty_lines(self):
+        c = Cache(4096)
+        c.access(0, write=True)
+        c.access(64, write=False)
+        assert c.flush() == 1
+        assert c.resident_lines() == 0
+
+    def test_no_write_allocate(self):
+        c = Cache(4096, write_allocate=False)
+        c.access(0, write=True)
+        assert not c.contains(0)
+
+    def test_access_range_counts_all_lines(self):
+        c = Cache(1 << 20)
+        misses = c.access_range(0, 640)
+        assert misses == 10
+
+    def test_access_range_empty(self):
+        c = Cache(4096)
+        assert c.access_range(0, 0) == 0
+
+    def test_access_array(self):
+        c = Cache(1 << 20)
+        assert c.access_array(np.arange(10)) == 10
+        assert c.access_array(np.arange(10)) == 0
+
+
+class TestStreamingBehaviour:
+    def test_working_set_within_capacity_all_hits_second_pass(self):
+        c = Cache(capacity=64 * 1024, associativity=8)
+        n_lines = 512  # 32 KiB < capacity
+        for line in range(n_lines):
+            c.access_line(line)
+        c.stats.reset()
+        for line in range(n_lines):
+            c.access_line(line)
+        assert c.stats.hit_rate == 1.0
+
+    def test_working_set_beyond_capacity_cyclic_thrash(self):
+        """LRU + cyclic sweep over > capacity yields zero reuse."""
+        c = Cache(capacity=4096, line_size=64, associativity=64)  # fully assoc, 64 lines
+        n_lines = 65
+        for _ in range(3):
+            for line in range(n_lines):
+                c.access_line(line)
+        # After warmup, every access still misses.
+        c.stats.reset()
+        for line in range(n_lines):
+            c.access_line(line)
+        assert c.stats.hit_rate == 0.0
+
+
+class TestHierarchy:
+    def test_requires_consistent_line_size(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([Cache(4096, line_size=64), Cache(8192, line_size=128)])
+
+    def test_requires_levels(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([])
+
+    def test_fill_path(self):
+        h = CacheHierarchy([Cache(4096), Cache(65536)])
+        assert h.access(0) == 2  # memory
+        assert h.access(0) == 0  # L1 now
+        assert h.memory_lines == 1
+
+    def test_l2_hit_fills_l1(self):
+        l1 = Cache(capacity=128, line_size=64, associativity=1)
+        l2 = Cache(capacity=65536)
+        h = CacheHierarchy([l1, l2])
+        h.access(0)
+        h.access(128)  # evicts line 0 from tiny L1, still in L2
+        assert h.access(0) == 1  # L2 hit
+        assert l1.contains(0)  # refilled
+
+    def test_memory_traffic_bytes(self):
+        h = CacheHierarchy([Cache(1 << 20)])
+        h.access_range(0, 64 * 100)
+        assert h.memory_traffic_bytes == 64 * 100
+
+    def test_reset(self):
+        h = CacheHierarchy([Cache(4096)])
+        h.access(0)
+        h.reset()
+        assert h.memory_lines == 0
+        assert h.access(0) == 1  # cold again
+
+
+class TestCacheProperties:
+    @given(
+        addrs=st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=300),
+        assoc=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_resident_never_exceeds_capacity(self, addrs, assoc):
+        c = Cache(capacity=64 * 64 * assoc, line_size=64, associativity=assoc)
+        for a in addrs:
+            c.access(a)
+        assert c.resident_lines() <= c.capacity // c.line_size
+
+    @given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_immediate_rereference_always_hits(self, addrs):
+        c = Cache(capacity=8192)
+        for a in addrs:
+            c.access(a)
+            assert c.access(a) is True
+
+    @given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 18), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_stats_balance(self, addrs):
+        c = Cache(capacity=4096, associativity=2)
+        for a in addrs:
+            c.access(a, write=(a % 3 == 0))
+        assert c.stats.accesses == len(addrs)
+        assert c.stats.hits + c.stats.misses == c.stats.accesses
+        assert c.stats.evictions <= c.stats.misses
+
+    @given(
+        addrs=st.lists(st.integers(min_value=0, max_value=1 << 18), min_size=1, max_size=150),
+        cap_small=st.sampled_from([1024, 2048]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bigger_cache_never_more_misses(self, addrs, cap_small):
+        """Miss count is monotone non-increasing in capacity for LRU
+        (the stack property), at fixed associativity = full."""
+        small = Cache(cap_small, line_size=64, associativity=cap_small // 64)
+        big = Cache(cap_small * 4, line_size=64, associativity=cap_small * 4 // 64)
+        for a in addrs:
+            small.access(a)
+            big.access(a)
+        assert big.stats.misses <= small.stats.misses

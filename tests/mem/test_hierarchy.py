@@ -1,0 +1,137 @@
+"""Tests for the achievable-bandwidth model behind Figure 1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import ALL_PLATFORMS, EPYC_7V73X, XEON_8360Y, XEON_MAX_9480
+from repro.mem import HierarchyModel, Scope
+
+
+class TestScopes:
+    def test_node_memory_bandwidth_matches_spec(self):
+        hm = HierarchyModel(XEON_MAX_9480)
+        assert hm.memory_bandwidth(Scope.NODE) == pytest.approx(
+            XEON_MAX_9480.stream_bandwidth
+        )
+
+    def test_socket_is_half_node(self):
+        hm = HierarchyModel(XEON_MAX_9480)
+        assert hm.memory_bandwidth(Scope.SOCKET) == pytest.approx(
+            hm.memory_bandwidth(Scope.NODE) / 2
+        )
+
+    def test_numa_is_eighth_of_node_on_snc4(self):
+        hm = HierarchyModel(XEON_MAX_9480)
+        assert hm.memory_bandwidth(Scope.NUMA) == pytest.approx(
+            hm.memory_bandwidth(Scope.NODE) / 8
+        )
+
+    def test_tuned_only_helps_where_spec_says(self):
+        hm_max = HierarchyModel(XEON_MAX_9480)
+        hm_icx = HierarchyModel(XEON_8360Y)
+        assert hm_max.memory_bandwidth(Scope.NODE, tuned=True) > hm_max.memory_bandwidth(
+            Scope.NODE
+        )
+        assert hm_icx.memory_bandwidth(Scope.NODE, tuned=True) == pytest.approx(
+            hm_icx.memory_bandwidth(Scope.NODE)
+        )
+
+
+class TestEffectiveBandwidth:
+    def test_large_working_set_hits_memory_plateau(self):
+        hm = HierarchyModel(XEON_MAX_9480)
+        bw = hm.effective_bandwidth(8 * 2**30)
+        assert bw == pytest.approx(XEON_MAX_9480.stream_bandwidth)
+
+    def test_cache_resident_faster_than_memory(self):
+        hm = HierarchyModel(XEON_MAX_9480)
+        small = hm.effective_bandwidth(32 * 2**20)  # fits aggregate L2
+        large = hm.effective_bandwidth(8 * 2**30)
+        assert small > 3 * large
+
+    def test_cache_plateau_capped_by_core_throughput(self):
+        hm = HierarchyModel(XEON_MAX_9480)
+        bw = hm.effective_bandwidth(16 * 2**20)
+        assert bw <= hm.core_throughput_ceiling(Scope.NODE) + 1e-6
+
+    def test_monotone_nonincreasing_in_working_set(self):
+        hm = HierarchyModel(XEON_8360Y)
+        sizes = np.logspace(4, 10.5, 60)
+        bws = [hm.effective_bandwidth(s) for s in sizes]
+        assert all(a >= b - 1e-6 for a, b in zip(bws, bws[1:]))
+
+    def test_rejects_nonpositive_working_set(self):
+        with pytest.raises(ValueError):
+            HierarchyModel(XEON_MAX_9480).effective_bandwidth(0)
+
+
+class TestPaperRatios:
+    def test_cache_to_memory_ratios(self):
+        """Figure 1 / Figure 9: 3.8x on MAX 9480, ~6.3x on 8360Y, ~14x on
+        the V-Cache EPYC."""
+        assert HierarchyModel(XEON_MAX_9480).cache_to_memory_ratio() == pytest.approx(3.8, abs=0.15)
+        assert HierarchyModel(XEON_8360Y).cache_to_memory_ratio() == pytest.approx(6.3, abs=0.3)
+        assert HierarchyModel(EPYC_7V73X).cache_to_memory_ratio() == pytest.approx(14.0, abs=0.7)
+
+    def test_max9480_ratio_is_lowest(self):
+        """The paper's key observation: the cache advantage is smallest on
+        the HBM platform, so tiling helps it least (Fig. 9)."""
+        ratios = {p.short_name: HierarchyModel(p).cache_to_memory_ratio()
+                  for p in (XEON_MAX_9480, XEON_8360Y, EPYC_7V73X)}
+        assert ratios["max9480"] < ratios["icx8360y"] < ratios["epyc7v73x"]
+
+
+class TestMeasuredBandwidth:
+    def test_launch_overhead_suppresses_tiny_sizes(self):
+        hm = HierarchyModel(XEON_MAX_9480)
+        tiny = hm.measured_bandwidth(3 * 1024 * 8)
+        big = hm.measured_bandwidth(3 * 2**22 * 8)
+        assert tiny < 0.2 * big
+
+    def test_measured_below_effective(self):
+        hm = HierarchyModel(XEON_MAX_9480)
+        ws = 3 * 2**20 * 8.0
+        assert hm.measured_bandwidth(ws) < hm.effective_bandwidth(ws)
+
+    def test_bandwidth_curve_points(self):
+        hm = HierarchyModel(XEON_8360Y)
+        pts = hm.bandwidth_curve(2 ** np.arange(16, 30))
+        assert len(pts) == 14
+        assert pts[-1].bandwidth == pytest.approx(XEON_8360Y.stream_bandwidth, rel=0.05)
+
+
+class TestTimeToMove:
+    def test_simple_ratio(self):
+        hm = HierarchyModel(XEON_MAX_9480)
+        nbytes = 1e9
+        t = hm.time_to_move(nbytes)
+        assert t == pytest.approx(nbytes / XEON_MAX_9480.stream_bandwidth)
+
+    def test_cached_working_set_moves_faster(self):
+        hm = HierarchyModel(XEON_MAX_9480)
+        nbytes = 1e9
+        t_mem = hm.time_to_move(nbytes)
+        t_cache = hm.time_to_move(nbytes, working_set=16 * 2**20)
+        assert t_cache < t_mem / 3
+
+    @given(nbytes=st.floats(min_value=1e3, max_value=1e12))
+    @settings(max_examples=30, deadline=None)
+    def test_time_positive_and_linear(self, nbytes):
+        hm = HierarchyModel(XEON_8360Y)
+        t1 = hm.time_to_move(nbytes)
+        t2 = hm.time_to_move(2 * nbytes, working_set=2 * nbytes)
+        assert t1 > 0
+        # Doubling bytes at least doubles.. or keeps time equal-rate:
+        assert t2 >= t1
+
+
+@pytest.mark.parametrize("platform", ALL_PLATFORMS, ids=lambda p: p.short_name)
+def test_aggregate_levels_monotone_capacity(platform):
+    """Aggregated level capacities must ascend so the resident-level
+    search is well-defined."""
+    hm = HierarchyModel(platform)
+    for scope in Scope:
+        caps = [c for c, _ in hm.aggregate_levels(scope)]
+        assert caps == sorted(caps)

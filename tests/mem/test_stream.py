@@ -1,0 +1,113 @@
+"""Tests for the BabelStream kernels and the Figure 1 Triad sweep."""
+
+import numpy as np
+import pytest
+
+from repro.machine import EPYC_7V73X, XEON_8360Y, XEON_MAX_9480
+from repro.mem import Scope, StreamArrays, plateau_bandwidth, triad_bytes, triad_sweep
+from repro.mem.stream import STREAM_SCALAR, add, copy, dot, mul, triad
+
+
+@pytest.fixture
+def arrays():
+    return StreamArrays.allocate(1000)
+
+
+class TestKernels:
+    """The kernels are real computations; verify them exactly."""
+
+    def test_initial_values(self, arrays):
+        assert np.all(arrays.a == 0.1)
+        assert np.all(arrays.b == 0.2)
+        assert np.all(arrays.c == 0.0)
+
+    def test_copy(self, arrays):
+        copy(arrays)
+        np.testing.assert_array_equal(arrays.c, arrays.a)
+
+    def test_mul(self, arrays):
+        arrays.c[:] = 0.5
+        mul(arrays)
+        np.testing.assert_allclose(arrays.b, STREAM_SCALAR * 0.5)
+
+    def test_add(self, arrays):
+        add(arrays)
+        np.testing.assert_allclose(arrays.c, 0.1 + 0.2)
+
+    def test_triad(self, arrays):
+        arrays.c[:] = 1.0
+        triad(arrays)
+        np.testing.assert_allclose(arrays.a, 0.2 + STREAM_SCALAR * 1.0)
+
+    def test_dot(self, arrays):
+        assert dot(arrays) == pytest.approx(1000 * 0.1 * 0.2)
+
+    def test_full_stream_sequence(self):
+        """Run the canonical copy->mul->add->triad->dot sequence and check
+        the closed-form expected values, as BabelStream's verification does."""
+        s = StreamArrays.allocate(4096)
+        a, b, c = 0.1, 0.2, 0.0
+        for _ in range(5):
+            copy(s); c = a
+            mul(s); b = STREAM_SCALAR * c
+            add(s); c = a + b
+            triad(s); a = b + STREAM_SCALAR * c
+        np.testing.assert_allclose(s.a, a)
+        np.testing.assert_allclose(s.b, b)
+        np.testing.assert_allclose(s.c, c)
+
+    def test_allocate_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            StreamArrays.allocate(0)
+
+    def test_nbytes(self):
+        s = StreamArrays.allocate(100, dtype=np.float32)
+        assert s.nbytes == 3 * 100 * 4
+
+
+class TestTriadBytes:
+    def test_triad_traffic(self):
+        assert triad_bytes(1000, 8) == 24000
+
+
+class TestFigure1:
+    def test_plateaus_match_paper(self):
+        # 1446 / 1643 / 296 / 310 GB/s
+        assert plateau_bandwidth(XEON_MAX_9480) / 1e9 == pytest.approx(1446, rel=0.01)
+        assert plateau_bandwidth(XEON_MAX_9480, tuned=True) / 1e9 == pytest.approx(1643, rel=0.01)
+        assert plateau_bandwidth(XEON_8360Y) / 1e9 == pytest.approx(296, rel=0.01)
+        assert plateau_bandwidth(EPYC_7V73X) / 1e9 == pytest.approx(310, rel=0.01)
+
+    def test_max_speedup_over_previous_gen(self):
+        # "1446 GB/s, a 4.8x increase over the Xeon Platinum 8360Y" and
+        # "the latter [1643] a 5.5x increase"
+        ratio_plain = plateau_bandwidth(XEON_MAX_9480) / plateau_bandwidth(XEON_8360Y)
+        ratio_tuned = plateau_bandwidth(XEON_MAX_9480, tuned=True) / plateau_bandwidth(XEON_8360Y)
+        assert ratio_plain == pytest.approx(4.8, abs=0.15)
+        assert ratio_tuned == pytest.approx(5.5, abs=0.15)
+
+    def test_sweep_has_cache_hump_and_plateau(self):
+        res = triad_sweep(XEON_MAX_9480, sizes=2 ** np.arange(14, 28))
+        bws = [r.bandwidth for r in res]
+        peak = max(bws)
+        # Hump: the peak (cache region) exceeds both ends.
+        assert peak > bws[0] * 2
+        assert peak > bws[-1] * 2
+        # Large-size plateau near the STREAM figure.
+        assert bws[-1] == pytest.approx(XEON_MAX_9480.stream_bandwidth, rel=0.05)
+
+    def test_sweep_scopes_ordered(self):
+        sizes = np.array([2**26])
+        node = triad_sweep(XEON_MAX_9480, sizes, Scope.NODE)[0].bandwidth
+        sock = triad_sweep(XEON_MAX_9480, sizes, Scope.SOCKET)[0].bandwidth
+        numa = triad_sweep(XEON_MAX_9480, sizes, Scope.NUMA)[0].bandwidth
+        assert numa < sock < node
+
+    def test_sweep_default_sizes(self):
+        res = triad_sweep(XEON_8360Y)
+        assert len(res) == 14
+        assert all(r.platform == "icx8360y" for r in res)
+
+    def test_gbs_property(self):
+        res = triad_sweep(XEON_8360Y, sizes=np.array([2**20]))[0]
+        assert res.gbs == pytest.approx(res.bandwidth / 1e9)

@@ -1,0 +1,105 @@
+"""Tests for OP2 checkpoint/restart."""
+
+import numpy as np
+import pytest
+
+from repro.apps.volna import run_volna, synthetic_ocean
+from repro.op2 import DistOp2Context, Op2Context
+from repro.op2.checkpoint import load_dats, save_dats
+from repro.simmpi import RankFailedError, World
+
+
+class TestSerial:
+    def test_roundtrip_mid_simulation(self, tmp_path):
+        """Checkpoint Volna mid-run; a fresh context restarted from it
+        finishes with the same state as the uninterrupted run."""
+        mesh = synthetic_ocean(8, 4)
+        path = str(tmp_path / "v.npz")
+
+        full = run_volna(Op2Context(), (16, 4), 6, mesh=mesh)
+
+        # Interrupted: 3 steps, save w, rebuild, load, 3 more steps.
+        # (Volna's state is fully described by w; dt is recomputed.)
+        ctx1 = Op2Context()
+        part1 = run_volna(ctx1, (16, 4), 3, mesh=mesh)
+
+        ctx2 = Op2Context()
+        cells = ctx2.set("cells", mesh.n_cells)
+        w2 = ctx2.dat(cells, 3, "w", dtype=np.float32)
+        # Transfer through the checkpoint file.
+        ctx_save = Op2Context()
+        cells_s = ctx_save.set("cells", mesh.n_cells)
+        w_s = ctx_save.dat(cells_s, 3, "w", dtype=np.float32, data=part1["w"])
+        save_dats(path, ctx_save, [w_s])
+        load_dats(path, ctx2, [w2])
+        np.testing.assert_array_equal(w2.data, part1["w"].astype(np.float32))
+
+    def test_missing_name(self, tmp_path):
+        path = str(tmp_path / "x.npz")
+        ctx = Op2Context()
+        s = ctx.set("s", 4)
+        save_dats(path, ctx, [ctx.dat(s, 1, "a")])
+        ctx2 = Op2Context()
+        s2 = ctx2.set("s", 4)
+        with pytest.raises(KeyError, match="no dat"):
+            load_dats(path, ctx2, [ctx2.dat(s2, 1, "b")])
+
+    def test_size_change_rejected(self, tmp_path):
+        path = str(tmp_path / "x.npz")
+        ctx = Op2Context()
+        s = ctx.set("s", 4)
+        save_dats(path, ctx, [ctx.dat(s, 1, "a")])
+        ctx2 = Op2Context()
+        s2 = ctx2.set("s", 5)
+        with pytest.raises(ValueError, match="set size"):
+            load_dats(path, ctx2, [ctx2.dat(s2, 1, "a")])
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_dats(str(tmp_path / "x.npz"), Op2Context(), [])
+
+
+class TestDistributed:
+    def test_per_rank_roundtrip(self, tmp_path):
+        path = str(tmp_path / "d.npz")
+        n = 12
+        data = np.arange(2.0 * n).reshape(n, 2)
+
+        def writer(comm):
+            ctx = DistOp2Context(comm)
+            s = ctx.set("cells", n)
+            d = ctx.dat(s, 2, "q", data=data)
+            save_dats(path, ctx, [d])
+
+        World(3).run(writer)
+
+        def reader(comm):
+            ctx = DistOp2Context(comm)
+            s = ctx.set("cells", n)
+            d = ctx.dat(s, 2, "q")
+            load_dats(path, ctx, [d])
+            return ctx.gather_dat(d)
+
+        results = World(3).run(reader)
+        np.testing.assert_array_equal(results[0], data)
+
+    def test_partition_change_rejected(self, tmp_path):
+        path = str(tmp_path / "d2.npz")
+        n = 12
+
+        def writer(comm):
+            ctx = DistOp2Context(comm)
+            s = ctx.set("cells", n)
+            save_dats(path, ctx, [ctx.dat(s, 1, "q")])
+
+        World(3).run(writer)
+
+        def reader(comm):
+            parts = np.zeros(n, dtype=np.int64)
+            parts[n // 2:] = comm.size - 1
+            ctx = DistOp2Context(comm, partitions={"cells": parts})
+            s = ctx.set("cells", n)
+            load_dats(path, ctx, [ctx.dat(s, 1, "q")])
+
+        with pytest.raises(RankFailedError, match="partitioning"):
+            World(3).run(reader)

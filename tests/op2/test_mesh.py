@@ -1,0 +1,112 @@
+"""Tests for OP2 sets, maps, dats, and access declaration validation."""
+
+import numpy as np
+import pytest
+
+from repro.op2 import Access, Dat, Global, Map, Op2Context, Set, arg, arg_direct, arg_global
+
+
+class TestSet:
+    def test_size(self):
+        s = Set("cells", 10)
+        assert len(s) == 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Set("bad", -1)
+
+
+class TestMap:
+    def test_construction(self):
+        e, c = Set("edges", 3), Set("cells", 4)
+        m = Map("e2c", e, c, np.array([[0, 1], [1, 2], [2, 3]]))
+        assert m.arity == 2
+
+    def test_1d_values_promoted(self):
+        e, c = Set("edges", 3), Set("cells", 4)
+        m = Map("e2c", e, c, np.array([0, 1, 2]))
+        assert m.arity == 1
+
+    def test_shape_validation(self):
+        e, c = Set("edges", 3), Set("cells", 4)
+        with pytest.raises(ValueError, match="arity"):
+            Map("bad", e, c, np.zeros((2, 2), dtype=int))
+
+    def test_range_validation(self):
+        e, c = Set("edges", 2), Set("cells", 3)
+        with pytest.raises(ValueError, match="out of range"):
+            Map("bad", e, c, np.array([[0, 3], [1, 2]]))
+        with pytest.raises(ValueError, match="out of range"):
+            Map("bad", e, c, np.array([[-1, 0], [1, 2]]))
+
+
+class TestDat:
+    def test_zero_init(self):
+        d = Dat(Set("cells", 5), 3, "q")
+        assert d.data.shape == (5, 3)
+        assert np.all(d.data == 0.0)
+
+    def test_data_init_and_copy_semantics(self):
+        src = np.arange(10.0).reshape(5, 2)
+        d = Dat(Set("cells", 5), 2, "q", data=src)
+        src[0, 0] = 99.0
+        assert d.data[0, 0] == 0.0  # copied, not aliased
+
+    def test_1d_data_promoted(self):
+        d = Dat(Set("cells", 4), 1, "q", data=np.arange(4.0))
+        assert d.data.shape == (4, 1)
+
+    def test_validation(self):
+        s = Set("cells", 4)
+        with pytest.raises(ValueError, match="dim"):
+            Dat(s, 0, "q")
+        with pytest.raises(ValueError, match="float32 or float64"):
+            Dat(s, 1, "q", dtype=np.int64)
+        with pytest.raises(ValueError, match="data must be"):
+            Dat(s, 2, "q", data=np.zeros((3, 2)))
+
+    def test_copy(self):
+        d = Dat(Set("cells", 3), 1, "q", data=np.ones(3))
+        c = d.copy()
+        c.data[0] = 5.0
+        assert d.data[0, 0] == 1.0
+
+
+class TestArgValidation:
+    def setup_method(self):
+        self.edges = Set("edges", 3)
+        self.cells = Set("cells", 4)
+        self.e2c = Map("e2c", self.edges, self.cells, np.array([[0, 1], [1, 2], [2, 3]]))
+        self.q = Dat(self.cells, 1, "q")
+
+    def test_map_dat_set_mismatch(self):
+        other = Dat(self.edges, 1, "w")
+        with pytest.raises(ValueError, match="lives on"):
+            arg(other, self.e2c, 0, Access.READ)
+
+    def test_index_out_of_arity(self):
+        with pytest.raises(ValueError, match="arity"):
+            arg(self.q, self.e2c, 2, Access.READ)
+
+    def test_global_rejects_write(self):
+        with pytest.raises(ValueError):
+            arg_global(Global(0.0), Access.WRITE)
+
+    def test_loop_rejects_wrong_iterset_map(self):
+        ctx = Op2Context()
+        other = Set("faces", 3)
+
+        def k(x):
+            pass
+
+        with pytest.raises(ValueError, match="not the iteration set"):
+            ctx.par_loop(k, "bad", other, arg(self.q, self.e2c, 0, Access.READ))
+
+    def test_loop_rejects_offset_direct(self):
+        ctx = Op2Context()
+
+        def k(x):
+            pass
+
+        with pytest.raises(ValueError, match="not on iteration set"):
+            ctx.par_loop(k, "bad", self.edges, arg_direct(self.q, Access.READ))

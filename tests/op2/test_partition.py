@@ -1,0 +1,101 @@
+"""Tests for the PT-Scotch-substitute partitioners."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.op2 import partition_quality, partition_rcb, partition_spectral
+
+
+def grid_mesh(nx, ny):
+    """Cells of an nx x ny grid with 4-neighbor adjacency edges."""
+    idx = np.arange(nx * ny).reshape(ny, nx)
+    coords = np.stack(
+        [np.repeat(np.arange(ny), nx), np.tile(np.arange(nx), ny)], axis=1
+    ).astype(float)
+    edges = []
+    edges.extend(zip(idx[:, :-1].ravel(), idx[:, 1:].ravel()))
+    edges.extend(zip(idx[:-1, :].ravel(), idx[1:, :].ravel()))
+    return coords, np.asarray(edges)
+
+
+class TestRCB:
+    def test_balance(self):
+        coords, _ = grid_mesh(16, 16)
+        parts = partition_rcb(coords, 8)
+        sizes = np.bincount(parts)
+        assert len(sizes) == 8
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_every_part_nonempty(self):
+        coords, _ = grid_mesh(10, 10)
+        parts = partition_rcb(coords, 7)
+        assert set(parts) == set(range(7))
+
+    def test_single_part(self):
+        coords, _ = grid_mesh(4, 4)
+        assert np.all(partition_rcb(coords, 1) == 0)
+
+    def test_locality_cut_better_than_random(self):
+        coords, edges = grid_mesh(20, 20)
+        parts = partition_rcb(coords, 8)
+        q = partition_quality(parts, edges)
+        rng = np.random.default_rng(0)
+        rand = rng.integers(0, 8, size=400)
+        q_rand = partition_quality(rand, edges)
+        assert q.cut_fraction < 0.5 * q_rand.cut_fraction
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_rcb(np.zeros(5), 2)  # 1-D coords
+        with pytest.raises(ValueError):
+            partition_rcb(np.zeros((5, 2)), 0)
+
+    @given(n=st.integers(8, 200), nparts=st.integers(1, 16), seed=st.integers(0, 99))
+    @settings(max_examples=40, deadline=None)
+    def test_property_cover_balance(self, n, nparts, seed):
+        rng = np.random.default_rng(seed)
+        coords = rng.random((n, 2))
+        parts = partition_rcb(coords, nparts)
+        assert parts.shape == (n,)
+        sizes = np.bincount(parts, minlength=nparts)
+        if n >= nparts:
+            assert sizes.max() - sizes.min() <= 1
+
+
+class TestSpectral:
+    def test_balanced_and_low_cut_on_grid(self):
+        coords, edges = grid_mesh(12, 12)
+        parts = partition_spectral(144, edges, 4)
+        sizes = np.bincount(parts, minlength=4)
+        assert sizes.max() - sizes.min() <= 1
+        q = partition_quality(parts, edges)
+        assert q.cut_fraction < 0.35
+
+    def test_tiny_graph(self):
+        parts = partition_spectral(3, np.array([[0, 1], [1, 2]]), 2)
+        assert set(parts) <= {0, 1}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_spectral(4, np.zeros((0, 2)), 0)
+
+
+class TestQuality:
+    def test_metrics(self):
+        parts = np.array([0, 0, 1, 1])
+        edges = np.array([[0, 1], [1, 2], [2, 3]])
+        q = partition_quality(parts, edges)
+        assert q.nparts == 2
+        assert q.cut_edges == 1
+        assert q.total_edges == 3
+        assert q.avg_neighbors == 1.0
+        assert q.max_part == q.min_part == 2
+
+    def test_no_cut(self):
+        parts = np.zeros(4, dtype=int)
+        edges = np.array([[0, 1], [2, 3]])
+        q = partition_quality(parts, edges)
+        assert q.cut_edges == 0
+        assert q.avg_neighbors == 0.0

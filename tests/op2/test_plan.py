@@ -1,0 +1,121 @@
+"""Tests for OP2 two-level (block-colored) execution plans."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.op2 import Access, Map, Op2Context, Set, arg, arg_direct
+from repro.op2.plan import ExecutionPlan, block_color_stats
+
+
+def ring(n):
+    edges = Set("edges", n)
+    cells = Set("cells", n)
+    vals = np.stack([np.arange(n), (np.arange(n) + 1) % n], axis=1)
+    return edges, cells, Map("e2c", edges, cells, vals)
+
+
+class TestPlanConstruction:
+    def test_blocks_cover_elements(self):
+        edges, cells, m = ring(100)
+        plan = ExecutionPlan.build(edges, ((m, None),), block_size=16)
+        assert plan.nblocks == 7
+        assert np.all(plan.block_of >= 0)
+        covered = np.concatenate([plan.elements_of_color(c)
+                                  for c in range(plan.ncolors)])
+        assert sorted(covered) == list(range(100))
+
+    def test_same_color_blocks_share_no_targets(self):
+        edges, cells, m = ring(120)
+        plan = ExecutionPlan.build(edges, ((m, None),), block_size=10)
+        for c in range(plan.ncolors):
+            blocks = np.nonzero(plan.block_color == c)[0]
+            seen = set()
+            for b in blocks:
+                elems = np.nonzero(plan.block_of == b)[0]
+                tgts = set(m.values[elems].reshape(-1).tolist())
+                assert not (tgts & seen), (c, b)
+                seen |= tgts
+
+    def test_far_fewer_colors_than_element_coloring(self):
+        """Blocks conflict only at their boundaries: a ring needs 2-3
+        block colors regardless of length."""
+        edges, cells, m = ring(1000)
+        plan = ExecutionPlan.build(edges, ((m, None),), block_size=50)
+        assert plan.ncolors <= 3
+
+    def test_locality_preserved_within_color(self):
+        """Elements of one color come in consecutive runs (blocks) — the
+        property element coloring destroys."""
+        edges, cells, m = ring(200)
+        plan = ExecutionPlan.build(edges, ((m, None),), block_size=20)
+        elems = plan.elements_of_color(0)
+        jumps = np.diff(elems) != 1
+        # Few jumps: one per block, not one per element.
+        assert jumps.sum() < len(elems) / 10
+
+    def test_no_write_maps_single_color(self):
+        edges = Set("edges", 10)
+        plan = ExecutionPlan.build(edges, (), block_size=4)
+        assert plan.ncolors == 1
+
+    def test_bad_block_size(self):
+        edges, cells, m = ring(10)
+        with pytest.raises(ValueError):
+            ExecutionPlan.build(edges, ((m, None),), block_size=0)
+
+    def test_stats(self):
+        edges, cells, m = ring(100)
+        plan = ExecutionPlan.build(edges, ((m, None),), block_size=10)
+        stats = block_color_stats(plan)
+        assert stats["nblocks"] == 10
+        assert stats["ncolors"] >= 2
+        assert stats["max_parallel_blocks"] >= 1
+
+
+class TestBlockedExecution:
+    def _flux_app(self, ctx, n=64):
+        cells = ctx.set("cells", n)
+        edges = ctx.set("edges", n)
+        vals = np.stack([np.arange(n), (np.arange(n) + 1) % n], axis=1)
+        e2c = ctx.map("e2c", edges, cells, vals)
+        q = ctx.dat(cells, 2, "q", data=np.sin(np.arange(2.0 * n)).reshape(n, 2))
+        r = ctx.dat(cells, 2, "r")
+
+        def flux(ql, qr, rl, rr):
+            f = 0.5 * (ql - qr)
+            rl[...] = -f
+            rr[...] = f
+
+        for _ in range(3):
+            ctx.par_loop(flux, "flux", edges,
+                         arg(q, e2c, 0, Access.READ), arg(q, e2c, 1, Access.READ),
+                         arg(r, e2c, 0, Access.INC), arg(r, e2c, 1, Access.INC))
+        return r
+
+    def test_blocked_equals_seq(self):
+        r_seq = self._flux_app(Op2Context(mode="seq"))
+        r_blk = self._flux_app(Op2Context(mode="blocked", block_size=8))
+        np.testing.assert_allclose(r_blk.data, r_seq.data, rtol=1e-14)
+
+    def test_blocked_equals_colored(self):
+        r_col = self._flux_app(Op2Context(mode="colored"))
+        r_blk = self._flux_app(Op2Context(mode="blocked", block_size=5))
+        np.testing.assert_allclose(r_blk.data, r_col.data, rtol=1e-13)
+
+    def test_mgcfd_under_blocked_plan(self):
+        from repro.apps.mgcfd import run_mgcfd
+
+        a = run_mgcfd(Op2Context(mode="seq"), (8, 8, 8), 2)
+        b = run_mgcfd(Op2Context(mode="blocked", block_size=32), (8, 8, 8), 2)
+        np.testing.assert_allclose(a["q"], b["q"], rtol=1e-12)
+
+    @given(n=st.integers(8, 120), bs=st.integers(1, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_property_plan_validity(self, n, bs):
+        edges, cells, m = ring(n)
+        plan = ExecutionPlan.build(edges, ((m, None),), block_size=bs)
+        covered = np.concatenate([plan.elements_of_color(c)
+                                  for c in range(plan.ncolors)])
+        assert sorted(covered) == list(range(n))

@@ -1,0 +1,118 @@
+"""Tests for RCM renumbering and edge ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.volna import run_volna, synthetic_ocean
+from repro.op2 import Op2Context
+from repro.op2.renumber import (
+    apply_node_order,
+    bandwidth,
+    rcm_order,
+    sort_edges_by_node,
+)
+
+
+def grid_edges(nx, ny):
+    idx = np.arange(nx * ny).reshape(ny, nx)
+    e = []
+    e.extend(zip(idx[:, :-1].ravel(), idx[:, 1:].ravel()))
+    e.extend(zip(idx[:-1, :].ravel(), idx[1:, :].ravel()))
+    return np.asarray(e)
+
+
+class TestRCM:
+    def test_permutation(self):
+        edges = grid_edges(6, 5)
+        order = rcm_order(30, edges)
+        assert sorted(order) == list(range(30))
+
+    def test_reduces_bandwidth_of_shuffled_grid(self):
+        """Shuffle a grid's node ids, then RCM must restore locality."""
+        rng = np.random.default_rng(0)
+        edges = grid_edges(12, 12)
+        shuffle = rng.permutation(144)
+        shuffled, _ = apply_node_order(np.argsort(shuffle), edges)
+        before = bandwidth(shuffled)
+        order = rcm_order(144, shuffled)
+        after = bandwidth(shuffled, order)
+        assert after < before / 3
+        # A 12-wide grid's optimal bandwidth is ~12.
+        assert after <= 3 * 12
+
+    def test_disconnected_components_covered(self):
+        edges = np.array([[0, 1], [3, 4]])  # node 2 isolated
+        order = rcm_order(5, edges)
+        assert sorted(order) == [0, 1, 2, 3, 4]
+
+    def test_empty_graph(self):
+        assert list(rcm_order(3, np.empty((0, 2)))) == [2, 1, 0]
+        assert bandwidth(np.empty((0, 2))) == 0
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(ValueError):
+            rcm_order(-1, np.empty((0, 2)))
+
+    @given(n=st.integers(2, 40), seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_property_never_worse_much(self, n, seed):
+        rng = np.random.default_rng(seed)
+        m = max(1, n // 2)
+        a = rng.integers(0, n, m)
+        b = (a + 1 + rng.integers(0, n - 1, m)) % n
+        edges = np.stack([a, b], axis=1)
+        order = rcm_order(n, edges)
+        assert sorted(order) == list(range(n))
+
+
+class TestApplyOrder:
+    def test_node_data_follows(self):
+        edges = np.array([[0, 1], [1, 2]])
+        data = np.array([10.0, 11.0, 12.0])
+        order = np.array([2, 0, 1])  # node2 -> pos0, node0 -> pos1, node1 -> pos2
+        new_edges, new_data = apply_node_order(order, edges, data)
+        np.testing.assert_array_equal(new_data, [12.0, 10.0, 11.0])
+        # Edge (0,1) becomes (pos-of-0, pos-of-1) = (1, 2).
+        np.testing.assert_array_equal(new_edges, [[1, 2], [2, 0]])
+
+    def test_renumbered_mesh_same_physics(self):
+        """Volna on an RCM-renumbered mesh produces the same solution
+        (up to the permutation)."""
+        import dataclasses
+
+        mesh = synthetic_ocean(8, 6)
+        base = run_volna(Op2Context(), (16, 6), 4, mesh=mesh)
+
+        all_e = np.concatenate([mesh.edges])
+        order = rcm_order(mesh.n_cells, all_e)
+        new_edges, _ = apply_node_order(order, mesh.edges)
+        new_bedges = np.empty_like(mesh.bedge_cell)
+        pos = np.empty(mesh.n_cells, dtype=np.int64)
+        pos[order] = np.arange(mesh.n_cells)
+        new_bedges = pos[mesh.bedge_cell]
+        renum = dataclasses.replace(
+            mesh,
+            edges=new_edges,
+            bedge_cell=new_bedges,
+            cell_area=mesh.cell_area[order],
+            cell_centroid=mesh.cell_centroid[order],
+            bathymetry=mesh.bathymetry[order],
+        )
+        out = run_volna(Op2Context(), (16, 6), 4, mesh=renum)
+        np.testing.assert_allclose(out["w"][pos], base["w"], rtol=2e-4, atol=1e-6)
+        assert out["volume"][-1] == pytest.approx(base["volume"][-1], rel=1e-5)
+
+
+class TestEdgeSort:
+    def test_sorted_by_endpoints(self):
+        edges = np.array([[5, 2], [0, 1], [3, 1]])
+        data = np.array([50.0, 10.0, 31.0])
+        se, sd = sort_edges_by_node(edges, data)
+        np.testing.assert_array_equal(se, [[0, 1], [3, 1], [5, 2]])
+        np.testing.assert_array_equal(sd, [10.0, 31.0, 50.0])
+
+    def test_single_return_without_data(self):
+        se = sort_edges_by_node(np.array([[1, 0]]))
+        np.testing.assert_array_equal(se, [[1, 0]])

@@ -1,0 +1,153 @@
+"""Tests for checkpoint/restart of structured state."""
+
+import numpy as np
+import pytest
+
+from repro.ops import Access, OpsContext, S2D_00, arg_dat, star_stencil
+from repro.ops.checkpoint import checkpoint_path, load_state, save_state
+from repro.simmpi import CartGrid, World
+
+
+def diffuse_steps(ctx, u, un, grid, n, steps):
+    s = star_stencil(2, 1)
+
+    def bc(x):
+        x[0, 0] = 0.0
+
+    def step(out, inp):
+        out[0, 0] = inp[0, 0] + 0.1 * (
+            inp[1, 0] + inp[-1, 0] + inp[0, 1] + inp[0, -1] - 4 * inp[0, 0]
+        )
+
+    def copy(out, inp):
+        out[0, 0] = inp[0, 0]
+
+    for _ in range(steps):
+        for rng in ([(-1, 0), (-1, n + 1)], [(n, n + 1), (-1, n + 1)],
+                    [(-1, n + 1), (-1, 0)], [(-1, n + 1), (n, n + 1)]):
+            ctx.par_loop(bc, "bc", grid, rng, arg_dat(u, S2D_00, Access.WRITE))
+        ctx.par_loop(step, "step", grid, grid.interior,
+                     arg_dat(un, S2D_00, Access.WRITE), arg_dat(u, s, Access.READ))
+        ctx.par_loop(copy, "copy", grid, grid.interior,
+                     arg_dat(u, S2D_00, Access.WRITE), arg_dat(un, S2D_00, Access.READ))
+
+
+class TestSerialCheckpoint:
+    def test_restart_continues_identically(self, tmp_path):
+        n = 16
+        path = str(tmp_path / "ck.npz")
+
+        # Uninterrupted run: 6 steps.
+        ctx = OpsContext()
+        grid = ctx.block("g", (n, n))
+        u = grid.dat("u", halo=1)
+        un = grid.dat("un", halo=1)
+        u.set_from_global(np.random.default_rng(1).random((n, n)))
+        ref_start = u.gather_global()
+        diffuse_steps(ctx, u, un, grid, n, 6)
+        expect = u.gather_global()
+
+        # Interrupted run: 3 steps, checkpoint, fresh context, restore, 3 more.
+        ctx1 = OpsContext()
+        g1 = ctx1.block("g", (n, n))
+        u1 = g1.dat("u", halo=1)
+        un1 = g1.dat("un", halo=1)
+        u1.set_from_global(ref_start)
+        diffuse_steps(ctx1, u1, un1, g1, n, 3)
+        save_state(path, [u1, un1])
+
+        ctx2 = OpsContext()
+        g2 = ctx2.block("g", (n, n))
+        u2 = g2.dat("u", halo=1)
+        un2 = g2.dat("un", halo=1)
+        load_state(path, [u2, un2])
+        diffuse_steps(ctx2, u2, un2, g2, n, 3)
+        np.testing.assert_array_equal(u2.gather_global(), expect)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "ck.npz")
+        ctx = OpsContext()
+        g = ctx.block("g", (8, 8))
+        d = g.dat("d")
+        save_state(path, [d])
+
+        ctx2 = OpsContext()
+        g2 = ctx2.block("g", (10, 10))
+        d2 = g2.dat("d")
+        with pytest.raises(ValueError, match="shape"):
+            load_state(path, [d2])
+
+    def test_missing_dat_rejected(self, tmp_path):
+        path = str(tmp_path / "ck.npz")
+        ctx = OpsContext()
+        g = ctx.block("g", (8, 8))
+        save_state(path, [g.dat("a")])
+        ctx2 = OpsContext()
+        g2 = ctx2.block("g", (8, 8))
+        with pytest.raises(KeyError, match="no dat named"):
+            load_state(path, [g2.dat("b")])
+
+    def test_mixed_blocks_rejected(self, tmp_path):
+        ctx = OpsContext()
+        g1 = ctx.block("a", (4, 4))
+        g2 = ctx.block("b", (4, 4))
+        with pytest.raises(ValueError, match="share a block"):
+            save_state(str(tmp_path / "x.npz"), [g1.dat("d"), g2.dat("e")])
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_state(str(tmp_path / "x.npz"), [])
+
+
+class TestDistributedCheckpoint:
+    def test_per_rank_shards_roundtrip(self, tmp_path):
+        n = 16
+        path = str(tmp_path / "dist.npz")
+        init = np.random.default_rng(2).random((n, n))
+
+        def writer(comm):
+            ctx = OpsContext(comm=comm, grid=CartGrid((2, 2)))
+            g = ctx.block("g", (n, n))
+            u = g.dat("u", halo=1)
+            un = g.dat("un", halo=1)
+            u.set_from_global(init)
+            diffuse_steps(ctx, u, un, g, n, 2)
+            save_state(path, [u])
+            return u.gather_global()
+
+        expect = World(4).run(writer)[0]
+
+        def reader(comm):
+            ctx = OpsContext(comm=comm, grid=CartGrid((2, 2)))
+            g = ctx.block("g", (n, n))
+            u = g.dat("u", halo=1)
+            load_state(path, [u])
+            return u.gather_global()
+
+        got = World(4).run(reader)[0]
+        np.testing.assert_array_equal(got, expect)
+
+    def test_decomposition_mismatch_rejected(self, tmp_path):
+        n = 16
+        path = str(tmp_path / "dist2.npz")
+
+        def writer(comm):
+            ctx = OpsContext(comm=comm, grid=CartGrid((2, 2)))
+            g = ctx.block("g", (n, n))
+            save_state(path, [g.dat("u", halo=1)])
+
+        World(4).run(writer)
+
+        def reader(comm):
+            ctx = OpsContext(comm=comm, grid=CartGrid((4, 1)))
+            g = ctx.block("g", (n, n))
+            load_state(path, [g.dat("u", halo=1)])
+
+        from repro.simmpi import RankFailedError
+
+        with pytest.raises(RankFailedError, match="decomposition"):
+            World(4).run(reader)
+
+    def test_shard_naming(self):
+        assert checkpoint_path("a/b.npz", None) == "a/b.npz"
+        assert checkpoint_path("a/b.npz", 3) == "a/b.rank3.npz"

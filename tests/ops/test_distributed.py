@@ -1,0 +1,134 @@
+"""Distributed OPS runs must reproduce serial results bitwise."""
+
+import numpy as np
+import pytest
+
+from repro.machine import XEON_MAX_9480, Compiler, Parallelization, RunConfig
+from repro.ops import (
+    Access,
+    OpsContext,
+    S2D_00,
+    TimingModel,
+    arg_dat,
+    arg_gbl,
+    point_stencil,
+    star_stencil,
+)
+from repro.simmpi import CartGrid, MachineCostModel, World, default_placement
+
+
+def heat_app(ctx, n=24, iters=4):
+    """A small heat-equation-like app exercising BCs, stencils, copies
+    and a reduction — the canonical structured-mesh loop mix."""
+    grid = ctx.block("grid", (n, n))
+    u = grid.dat("u", halo=1)
+    un = grid.dat("un", halo=1)
+    init = np.sin(np.arange(n))[:, None] * np.cos(np.arange(n))[None, :]
+    u.set_from_global(init)
+    s5 = star_stencil(2, 1)
+
+    def bc(a):
+        a[0, 0] = 0.0
+
+    def step(out, inp):
+        out[0, 0] = inp[0, 0] + 0.1 * (
+            inp[1, 0] + inp[-1, 0] + inp[0, 1] + inp[0, -1] - 4.0 * inp[0, 0]
+        )
+
+    def copyk(out, inp):
+        out[0, 0] = inp[0, 0]
+
+    total = np.zeros(1)
+
+    def sumsq(g, inp):
+        g[0] += float(np.sum(inp[0, 0] ** 2))
+
+    for _ in range(iters):
+        for rng in ([(-1, 0), (-1, n + 1)], [(n, n + 1), (-1, n + 1)],
+                    [(-1, n + 1), (-1, 0)], [(-1, n + 1), (n, n + 1)]):
+            ctx.par_loop(bc, "bc", grid, rng, arg_dat(u, S2D_00, Access.WRITE))
+        ctx.par_loop(step, "step", grid, grid.interior,
+                     arg_dat(un, S2D_00, Access.WRITE),
+                     arg_dat(u, s5, Access.READ), flops_per_point=7)
+        ctx.par_loop(copyk, "copy", grid, grid.interior,
+                     arg_dat(u, S2D_00, Access.WRITE),
+                     arg_dat(un, S2D_00, Access.READ))
+    ctx.par_loop(sumsq, "sumsq", grid, grid.interior,
+                 arg_gbl(total, Access.INC), arg_dat(u, S2D_00, Access.READ))
+    return u.gather_global(), total
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return heat_app(OpsContext())
+
+
+class TestDistributedEqualsSerial:
+    @pytest.mark.parametrize("dims", [(2, 2), (4, 1), (1, 4), (3, 2)])
+    def test_field_and_reduction_match(self, dims, serial_result):
+        ser_field, ser_total = serial_result
+        nranks = dims[0] * dims[1]
+
+        def program(comm):
+            ctx = OpsContext(comm=comm, grid=CartGrid(dims))
+            return heat_app(ctx)
+
+        results = World(nranks).run(program)
+        field = results[0][0]
+        assert np.array_equal(field, ser_field)
+        for _, total in results:
+            assert total[0] == pytest.approx(ser_total[0], rel=1e-12)
+
+    def test_single_rank_grid(self, serial_result):
+        def program(comm):
+            ctx = OpsContext(comm=comm, grid=CartGrid((1, 1)))
+            return heat_app(ctx)
+
+        results = World(1).run(program)
+        assert np.array_equal(results[0][0], serial_result[0])
+
+    def test_context_validation(self):
+        with pytest.raises(ValueError, match="both comm and grid"):
+            OpsContext(grid=CartGrid((2,)))
+
+    def test_grid_size_mismatch_detected(self):
+        def program(comm):
+            OpsContext(comm=comm, grid=CartGrid((3,)))
+
+        from repro.simmpi import RankFailedError
+
+        with pytest.raises(RankFailedError, match="grid size"):
+            World(2).run(program)
+
+
+class TestTimedDistributedRun:
+    def test_virtual_time_accumulates_and_splits(self):
+        """A timed distributed run produces nonzero compute and MPI time,
+        and the same numerics as the untimed run."""
+        platform = XEON_MAX_9480
+        config = RunConfig(Compiler.ONEAPI, Parallelization.MPI)
+        nranks = 4
+
+        def program(comm):
+            ctx = OpsContext(
+                comm=comm,
+                grid=CartGrid((2, 2)),
+                timing=TimingModel(platform, config),
+            )
+            field, total = heat_app(ctx)
+            return field, total, comm.clock.compute_time, comm.clock.mpi_time
+
+        cm = MachineCostModel(platform, default_placement(platform, nranks))
+        w = World(nranks, cm)
+        results = w.run(program)
+        ser_field, ser_total = heat_app(OpsContext())
+        assert np.array_equal(results[0][0], ser_field)
+        for _, _, t_comp, t_mpi in results:
+            assert t_comp > 0.0
+            assert t_mpi > 0.0
+
+    def test_serial_timing_accumulates(self):
+        ctx = OpsContext(timing=TimingModel(XEON_MAX_9480,
+                                            RunConfig(Compiler.ONEAPI, Parallelization.MPI)))
+        heat_app(ctx)
+        assert ctx.simulated_time > 0.0

@@ -1,0 +1,178 @@
+"""Tiled (cache-blocked) execution must be bitwise identical to untiled,
+and the analytic tiling model must reproduce Figure 9's shape."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import (
+    EPYC_7V73X,
+    XEON_8360Y,
+    XEON_MAX_9480,
+    best_practice_config,
+)
+from repro.ops import (
+    Access,
+    OpsContext,
+    S2D_00,
+    TiledChainModel,
+    TilePlan,
+    arg_dat,
+    arg_gbl,
+    point_stencil,
+    star_stencil,
+)
+from repro.perfmodel import AppClass, AppSpec, LoopSpec
+
+
+def chain_app(ctx, n=30, iters=3, radius=2):
+    """Multi-loop chain with mixed radii, INC, and a final reduction."""
+    grid = ctx.block("grid", (n, n))
+    a = grid.dat("a", halo=radius)
+    b = grid.dat("b", halo=radius)
+    c = grid.dat("c", halo=radius)
+    rng = np.random.default_rng(42)
+    a.set_from_global(rng.random((n, n)))
+    s1 = star_stencil(2, 1)
+    sr = star_stencil(2, radius)
+
+    def smooth(out, inp):
+        out[0, 0] = 0.5 * inp[0, 0] + 0.125 * (
+            inp[1, 0] + inp[-1, 0] + inp[0, 1] + inp[0, -1]
+        )
+
+    def widen(out, inp):
+        out[0, 0] = inp[(radius, 0)] + inp[(-radius, 0)] + inp[(0, radius)] + inp[(0, -radius)]
+
+    def accumulate(out, inp):
+        out[0, 0] += 0.25 * inp[0, 0]
+
+    def zero_ghosts(x):
+        x[0, 0] = 0.0
+
+    total = np.zeros(1)
+
+    def sumk(g, inp):
+        g[0] += float(np.sum(inp[0, 0]))
+
+    inner = [(radius, n - radius), (radius, n - radius)]
+    for _ in range(iters):
+        for d in (a, b, c):
+            for r in ([(-radius, 0), (-radius, n + radius)],
+                      [(n, n + radius), (-radius, n + radius)]):
+                ctx.par_loop(zero_ghosts, "ghost", grid, r,
+                             arg_dat(d, S2D_00, Access.WRITE))
+        ctx.par_loop(smooth, "smooth", grid, grid.interior,
+                     arg_dat(b, S2D_00, Access.WRITE), arg_dat(a, s1, Access.READ),
+                     flops_per_point=6)
+        ctx.par_loop(widen, "widen", grid, inner,
+                     arg_dat(c, S2D_00, Access.WRITE), arg_dat(b, sr, Access.READ),
+                     flops_per_point=3)
+        ctx.par_loop(accumulate, "acc", grid, grid.interior,
+                     arg_dat(a, S2D_00, Access.INC), arg_dat(c, S2D_00, Access.READ),
+                     flops_per_point=2)
+    ctx.par_loop(sumk, "sum", grid, grid.interior,
+                 arg_gbl(total, Access.INC), arg_dat(a, S2D_00, Access.READ))
+    return a.gather_global(), total
+
+
+class TestTiledCorrectness:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return chain_app(OpsContext())
+
+    @pytest.mark.parametrize("width", [1, 4, 7, 16, 64])
+    def test_bitwise_identical(self, width, serial):
+        ctx = OpsContext(tile=TilePlan(width))
+        field, total = chain_app(ctx)
+        ctx.flush()
+        assert np.array_equal(field, serial[0])
+        # Reduction order differs per tile; equal to rounding.
+        assert total[0] == pytest.approx(serial[1][0], rel=1e-12)
+
+    def test_reduction_forces_flush(self):
+        ctx = OpsContext(tile=TilePlan(8))
+        chain_app(ctx, iters=1)
+        # The final reduction loop carries INC: queue must be empty.
+        assert not ctx._queue
+
+    def test_records_match_untiled(self):
+        ser = OpsContext()
+        chain_app(ser, iters=2)
+        til = OpsContext(tile=TilePlan(8))
+        chain_app(til, iters=2)
+        til.flush()
+        for name, rec in ser.records.items():
+            trec = til.records[name]
+            assert trec.points == rec.points, name
+            assert trec.bytes == rec.bytes, name
+            assert trec.flops == rec.flops, name
+
+    def test_tile_width_validation(self):
+        with pytest.raises(ValueError):
+            TilePlan(0)
+
+    def test_tiling_distributed_rejected(self):
+        from repro.simmpi import CartGrid, World
+
+        def program(comm):
+            OpsContext(comm=comm, grid=CartGrid((1,)), tile=TilePlan(4))
+
+        from repro.simmpi import RankFailedError
+
+        with pytest.raises(RankFailedError, match="serial-only"):
+            World(1).run(program)
+
+    @given(width=st.integers(1, 40), n=st.sampled_from([16, 25, 33]))
+    @settings(max_examples=12, deadline=None)
+    def test_property_any_width_any_size(self, width, n):
+        ser_field, ser_total = chain_app(OpsContext(), n=n, iters=2)
+        ctx = OpsContext(tile=TilePlan(width))
+        field, total = chain_app(ctx, n=n, iters=2)
+        ctx.flush()
+        assert np.array_equal(field, ser_field)
+
+
+class TestTiledChainModel:
+    """The analytic Figure 9 model."""
+
+    @staticmethod
+    def clover_like_app():
+        # ~25 streaming loops over the same 7680^2 grid, ~15 resident fields.
+        loops = tuple(
+            LoopSpec(f"loop{i}", 7680.0**2, 72.0, 20.0, radius=1,
+                     dtype_bytes=8, streams=8)
+            for i in range(25)
+        )
+        return AppSpec("clover2d-like", AppClass.STRUCTURED_BW, 8, 50, loops,
+                       (7680, 7680), halo_depth=2)
+
+    def model(self, platform):
+        return TiledChainModel(
+            self.clover_like_app(), platform, best_practice_config(platform),
+            unique_bytes_per_point=15 * 8.0,
+        )
+
+    def test_tiling_always_helps_these_chains(self):
+        for p in (XEON_MAX_9480, XEON_8360Y, EPYC_7V73X):
+            assert self.model(p).speedup() > 1.2, p.short_name
+
+    def test_speedup_ordering_tracks_cache_ratio(self):
+        """Figure 9: 1.84x on MAX < 2.7x on 8360Y < 4x on EPYC, correlating
+        with the 3.8x / 6.3x / 14x cache:memory bandwidth ratios."""
+        s_max = self.model(XEON_MAX_9480).speedup()
+        s_icx = self.model(XEON_8360Y).speedup()
+        s_epyc = self.model(EPYC_7V73X).speedup()
+        assert s_max < s_icx < s_epyc
+
+    def test_tile_points_fit_llc(self):
+        m = self.model(XEON_MAX_9480)
+        pts = m.tile_points(0.5)
+        llc = XEON_MAX_9480.cache_capacity_total("L3")
+        assert pts * 15 * 8.0 == pytest.approx(0.5 * llc)
+
+    def test_rejects_bad_footprint(self):
+        with pytest.raises(ValueError):
+            TiledChainModel(self.clover_like_app(), XEON_MAX_9480,
+                            best_practice_config(XEON_MAX_9480), 0.0)

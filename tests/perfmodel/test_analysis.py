@@ -1,0 +1,69 @@
+"""Tests for the roofline analysis/visualization helpers."""
+
+import pytest
+
+from repro.harness.runner import app_spec
+from repro.machine import XEON_8360Y, XEON_MAX_9480, best_practice_config
+from repro.perfmodel.analysis import (
+    RooflinePoint,
+    bottleneck_summary,
+    render_roofline,
+    roofline_points,
+)
+
+
+@pytest.fixture(scope="module")
+def clover_points():
+    cfg = best_practice_config(XEON_MAX_9480)
+    return roofline_points(app_spec("cloverleaf2d"), XEON_MAX_9480, cfg)
+
+
+class TestRooflinePoints:
+    def test_points_cover_loops(self, clover_points):
+        assert len(clover_points) > 10
+        names = {p.name for p in clover_points}
+        assert "pdv" in names
+
+    def test_time_shares_sum_to_one(self, clover_points):
+        assert sum(p.time_share for p in clover_points) == pytest.approx(1.0)
+
+    def test_achieved_below_roof(self, clover_points):
+        """No kernel exceeds min(bw * AI, peak)."""
+        bw = XEON_MAX_9480.stream_bandwidth
+        peak = XEON_MAX_9480.peak_flops(8)
+        for p in clover_points:
+            roof = min(bw * p.intensity, peak) / 1e9
+            assert p.gflops <= roof * 1.001, p.name
+
+    def test_bandwidth_bound_app(self, clover_points):
+        shares = bottleneck_summary(clover_points)
+        assert shares.get("bandwidth", 0) > 0.8
+
+    def test_minibude_is_compute_bound(self):
+        cfg = best_practice_config(XEON_MAX_9480)
+        pts = roofline_points(app_spec("minibude"), XEON_MAX_9480, cfg)
+        shares = bottleneck_summary(pts)
+        assert shares.get("compute", 0) > 0.8
+
+    def test_mgcfd_has_latency_share(self):
+        cfg = best_practice_config(XEON_MAX_9480)
+        pts = roofline_points(app_spec("mgcfd"), XEON_MAX_9480, cfg)
+        assert any(p.bottleneck == "latency" for p in pts)
+
+
+class TestRender:
+    def test_renders_roof_and_marks(self, clover_points):
+        text = render_roofline(clover_points, XEON_MAX_9480)
+        assert "roofline: Intel Xeon CPU MAX 9480" in text
+        assert "/" in text  # bandwidth slope
+        assert "_" in text  # compute ceiling
+        assert any(m in text for m in ("O", "o", "."))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            render_roofline([], XEON_MAX_9480)
+
+    def test_custom_size(self, clover_points):
+        text = render_roofline(clover_points, XEON_MAX_9480, width=30, height=8)
+        lines = text.split("\n")
+        assert len(lines) == 8 + 3  # header + rows + axis + caption

@@ -1,0 +1,204 @@
+"""Unit tests for the configuration-effects model."""
+
+import pytest
+
+from repro.machine import (
+    A100_40GB,
+    EPYC_7V73X,
+    XEON_8360Y,
+    XEON_MAX_9480,
+    Compiler,
+    Parallelization,
+    RunConfig,
+    ZmmUsage,
+)
+from repro.perfmodel import (
+    AppClass,
+    AppSpec,
+    LoopSpec,
+    app_memory_bandwidth,
+    effective_flops,
+    gather_throughput,
+    kernel_concurrency,
+    kernel_vectorizes,
+    loop_overhead,
+    sycl_time_multiplier,
+    traffic_multiplier,
+    vector_width_used,
+)
+from repro.perfmodel import calibration as cal
+
+
+def mk_loop(**kw):
+    base = dict(name="l", points=1e6, bytes_per_point=80.0, flops_per_point=20.0)
+    base.update(kw)
+    return LoopSpec(**base)
+
+
+def mk_app(klass=AppClass.STRUCTURED_BW, **kw):
+    base = dict(name="a", klass=klass, dtype_bytes=8, iterations=10,
+                loops=(mk_loop(),), domain=(1000, 1000))
+    base.update(kw)
+    return AppSpec(**base)
+
+
+CFG = RunConfig(Compiler.ONEAPI, Parallelization.MPI)
+CFG_HIGH = CFG.with_(zmm=ZmmUsage.HIGH)
+
+
+class TestVectorWidth:
+    def test_default_is_256_on_avx512(self):
+        assert vector_width_used(XEON_MAX_9480, CFG) == 256
+        assert vector_width_used(XEON_MAX_9480, CFG_HIGH) == 512
+
+    def test_epyc_capped_at_256(self):
+        cfg = RunConfig(Compiler.AOCC, Parallelization.MPI)
+        assert vector_width_used(EPYC_7V73X, cfg) == 256
+
+    def test_gpu_full_width(self):
+        cfg = RunConfig(Compiler.NVCC, Parallelization.CUDA)
+        assert vector_width_used(A100_40GB, cfg) == A100_40GB.isa.width_bits
+
+
+class TestVectorization:
+    def test_structured_always_vectorizes(self):
+        assert kernel_vectorizes(CFG, mk_app(), mk_loop())
+
+    def test_indirect_inc_needs_vec_scheme(self):
+        unvec = mk_loop(vectorizable=False, indirect_per_point=4)
+        assert not kernel_vectorizes(CFG, mk_app(), unvec)
+        vec_cfg = RunConfig(Compiler.ONEAPI, Parallelization.MPI_VEC)
+        assert kernel_vectorizes(vec_cfg, mk_app(), unvec)
+        sycl = RunConfig(Compiler.ONEAPI, Parallelization.MPI_SYCL_FLAT)
+        assert kernel_vectorizes(sycl, mk_app(), unvec)
+
+    def test_cuda_always_vectorizes(self):
+        cfg = RunConfig(Compiler.NVCC, Parallelization.CUDA)
+        assert kernel_vectorizes(cfg, mk_app(), mk_loop(vectorizable=False))
+
+
+class TestEffectiveFlops:
+    def test_zmm_high_faster_but_sublinear(self):
+        app, l = mk_app(), mk_loop()
+        lo = effective_flops(XEON_MAX_9480, CFG, app, l)
+        hi = effective_flops(XEON_MAX_9480, CFG_HIGH, app, l)
+        assert 1.2 < hi / lo < 2.0  # sublinear width scaling
+
+    def test_scalar_much_slower_than_simd(self):
+        app = mk_app(klass=AppClass.UNSTRUCTURED)
+        vec = effective_flops(XEON_MAX_9480, CFG_HIGH, app, mk_loop())
+        scal = effective_flops(
+            XEON_MAX_9480, CFG_HIGH, app, mk_loop(vectorizable=False)
+        )
+        assert vec / scal > 4
+
+    def test_ht_penalty_only_for_compute_bound(self):
+        l = mk_loop()
+        comp = mk_app(klass=AppClass.COMPUTE_BOUND)
+        bw = mk_app(klass=AppClass.STRUCTURED_BW)
+        cfg_ht = CFG_HIGH.with_(hyperthreading=True)
+        assert effective_flops(XEON_MAX_9480, cfg_ht, comp, l) < effective_flops(
+            XEON_MAX_9480, CFG_HIGH, comp, l
+        )
+        assert effective_flops(XEON_MAX_9480, cfg_ht, bw, l) == effective_flops(
+            XEON_MAX_9480, CFG_HIGH, bw, l
+        )
+
+    def test_max_beats_8360y_at_full_width(self):
+        """The heavier Ice Lake AVX-512 downclock gives the MAX a ~1.8x
+        compute edge (the miniBUDE story)."""
+        app, l = mk_app(klass=AppClass.COMPUTE_BOUND), mk_loop(dtype_bytes=4)
+        ratio = effective_flops(XEON_MAX_9480, CFG_HIGH, app, l) / effective_flops(
+            XEON_8360Y, CFG_HIGH, app, l
+        )
+        assert ratio == pytest.approx(1.8, abs=0.15)
+
+
+class TestBandwidth:
+    def test_concurrency_diluted_by_radius_and_streams(self):
+        base = kernel_concurrency(XEON_MAX_9480, CFG, mk_loop())
+        wide = kernel_concurrency(XEON_MAX_9480, CFG, mk_loop(radius=4))
+        many = kernel_concurrency(XEON_MAX_9480, CFG, mk_loop(streams=12))
+        assert wide < base
+        assert many < base
+
+    def test_concurrency_binds_on_hbm_not_ddr(self):
+        """The Figure 8 mechanism: the same kernel loses bandwidth on the
+        MAX but not on the 8360Y."""
+        app = mk_app()
+        l = mk_loop(radius=4, streams=10)
+        frac_max = app_memory_bandwidth(
+            XEON_MAX_9480, CFG, app, l, XEON_MAX_9480.stream_bandwidth
+        ) / XEON_MAX_9480.stream_bandwidth
+        frac_icx = app_memory_bandwidth(
+            XEON_8360Y, CFG, app, l, XEON_8360Y.stream_bandwidth
+        ) / XEON_8360Y.stream_bandwidth
+        assert frac_max < 0.6
+        assert frac_icx > 0.75
+
+    def test_cache_resident_skips_concurrency_ceiling(self):
+        app, l = mk_app(), mk_loop(radius=4, streams=10)
+        cache_bw = app_memory_bandwidth(
+            XEON_MAX_9480, CFG, app, l, XEON_MAX_9480.stream_bandwidth * 3
+        )
+        assert cache_bw > XEON_MAX_9480.stream_bandwidth
+
+    def test_gpu_uses_gpu_efficiency(self):
+        cfg = RunConfig(Compiler.NVCC, Parallelization.CUDA)
+        bw = app_memory_bandwidth(A100_40GB, cfg, mk_app(), mk_loop(),
+                                  A100_40GB.stream_bandwidth)
+        assert bw == pytest.approx(A100_40GB.stream_bandwidth * cal.GPU_BW_EFFICIENCY)
+
+    def test_vec_pack_traffic_overhead(self):
+        l = mk_loop(indirect_per_point=4)
+        vec = RunConfig(Compiler.ONEAPI, Parallelization.MPI_VEC, ZmmUsage.HIGH)
+        assert traffic_multiplier(XEON_MAX_9480, vec, mk_app(), l) == pytest.approx(
+            cal.VEC_PACK_OVERHEAD_512
+        )
+        vec256 = RunConfig(Compiler.AOCC, Parallelization.MPI_VEC)
+        assert traffic_multiplier(EPYC_7V73X, vec256, mk_app(), l) == pytest.approx(
+            cal.VEC_PACK_OVERHEAD_256
+        )
+        assert traffic_multiplier(XEON_MAX_9480, CFG, mk_app(), l) == 1.0
+
+
+class TestOverheads:
+    def test_ordering(self):
+        mpi = loop_overhead(XEON_MAX_9480, CFG)
+        omp = loop_overhead(XEON_MAX_9480, RunConfig(Compiler.ONEAPI, Parallelization.MPI_OMP))
+        sycl = loop_overhead(XEON_MAX_9480, RunConfig(Compiler.ONEAPI, Parallelization.MPI_SYCL_FLAT))
+        assert mpi < omp < sycl
+
+    def test_omp_barrier_grows_with_ht(self):
+        base = RunConfig(Compiler.ONEAPI, Parallelization.MPI_OMP)
+        assert loop_overhead(XEON_MAX_9480, base.with_(hyperthreading=True)) > loop_overhead(
+            XEON_MAX_9480, base
+        )
+
+    def test_ndrange_multiplier(self):
+        flat = RunConfig(Compiler.ONEAPI, Parallelization.MPI_SYCL_FLAT)
+        ndr = RunConfig(Compiler.ONEAPI, Parallelization.MPI_SYCL_NDRANGE)
+        assert sycl_time_multiplier(flat) == 1.0
+        assert sycl_time_multiplier(ndr) > 1.0
+
+
+class TestGather:
+    def test_ht_boosts_gather(self):
+        app = mk_app(klass=AppClass.UNSTRUCTURED, domain=(10**7,))
+        lo = gather_throughput(XEON_MAX_9480, CFG, app)
+        hi = gather_throughput(XEON_MAX_9480, CFG.with_(hyperthreading=True), app)
+        assert hi > lo
+
+    def test_gpu_gathers_fastest(self):
+        app = mk_app(klass=AppClass.UNSTRUCTURED, domain=(10**7,))
+        cfg = RunConfig(Compiler.NVCC, Parallelization.CUDA)
+        assert gather_throughput(A100_40GB, cfg, app) > gather_throughput(
+            XEON_MAX_9480, CFG.with_(hyperthreading=True), app
+        )
+
+    def test_llc_resident_gathered_field_boosts_hit_rate(self):
+        """The EPYC V-cache effect: a small mesh's gathers hit cache."""
+        small = mk_app(klass=AppClass.UNSTRUCTURED, domain=(10**6,), gather_hit=0.05)
+        large = mk_app(klass=AppClass.UNSTRUCTURED, domain=(10**9,), gather_hit=0.05)
+        assert gather_throughput(EPYC_7V73X, CFG.with_(compiler=Compiler.AOCC), small) > \
+            gather_throughput(EPYC_7V73X, CFG.with_(compiler=Compiler.AOCC), large)

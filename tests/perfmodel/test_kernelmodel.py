@@ -1,0 +1,119 @@
+"""Unit tests for LoopSpec / AppSpec and the stencil traffic model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import XEON_MAX_9480, Compiler
+from repro.perfmodel import AppClass, AppSpec, LoopSpec, stencil_traffic_factor
+
+
+def loop(**kw):
+    base = dict(name="l", points=1e6, bytes_per_point=80.0, flops_per_point=20.0)
+    base.update(kw)
+    return LoopSpec(**base)
+
+
+def app(loops=None, **kw):
+    base = dict(
+        name="a",
+        klass=AppClass.STRUCTURED_BW,
+        dtype_bytes=8,
+        iterations=10,
+        loops=loops or (loop(),),
+        domain=(100, 100),
+    )
+    base.update(kw)
+    return AppSpec(**base)
+
+
+class TestLoopSpec:
+    def test_totals(self):
+        l = loop(points=1000, bytes_per_point=8, flops_per_point=4)
+        assert l.bytes_total == 8000
+        assert l.flops_total == 4000
+        assert l.arithmetic_intensity == 0.5
+
+    def test_zero_bytes_infinite_intensity(self):
+        assert loop(bytes_per_point=0.0).arithmetic_intensity == math.inf
+
+    def test_scaled_preserves_profile(self):
+        l = loop(radius=2, streams=7, indirect_per_point=3.0, invocations=4.0)
+        s = l.scaled(10.0)
+        assert s.points == l.points * 10
+        assert s.bytes_per_point == l.bytes_per_point
+        assert s.radius == l.radius
+        assert s.streams == l.streams
+        assert s.indirect_per_point == l.indirect_per_point
+        assert s.invocations == l.invocations
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            loop().scaled(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            loop(points=-1)
+        with pytest.raises(ValueError):
+            loop(dtype_bytes=2)
+
+    @given(f=st.floats(min_value=0.01, max_value=1e6))
+    @settings(max_examples=30, deadline=None)
+    def test_scaling_linear(self, f):
+        l = loop()
+        assert l.scaled(f).bytes_total == pytest.approx(l.bytes_total * f)
+
+
+class TestAppSpec:
+    def test_aggregates(self):
+        a = app(loops=(loop(points=10, bytes_per_point=2, flops_per_point=1),
+                       loop(name="m", points=10, bytes_per_point=4, flops_per_point=3)))
+        assert a.bytes_per_iteration() == 60
+        assert a.flops_per_iteration() == 40
+
+    def test_gridpoints_and_ndims(self):
+        a = app(domain=(10, 20, 30))
+        assert a.gridpoints == 6000
+        assert a.ndims == 3
+
+    def test_affinity_defaults_to_one(self):
+        a = app(compiler_affinity={Compiler.CLASSIC: 0.8})
+        assert a.affinity(Compiler.CLASSIC) == 0.8
+        assert a.affinity(Compiler.ONEAPI) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            app(iterations=0)
+        with pytest.raises(ValueError):
+            AppSpec("a", AppClass.STRUCTURED_BW, 8, 1, (), (4, 4))
+        with pytest.raises(ValueError):
+            app(domain=(0, 4))
+
+
+class TestStencilTrafficFactor:
+    def test_pointwise_no_amplification(self):
+        assert stencil_traffic_factor(loop(radius=0), XEON_MAX_9480, 1e6, 3) == 1.0
+
+    def test_1d_no_amplification(self):
+        assert stencil_traffic_factor(loop(radius=4), XEON_MAX_9480, 1e6, 1) == 1.0
+
+    def test_small_window_fits_l2(self):
+        # Tiny per-core share: the plane window fits private cache.
+        assert stencil_traffic_factor(loop(radius=1), XEON_MAX_9480, 1e4, 3) == 1.0
+
+    def test_huge_window_amplifies(self):
+        f = stencil_traffic_factor(loop(radius=4), XEON_MAX_9480, 1e9, 3)
+        assert f > 1.0
+
+    def test_amplification_bounded_by_no_reuse(self):
+        f = stencil_traffic_factor(loop(radius=4), XEON_MAX_9480, 1e12, 3)
+        assert f <= 2 * 4 + 1
+
+    @given(ppc=st.floats(min_value=1e3, max_value=1e11))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_working_set(self, ppc):
+        f1 = stencil_traffic_factor(loop(radius=3), XEON_MAX_9480, ppc, 3)
+        f2 = stencil_traffic_factor(loop(radius=3), XEON_MAX_9480, ppc * 2, 3)
+        assert f2 >= f1

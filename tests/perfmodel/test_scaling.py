@@ -1,0 +1,78 @@
+"""Tests for the intra-node scaling study."""
+
+import pytest
+
+from repro.harness.runner import app_spec
+from repro.machine import (
+    XEON_8360Y,
+    XEON_MAX_9480,
+    Compiler,
+    Parallelization,
+    RunConfig,
+)
+from repro.perfmodel.scaling import comm_share_curve, strong_scaling
+
+CFG = RunConfig(Compiler.ONEAPI, Parallelization.MPI)
+
+
+class TestStrongScaling:
+    @pytest.fixture(scope="class")
+    def clover_curve(self):
+        return strong_scaling(app_spec("cloverleaf2d"), XEON_MAX_9480, CFG,
+                              core_counts=[7, 14, 28, 56])
+
+    def test_monotone_speedup(self, clover_curve):
+        times = [p.time for p in clover_curve]
+        assert times == sorted(times, reverse=True)
+
+    def test_efficiency_bounds(self, clover_curve):
+        for p in clover_curve:
+            assert 0.0 < p.efficiency <= 1.05
+
+    def test_bandwidth_bound_saturates(self):
+        """On the DDR 8360Y a bandwidth-bound app stops scaling early:
+        doubling cores from half to full buys little."""
+        pts = strong_scaling(app_spec("cloverleaf2d"), XEON_8360Y, CFG,
+                             core_counts=[9, 18, 36])
+        last_gain = pts[-1].time and pts[-2].time / pts[-1].time
+        assert last_gain < 1.3  # memory-saturated
+
+    def test_compute_bound_keeps_scaling(self):
+        """miniBUDE scales with cores almost ideally."""
+        pts = strong_scaling(app_spec("minibude"), XEON_MAX_9480, CFG,
+                             core_counts=[14, 28, 56])
+        assert pts[-1].efficiency > 0.85
+
+    def test_hbm_scales_further_than_ddr(self):
+        """The paper's core point, as a scaling curve: the HBM machine
+        keeps gaining from cores where the DDR machine has saturated."""
+        max_pts = strong_scaling(app_spec("cloverleaf2d"), XEON_MAX_9480, CFG,
+                                 core_counts=[14, 28, 56])
+        icx_pts = strong_scaling(app_spec("cloverleaf2d"), XEON_8360Y, CFG,
+                                 core_counts=[9, 18, 36])
+        assert max_pts[-1].efficiency > icx_pts[-1].efficiency
+
+    def test_core_count_validation(self):
+        with pytest.raises(ValueError):
+            strong_scaling(app_spec("minibude"), XEON_MAX_9480, CFG,
+                           core_counts=[500])
+
+
+class TestCommShare:
+    def test_fraction_rises_as_problem_shrinks(self):
+        curve = comm_share_curve(app_spec("cloverleaf2d"), XEON_MAX_9480, CFG)
+        fracs = [f for _, f in curve]
+        assert fracs == sorted(fracs)
+        assert fracs[-1] > fracs[0]
+
+    def test_max_hits_the_limit_before_ddr(self):
+        """At the same shrink factor the Xeon MAX spends a larger share
+        in MPI than the 8360Y — the bottleneck shift (Sec. 6)."""
+        m = dict(comm_share_curve(app_spec("cloverleaf2d"), XEON_MAX_9480, CFG))
+        i = dict(comm_share_curve(app_spec("cloverleaf2d"), XEON_8360Y, CFG))
+        assert m[64.0] > i[64.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            comm_share_curve(app_spec("minibude"), XEON_MAX_9480, CFG,
+                             shrink_factors=[0.5])

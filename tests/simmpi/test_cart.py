@@ -1,0 +1,185 @@
+"""Tests for Cartesian grids, block distribution, and halo exchange."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import CartGrid, World, dims_create, exchange_halos, local_range
+
+
+class TestDimsCreate:
+    def test_perfect_square(self):
+        assert dims_create(16, 2) == (4, 4)
+
+    def test_prime_count(self):
+        assert dims_create(7, 2) == (7, 1)
+
+    def test_3d(self):
+        assert dims_create(8, 3) == (2, 2, 2)
+        assert dims_create(12, 3) == (3, 2, 2)
+
+    def test_one_rank(self):
+        assert dims_create(1, 3) == (1, 1, 1)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            dims_create(0, 2)
+
+    @given(n=st.integers(1, 512), d=st.integers(1, 4))
+    @settings(max_examples=80, deadline=None)
+    def test_product_preserved_and_sorted(self, n, d):
+        dims = dims_create(n, d)
+        assert int(np.prod(dims)) == n
+        assert list(dims) == sorted(dims, reverse=True)
+
+
+class TestLocalRange:
+    def test_even_split(self):
+        assert local_range(100, 4, 0) == (0, 25)
+        assert local_range(100, 4, 3) == (75, 100)
+
+    def test_remainder_goes_to_first_blocks(self):
+        sizes = [local_range(10, 3, i) for i in range(3)]
+        assert sizes == [(0, 4), (4, 7), (7, 10)]
+
+    @given(n=st.integers(1, 10_000), parts=st.integers(1, 64))
+    @settings(max_examples=80, deadline=None)
+    def test_partition_properties(self, n, parts):
+        ranges = [local_range(n, parts, i) for i in range(parts)]
+        # Contiguous cover of [0, n) without overlap.
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == n
+        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+            assert a1 == b0
+        # Balance within 1.
+        sizes = [b - a for a, b in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ValueError):
+            local_range(10, 2, 2)
+
+
+class TestCartGrid:
+    def test_roundtrip(self):
+        g = CartGrid((3, 4))
+        for r in range(12):
+            assert g.rank(g.coords(r)) == r
+
+    def test_neighbors_interior(self):
+        g = CartGrid((3, 3))
+        center = g.rank((1, 1))
+        n = g.neighbors(center)
+        assert n[(0, -1)] == g.rank((0, 1))
+        assert n[(0, 1)] == g.rank((2, 1))
+        assert n[(1, -1)] == g.rank((1, 0))
+        assert n[(1, 1)] == g.rank((1, 2))
+
+    def test_boundary_nonperiodic(self):
+        g = CartGrid((2, 2))
+        assert g.neighbor(0, 0, -1) is None
+        assert g.neighbor(0, 1, -1) is None
+
+    def test_periodic_wraps(self):
+        g = CartGrid((3,), periodic=(True,))
+        assert g.neighbor(0, 0, -1) == 2
+        assert g.neighbor(2, 0, 1) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CartGrid((0, 2))
+        with pytest.raises(ValueError):
+            CartGrid((2, 2), periodic=(True,))
+        with pytest.raises(ValueError):
+            CartGrid((2, 2)).coords(4)
+        with pytest.raises(ValueError):
+            CartGrid((2, 2)).rank((2, 0))
+
+
+class TestHaloExchange:
+    """Distributed ghost exchange must reproduce the serial neighborhoods."""
+
+    @staticmethod
+    def _distributed_field(nranks, dims, global_shape, depth):
+        """Each rank owns a block of a global index field; after exchange,
+        ghost cells must equal the global field values."""
+        grid = CartGrid(dims)
+        gx = np.arange(np.prod(global_shape), dtype=np.float64).reshape(global_shape)
+
+        def program(comm):
+            coords = grid.coords(comm.rank)
+            ranges = [local_range(global_shape[d], dims[d], coords[d]) for d in range(len(dims))]
+            shape = [r[1] - r[0] + 2 * depth for r in ranges]
+            local = np.full(shape, np.nan)
+            interior = tuple(slice(depth, depth + (r[1] - r[0])) for r in ranges)
+            local[interior] = gx[tuple(slice(r[0], r[1]) for r in ranges)]
+            exchange_halos(comm, grid, local, depth)
+            # Check every ghost against the global array.
+            for idx in np.ndindex(*shape):
+                gidx = tuple(ranges[d][0] + idx[d] - depth for d in range(len(dims)))
+                inside = all(0 <= gidx[d] < global_shape[d] for d in range(len(dims)))
+                if inside:
+                    is_interior = all(
+                        depth <= idx[d] < shape[d] - depth for d in range(len(dims))
+                    )
+                    expected = gx[gidx]
+                    if is_interior or not np.isnan(local[idx]):
+                        assert local[idx] == expected, (idx, gidx)
+            return True
+
+        return World(nranks).run(program)
+
+    def test_1d_exchange(self):
+        assert all(self._distributed_field(4, (4,), (32,), 2))
+
+    def test_2d_exchange(self):
+        assert all(self._distributed_field(4, (2, 2), (16, 12), 1))
+
+    def test_2d_deep_halos(self):
+        # Depth-4 halos as in the 8th-order Acoustic stencil.
+        assert all(self._distributed_field(4, (2, 2), (24, 24), 4))
+
+    def test_3d_exchange(self):
+        assert all(self._distributed_field(8, (2, 2, 2), (12, 12, 12), 1))
+
+    def test_corner_ghosts_filled_in_2d(self):
+        """Dimension-by-dimension exchange must deliver corner values."""
+        grid = CartGrid((2, 2))
+        g = np.arange(64, dtype=np.float64).reshape(8, 8)
+
+        def program(comm):
+            cy, cx = grid.coords(comm.rank)
+            ys = local_range(8, 2, cy)
+            xs = local_range(8, 2, cx)
+            local = np.full((4 + 2, 4 + 2), np.nan)
+            local[1:-1, 1:-1] = g[ys[0]:ys[1], xs[0]:xs[1]]
+            exchange_halos(comm, grid, local, 1)
+            return local
+
+        results = World(4).run(program)
+        # Rank 0 (top-left block): its bottom-right corner ghost is g[4,4].
+        assert results[0][5, 5] == g[4, 4]
+        # Rank 3 (bottom-right block): its top-left corner ghost is g[3,3].
+        assert results[3][0, 0] == g[3, 3]
+
+    def test_rejects_bad_depth(self):
+        def program(comm):
+            exchange_halos(comm, CartGrid((1,)), np.zeros(10), 0)
+
+        with pytest.raises(Exception, match="depth"):
+            World(1).run(program)
+
+    def test_rejects_too_small_extent(self):
+        def program(comm):
+            exchange_halos(comm, CartGrid((2,)), np.zeros(5), 2)
+
+        with pytest.raises(Exception, match="too small"):
+            World(2).run(program)
+
+    def test_rejects_dimension_mismatch(self):
+        def program(comm):
+            exchange_halos(comm, CartGrid((2, 1)), np.zeros(10), 1)
+
+        with pytest.raises(Exception, match="dimensionality"):
+            World(2).run(program)

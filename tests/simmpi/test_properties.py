@@ -1,0 +1,127 @@
+"""Property-based tests for the simulated MPI runtime."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import ANY_SOURCE, CartGrid, World, dims_create, exchange_halos, local_range
+
+
+class TestRoutingProperties:
+    @given(
+        nranks=st.integers(2, 6),
+        seed=st.integers(0, 1000),
+        nmsgs=st.integers(1, 8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_permutation_routing_exactly_once(self, nranks, seed, nmsgs):
+        """Every sent payload is received exactly once, unchanged."""
+        rng = np.random.default_rng(seed)
+        # destinations[r] = list of (dest, value) rank r sends.
+        sends = {
+            r: [(int(rng.integers(0, nranks)), float(rng.random()))
+                for _ in range(nmsgs)]
+            for r in range(nranks)
+        }
+        expected_per_rank = {r: sorted(
+            v for s in range(nranks) for d, v in sends[s] if d == r
+        ) for r in range(nranks)}
+
+        def program(comm):
+            for dest, val in sends[comm.rank]:
+                comm.isend(val, dest, tag=7)
+            count = len(expected_per_rank[comm.rank])
+            got = sorted(comm.recv(ANY_SOURCE, tag=7) for _ in range(count))
+            return got
+
+        results = World(nranks).run(program)
+        for r in range(nranks):
+            assert results[r] == pytest.approx(expected_per_rank[r])
+
+    @given(nranks=st.integers(2, 6), rounds=st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_allreduce_equals_local_sum(self, nranks, rounds):
+        def program(comm):
+            total = 0.0
+            for k in range(rounds):
+                total += comm.allreduce(float(comm.rank * (k + 1)))
+            return total
+
+        results = World(nranks).run(program)
+        expected = sum(
+            sum(r * (k + 1) for r in range(nranks)) for k in range(rounds)
+        )
+        assert all(r == pytest.approx(expected) for r in results)
+
+    @given(nranks=st.integers(1, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_allgather_ordering(self, nranks):
+        def program(comm):
+            return comm.allgather(comm.rank * 10)
+
+        results = World(nranks).run(program)
+        expected = [r * 10 for r in range(nranks)]
+        assert all(r == expected for r in results)
+
+
+class TestCartesianProperties:
+    @given(
+        nranks=st.sampled_from([2, 3, 4, 6, 8]),
+        gshape=st.tuples(st.integers(8, 20), st.integers(8, 20)),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_halo_exchange_matches_global_field(self, nranks, gshape, seed):
+        """After exchange, every interior-adjacent ghost equals the
+        neighbor's interior value of the global field."""
+        dims = dims_create(nranks, 2)
+        if any(g // d < 3 for g, d in zip(gshape, dims)):
+            return  # degenerate decomposition for depth-1 halos
+        grid = CartGrid(dims)
+        g = np.random.default_rng(seed).random(gshape)
+
+        def program(comm):
+            c = grid.coords(comm.rank)
+            rs = [local_range(gshape[d], dims[d], c[d]) for d in range(2)]
+            local = np.full([r[1] - r[0] + 2 for r in rs], np.nan)
+            local[1:-1, 1:-1] = g[rs[0][0]:rs[0][1], rs[1][0]:rs[1][1]]
+            exchange_halos(comm, grid, local, 1)
+            ok = True
+            # Check non-corner ghosts against the global field.
+            for d, (s, e) in enumerate(rs):
+                if s > 0:
+                    sl = [slice(1, -1)] * 2
+                    sl[d] = 0
+                    gs = [slice(rs[0][0], rs[0][1]), slice(rs[1][0], rs[1][1])]
+                    gs[d] = s - 1
+                    ok &= np.array_equal(local[tuple(sl)], np.atleast_1d(g[tuple(gs)]))
+                if e < gshape[d]:
+                    sl = [slice(1, -1)] * 2
+                    sl[d] = -1
+                    gs = [slice(rs[0][0], rs[0][1]), slice(rs[1][0], rs[1][1])]
+                    gs[d] = e
+                    ok &= np.array_equal(local[tuple(sl)], np.atleast_1d(g[tuple(gs)]))
+            return ok
+
+        assert all(World(nranks).run(program))
+
+
+class TestDeterminismProperties:
+    @given(nranks=st.integers(2, 5), seed=st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_repeated_runs_bitwise_identical(self, nranks, seed):
+        rng = np.random.default_rng(seed)
+        payload = rng.random(16)
+
+        def program(comm):
+            out = payload * comm.rank
+            right = (comm.rank + 1) % comm.size
+            comm.isend(out, right, tag=3)
+            got = comm.recv((comm.rank - 1) % comm.size, tag=3)
+            return comm.allreduce(got)
+
+        a = World(nranks).run(program)
+        b = World(nranks).run(program)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
