@@ -8,11 +8,29 @@ Figure results are cached per session so the suite stays fast.
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
 
 import pytest
 
+from repro.engine import configure_engine, default_engine
 from repro.harness import figures
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _engine_for_benchmarks(tmp_path_factory):
+    """Route the figure sweeps through a session-local engine.
+
+    The persistent store lives in a per-session temp dir unless
+    ``REPRO_CACHE_DIR`` is set (point it at a fixed path to benchmark
+    warm-cache runs); ``REPRO_BENCH_JOBS`` enables parallel workers.
+    """
+    cache_dir = os.environ.get("REPRO_CACHE_DIR") or str(
+        tmp_path_factory.mktemp("engine-cache")
+    )
+    workers = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    configure_engine(cache_dir=cache_dir, workers=workers)
+    yield
 
 
 @lru_cache(maxsize=None)
@@ -47,6 +65,9 @@ def _print_tables_once(request):
             if cached_figure.cache_info().currsize:  # only if suite ran
                 print()
                 print(cached_figure(name).render())
+        if cached_figure.cache_info().currsize:
+            print()
+            print(default_engine().metrics.summary())
     finally:
         if capman:
             capman.resume_global_capture()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Benchmark the sweep engine: cold vs warm fig3+fig6 regeneration.
+
+Runs the two heaviest figure sweeps (the Figure 3 structured config
+matrix and the Figure 6 cross-platform best-run table) twice against a
+fresh cache directory — once cold (every estimate evaluated, store
+populated) and once warm through a brand-new engine reading the same
+store — and writes the timings plus engine metrics to ``BENCH_sweep.json``
+for the performance trajectory.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_sweep.py [--jobs N] [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine import configure_engine, reset_engine  # noqa: E402
+from repro.harness import figures  # noqa: E402
+
+
+def timed_figures() -> float:
+    t0 = time.perf_counter()
+    figures.fig3()
+    figures.fig6()
+    return time.perf_counter() - t0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--jobs", type=int, default=1,
+                    help="parallel sweep workers (default serial)")
+    ap.add_argument("--out", default="BENCH_sweep.json",
+                    help="output JSON path (default BENCH_sweep.json)")
+    args = ap.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as cache_dir:
+        # Prime the app specs once so both passes measure sweep work, not
+        # one-time profiling of the application numerics.
+        engine = configure_engine(cache_dir=cache_dir, workers=args.jobs,
+                                  use_cache=False)
+        timed_figures()
+        spec_cache = engine._specs
+
+        engine = configure_engine(cache_dir=cache_dir, workers=args.jobs)
+        engine._specs.update(spec_cache)
+        cold_s = timed_figures()
+        cold = engine.metrics.as_dict()
+
+        # Warm: new engine (as a new process would build), same store.
+        engine = configure_engine(cache_dir=cache_dir, workers=args.jobs)
+        engine._specs.update(spec_cache)
+        warm_s = timed_figures()
+        warm = engine.metrics.as_dict()
+
+    reset_engine()
+    result = {
+        "benchmark": "fig3+fig6 sweep, cold vs warm store",
+        "jobs": args.jobs,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else None,
+        "cold_metrics": cold,
+        "warm_metrics": warm,
+    }
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"cold {cold_s:.2f} s ({cold['evaluations']} evaluations), "
+          f"warm {warm_s:.2f} s ({warm['cache_hits']} hits, "
+          f"{warm['evaluations']} evaluations) -> "
+          f"{result['speedup']:.1f}x; wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

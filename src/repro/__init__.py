@@ -22,4 +22,7 @@ paper-vs-model comparison of every table and figure.
 
 __version__ = "1.0.0"
 
-__all__ = ["machine", "mem", "simmpi", "perfmodel", "ops", "op2", "apps", "harness"]
+__all__ = [
+    "machine", "mem", "simmpi", "perfmodel", "ops", "op2", "apps",
+    "engine", "harness",
+]

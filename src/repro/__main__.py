@@ -6,8 +6,12 @@ Commands
     Show the applications and platforms.
 ``run APP [--platform P] [--config auto|best] [--compare]``
     Model one application (best configuration by default).
-``figures [figN ...]``
-    Regenerate the paper's figures (all by default).
+``figures [figN ...] [--jobs N] [--no-cache]``
+    Regenerate the paper's figures (all by default) through the sweep
+    engine.
+``sweep [APP ...] [--platform P[,P...]|all] [--jobs N] [--no-cache]``
+    Evaluate full configuration sweeps through the engine and print the
+    per-configuration table plus cache/executor metrics.
 ``validate APP``
     Execute the application's numerics at test scale and print its
     invariant diagnostics.
@@ -19,6 +23,7 @@ import argparse
 import sys
 
 from .apps import APP_ORDER, get_app
+from .engine import build_plan, configure_engine, default_engine
 from .harness import all_figures, best_run, run_application
 from .harness import figures as figmod
 from .machine import (
@@ -65,7 +70,20 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _configure_engine(args):
+    """Apply --jobs/--no-cache to the process-default engine."""
+    kwargs = {}
+    if getattr(args, "jobs", None) is not None:
+        kwargs["workers"] = args.jobs
+    if getattr(args, "no_cache", False):
+        kwargs["use_cache"] = False
+    if kwargs:
+        return configure_engine(**kwargs)
+    return default_engine()
+
+
 def cmd_figures(args) -> int:
+    _configure_engine(args)
     wanted = args.figures or [f"fig{i}" for i in range(1, 10)]
     for name in wanted:
         fn = getattr(figmod, name, None)
@@ -74,6 +92,44 @@ def cmd_figures(args) -> int:
             return 2
         print(fn().render())
         print()
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    engine = _configure_engine(args)
+    apps = args.apps or APP_ORDER
+    unknown = [a for a in apps if a not in APP_ORDER]
+    if unknown:
+        print(f"unknown application(s): {', '.join(unknown)} "
+              f"(choose from {', '.join(APP_ORDER)})", file=sys.stderr)
+        return 2
+    if args.platform == "all":
+        platforms = list(ALL_PLATFORMS)
+    else:
+        platforms = [get_platform(p) for p in args.platform.split(",")]
+    plan = build_plan(apps, platforms)
+    print(f"sweep: {len(apps)} apps x {len(platforms)} platforms -> "
+          f"{len(plan)} jobs ({len(plan.skipped)} planned-infeasible)")
+    results = engine.run_plan(plan)
+    rows = [r for r in results if r.status != "skipped"]
+    rows.sort(key=lambda r: (r.job.app, r.job.platform.short_name,
+                             r.estimate.total_time if r.estimate else float("inf")))
+    print(f"{'app':14s} {'platform':10s} {'time s':>9s} {'effBW GB/s':>10s} "
+          f"{'source':>6s}  configuration")
+    for r in rows:
+        if r.estimate is None:
+            print(f"{r.job.app:14s} {r.job.platform.short_name:10s} "
+                  f"{'-':>9s} {'-':>10s} {r.status:>6s}  "
+                  f"{r.job.config.label()}  ({r.reason})")
+            continue
+        print(f"{r.job.app:14s} {r.job.platform.short_name:10s} "
+              f"{r.estimate.total_time:9.3f} "
+              f"{r.estimate.effective_bandwidth / 1e9:10.0f} "
+              f"{r.status:>6s}  {r.job.config.label()}")
+    print()
+    print(engine.metrics.summary())
+    if engine.store.persistent:
+        print(f"store: {len(engine.store)} results at {engine.store.path}")
     return 0
 
 
@@ -115,13 +171,30 @@ def main(argv=None) -> int:
 
     p_fig = sub.add_parser("figures", help="regenerate paper figures")
     p_fig.add_argument("figures", nargs="*", help="fig1 .. fig9 (default: all)")
+    p_fig.add_argument("--jobs", type=int, default=None,
+                       help="parallel sweep workers (default serial)")
+    p_fig.add_argument("--no-cache", action="store_true",
+                       help="bypass the persistent result store")
+
+    p_sweep = sub.add_parser(
+        "sweep", help="evaluate configuration sweeps through the engine")
+    # No argparse `choices` here: with nargs="*" Python <3.12 validates
+    # the empty default against them and rejects it; cmd_sweep validates.
+    p_sweep.add_argument("apps", nargs="*", metavar="APP",
+                         help=f"applications (default: all of {', '.join(APP_ORDER)})")
+    p_sweep.add_argument("--platform", default="max9480",
+                         help="comma-separated platform short names, or 'all'")
+    p_sweep.add_argument("--jobs", type=int, default=None,
+                         help="parallel sweep workers (default serial)")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="bypass the persistent result store")
 
     p_val = sub.add_parser("validate", help="run an app's numerics at test scale")
     p_val.add_argument("app", choices=APP_ORDER)
 
     args = parser.parse_args(argv)
-    return {"list": cmd_list, "run": cmd_run,
-            "figures": cmd_figures, "validate": cmd_validate}[args.command](args)
+    return {"list": cmd_list, "run": cmd_run, "figures": cmd_figures,
+            "sweep": cmd_sweep, "validate": cmd_validate}[args.command](args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,305 @@
+"""The sweep engine: cached, parallel evaluation of model sweeps.
+
+:class:`SweepEngine` owns the per-process application-spec and
+memory-hierarchy caches, the persistent :class:`~repro.engine.store.
+ResultStore`, the parallel executor, and an :class:`~repro.engine.
+metrics.EngineMetrics` instance.  Every sweep in the repository — the
+figure harnesses, the benchmark suite, ``python -m repro sweep`` — runs
+through one of these; :mod:`repro.harness.runner` keeps the classic
+``run_application``/``sweep``/``best_run`` functions as thin wrappers
+over the process-default engine.
+
+Evaluation of one job:
+
+1. profile-or-fetch the :class:`AppSpec` (in-process cache; profiling
+   runs the real numerics at test scale, so it is done once per app);
+2. compute the content address from the spec fingerprint, platform,
+   config, and model version, and consult the store;
+3. on a miss, evaluate the roofline model and persist the estimate.
+
+``run_plan`` prebuilds every spec and hierarchy model serially before
+fanning estimate jobs out to the executor, so worker threads only ever
+read warm caches — which is what makes a parallel sweep bit-identical
+to the serial one.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Callable
+
+from ..apps.base import build_spec, get_app
+from ..machine.config import RunConfig, check_feasible
+from ..machine.spec import PlatformSpec
+from ..mem.hierarchy import HierarchyModel
+from ..perfmodel import calibration as cal
+from ..perfmodel.kernelmodel import AppSpec
+from ..perfmodel.roofline import AppEstimate, estimate_app
+from .executor import DEFAULT_CHUNK_SIZE, run_jobs
+from .jobs import Job, JobPlan, JobResult, build_plan, sweep_plan
+from .metrics import EngineMetrics
+from .store import ResultStore, result_key
+
+__all__ = [
+    "SweepEngine",
+    "default_engine",
+    "configure_engine",
+    "reset_engine",
+    "default_cache_dir",
+]
+
+#: Set ``REPRO_CACHE_DIR`` to relocate the persistent store, or to the
+#: empty string to disable persistence entirely.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Default worker count for parallel sweeps (serial when unset).
+JOBS_ENV = "REPRO_JOBS"
+
+
+def default_cache_dir() -> Path | None:
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env is not None:
+        return Path(env) if env else None
+    return Path.home() / ".cache" / "repro"
+
+
+def _default_workers() -> int:
+    try:
+        return int(os.environ.get(JOBS_ENV, "1"))
+    except ValueError:
+        return 1
+
+
+class SweepEngine:
+    """Cached, optionally parallel evaluator of model sweeps.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory of the persistent result store; default from
+        ``$REPRO_CACHE_DIR`` (falling back to ``~/.cache/repro``).
+    workers:
+        Parallel worker threads for plan execution (1 = serial,
+        negative = one per CPU); default from ``$REPRO_JOBS``.
+    use_cache:
+        ``False`` bypasses the persistent store completely — every job
+        is evaluated fresh and nothing is written.
+    progress:
+        Optional ``progress(done, total, job, result)`` callback fired
+        per completed job.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike | None = None,
+        *,
+        store: ResultStore | None = None,
+        workers: int | None = None,
+        use_cache: bool = True,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        progress: Callable[[int, int, Job, JobResult], None] | None = None,
+    ):
+        if store is None:
+            store = ResultStore(
+                cache_dir if cache_dir is not None else default_cache_dir()
+            )
+        self.store = store
+        self.workers = _default_workers() if workers is None else workers
+        self.use_cache = use_cache
+        self.chunk_size = chunk_size
+        self.progress = progress
+        self.metrics = EngineMetrics()
+        self._specs: dict[str, AppSpec] = {}
+        self._hierarchies: dict[str, HierarchyModel] = {}
+        self._platform_fps: dict[str, str] = {}  # short_name -> fingerprint
+        self._spec_fps: dict[str, str] = {}  # app name -> spec fingerprint
+        self._build_lock = threading.Lock()
+
+    # ---- cached inputs ---------------------------------------------------
+
+    def app_spec(self, name: str) -> AppSpec:
+        """The (cached) paper-scale model spec of an application."""
+        if name not in self._specs:
+            with self._build_lock:
+                if name not in self._specs:
+                    self._specs[name] = build_spec(get_app(name))
+                    self.metrics.count("spec_builds")
+        return self._specs[name]
+
+    def hierarchy(self, platform: PlatformSpec) -> HierarchyModel:
+        if platform.short_name not in self._hierarchies:
+            with self._build_lock:
+                if platform.short_name not in self._hierarchies:
+                    self._hierarchies[platform.short_name] = HierarchyModel(
+                        platform, utilization=cal.CACHE_UTILIZATION
+                    )
+        return self._hierarchies[platform.short_name]
+
+    def clear(self, store: bool = True) -> None:
+        """Forget the profiled specs and hierarchy models; with
+        ``store=True`` also wipe the persistent result store, so the next
+        evaluation reruns the full pipeline (hermetic-test reset)."""
+        with self._build_lock:
+            self._specs.clear()
+            self._hierarchies.clear()
+            self._spec_fps.clear()
+        if store:
+            self.store.clear()
+
+    # ---- single-point evaluation ----------------------------------------
+
+    def _estimate(
+        self, name: str, platform: PlatformSpec, config: RunConfig
+    ) -> tuple[AppEstimate, bool]:
+        """(estimate, was_cached) for one runnable point."""
+        spec = self.app_spec(name)
+        key = None
+        if self.use_cache:
+            pfp = self._platform_fps.get(platform.short_name)
+            if pfp is None:
+                from .store import fingerprint as _fp
+
+                pfp = self._platform_fps[platform.short_name] = _fp(platform)
+            afp = self._spec_fps.get(name)
+            if afp is None:
+                afp = self._spec_fps[name] = spec.fingerprint()
+            key = result_key(afp, platform, config, platform_fingerprint=pfp)
+            cached = self.store.get(key)
+            if cached is not None:
+                self.metrics.count("cache_hits")
+                return cached, True
+            self.metrics.count("cache_misses")
+        est = estimate_app(spec, platform, config, self.hierarchy(platform))
+        self.metrics.count("evaluations")
+        if key is not None:
+            self.store.put(key, est)
+        return est, False
+
+    def run(
+        self, name: str, platform: PlatformSpec, config: RunConfig
+    ) -> AppEstimate:
+        """Estimate one run; raises ``ValueError`` for infeasible configs
+        or compilers the app does not run under (the classic
+        ``run_application`` contract)."""
+        check_feasible(config, platform)
+        if self.app_spec(name).affinity(config.compiler) <= 0.0:
+            raise ValueError(
+                f"{name} does not run under {config.compiler.value} "
+                "(the paper reports the generated code stalls)"
+            )
+        return self._estimate(name, platform, config)[0]
+
+    def evaluate(self, job: Job) -> JobResult:
+        """Evaluate one planned job, capturing failures as results."""
+        import time
+
+        t0 = time.perf_counter()
+        try:
+            est, cached = self._estimate(job.app, job.platform, job.config)
+        except Exception as exc:  # surfaced in the plan results, not raised
+            self.metrics.count("jobs_failed")
+            return JobResult(job, None, "error", reason=str(exc),
+                             duration=time.perf_counter() - t0)
+        dt = time.perf_counter() - t0
+        self.metrics.count("jobs_executed")
+        self.metrics.add_job_time(dt)
+        return JobResult(job, est, "cached" if cached else "ok", duration=dt)
+
+    # ---- plan execution --------------------------------------------------
+
+    def run_plan(self, plan: JobPlan) -> list[JobResult]:
+        """Execute a plan: specs first, then estimates (parallel when
+        ``workers > 1``).  Returns one result per *runnable* job in plan
+        order; planned-but-skipped jobs are appended with status
+        ``"skipped"``."""
+        with self.metrics.timed_run():
+            # Spec-before-estimate: profile serially so the parallel
+            # phase only reads caches.
+            for name in plan.apps:
+                self.app_spec(name)
+            for platform in plan.platforms:
+                self.hierarchy(platform)
+            results = run_jobs(
+                self.evaluate,
+                plan.jobs,
+                workers=self.workers,
+                chunk_size=self.chunk_size,
+                progress=self.progress,
+            )
+        self.metrics.count("jobs_skipped", len(plan.skipped))
+        results.extend(
+            JobResult(job, None, "skipped", reason=reason)
+            for job, reason in plan.skipped
+        )
+        return results
+
+    # ---- sweep conveniences ----------------------------------------------
+
+    def sweep(
+        self, name: str, platform: PlatformSpec, configs: list[RunConfig]
+    ) -> list[tuple[RunConfig, AppEstimate | None]]:
+        """One row per input config, in order; ``None`` for configs the
+        app cannot run."""
+        return self.sweep_many([name], platform, configs)[name]
+
+    def sweep_many(
+        self, names: list[str], platform: PlatformSpec, configs: list[RunConfig]
+    ) -> dict[str, list[tuple[RunConfig, AppEstimate | None]]]:
+        """Sweep several apps over one config list as a single plan (one
+        executor fan-out over the whole app x config matrix)."""
+        plan = build_plan(names, [platform], configs)
+        by_key = {r.job.key: r for r in self.run_plan(plan)}
+        out: dict[str, list[tuple[RunConfig, AppEstimate | None]]] = {}
+        for name in names:
+            rows = []
+            for cfg in configs:
+                r = by_key.get((name, platform.short_name, cfg))
+                rows.append((cfg, r.estimate if r is not None else None))
+            out[name] = rows
+        return out
+
+    def best_run(
+        self, name: str, platform: PlatformSpec, configs: list[RunConfig]
+    ) -> tuple[RunConfig, AppEstimate]:
+        """The fastest feasible configuration of a sweep."""
+        runs = [(c, e) for c, e in self.sweep(name, platform, configs) if e is not None]
+        if not runs:
+            raise ValueError(
+                f"{name} has no feasible configuration on {platform.name}"
+            )
+        return min(runs, key=lambda ce: ce[1].total_time)
+
+
+# ---------------------------------------------------------------------------
+# Process-default engine
+
+_default: SweepEngine | None = None
+_default_lock = threading.Lock()
+
+
+def default_engine() -> SweepEngine:
+    """The lazily created process-wide engine the harness wrappers use."""
+    global _default
+    if _default is None:
+        with _default_lock:
+            if _default is None:
+                _default = SweepEngine()
+    return _default
+
+
+def configure_engine(**kwargs) -> SweepEngine:
+    """Replace the process-default engine (CLI ``--jobs``/``--no-cache``)."""
+    global _default
+    with _default_lock:
+        _default = SweepEngine(**kwargs)
+    return _default
+
+
+def reset_engine() -> None:
+    """Drop the process-default engine; the next use builds a fresh one
+    (re-reading the environment — used by tests to simulate a new
+    process)."""
+    global _default
+    with _default_lock:
+        _default = None

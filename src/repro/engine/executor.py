@@ -1,0 +1,107 @@
+"""Parallel job dispatch for the sweep engine.
+
+:func:`run_jobs` maps a job function over a job list with a
+``concurrent.futures`` thread pool: configurable worker count, chunked
+dispatch (at most ``chunk_size`` futures in flight per worker, so a
+10k-job plan never materializes 10k futures), per-job completion
+callbacks, and results returned in input order regardless of completion
+order.  ``workers <= 1`` — or a pool that cannot be created, e.g. during
+interpreter shutdown — falls back to a plain serial loop with identical
+semantics, which is also the bit-identity reference the tests compare
+the parallel path against.
+
+Threads (not processes) are the right pool here: job functions share the
+engine's in-process spec/hierarchy caches and its result store, and the
+estimate math releases the GIL often enough in numpy for overlap without
+paying per-process re-profiling of every application.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["run_jobs", "resolve_workers"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Futures kept in flight per worker before dispatch blocks.
+DEFAULT_CHUNK_SIZE = 16
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker-count request: ``None``/0/1 → serial; negative
+    → one per CPU."""
+    if workers is None or workers == 0:
+        return 1
+    if workers < 0:
+        import os
+
+        return max(os.cpu_count() or 1, 1)
+    return workers
+
+
+def run_jobs(
+    fn: Callable[[T], R],
+    jobs: Sequence[T],
+    *,
+    workers: int | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    progress: Callable[[int, int, T, R], None] | None = None,
+) -> list[R]:
+    """Apply ``fn`` to every job; results in input order.
+
+    ``progress(done, total, job, result)`` fires once per completed job
+    (from the dispatching thread, never concurrently).  Exceptions from
+    ``fn`` propagate — callers that want per-job error capture wrap
+    ``fn`` accordingly.
+    """
+    jobs = list(jobs)
+    nworkers = resolve_workers(workers)
+    if nworkers <= 1 or len(jobs) <= 1:
+        return _run_serial(fn, jobs, progress)
+    try:
+        pool = ThreadPoolExecutor(max_workers=nworkers)
+    except RuntimeError:  # e.g. spawned during interpreter teardown
+        return _run_serial(fn, jobs, progress)
+    with pool:
+        return _run_pooled(pool, fn, jobs, max(chunk_size, 1) * nworkers, progress)
+
+
+def _run_serial(fn, jobs, progress) -> list:
+    results = []
+    total = len(jobs)
+    for i, job in enumerate(jobs):
+        result = fn(job)
+        results.append(result)
+        if progress is not None:
+            progress(i + 1, total, job, result)
+    return results
+
+
+def _run_pooled(pool, fn, jobs, in_flight, progress) -> list:
+    total = len(jobs)
+    results: list = [None] * total
+    pending = {}
+    done_count = 0
+    it = iter(enumerate(jobs))
+    exhausted = False
+    while pending or not exhausted:
+        while not exhausted and len(pending) < in_flight:
+            try:
+                i, job = next(it)
+            except StopIteration:
+                exhausted = True
+                break
+            pending[pool.submit(fn, job)] = (i, job)
+        if not pending:
+            break
+        finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+        for fut in finished:
+            i, job = pending.pop(fut)
+            results[i] = fut.result()  # propagate job exceptions
+            done_count += 1
+            if progress is not None:
+                progress(done_count, total, job, results[i])
+    return results

@@ -1,0 +1,99 @@
+"""Engine counters and the end-of-sweep summary report.
+
+One :class:`EngineMetrics` instance rides along with each
+:class:`~repro.engine.core.SweepEngine`.  Counters are incremented from
+worker threads, so every mutation takes the instance lock.  The summary
+is what ``python -m repro sweep`` prints after its table and what the
+benchmark suite appends after the figure tables.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = ["EngineMetrics"]
+
+_COUNTERS = (
+    "spec_builds",
+    "evaluations",
+    "cache_hits",
+    "cache_misses",
+    "jobs_executed",
+    "jobs_skipped",
+    "jobs_failed",
+)
+
+
+class EngineMetrics:
+    """Thread-safe counters plus wall-time accounting for sweep runs."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self) -> None:
+        with getattr(self, "_lock", threading.Lock()):
+            for name in _COUNTERS:
+                setattr(self, name, 0)
+            self.wall_time = 0.0  # seconds inside run_plan
+            self.job_time = 0.0  # summed per-job durations (all workers)
+
+    def count(self, name: str, n: int = 1) -> None:
+        if name not in _COUNTERS:
+            raise KeyError(f"unknown engine counter {name!r}")
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
+
+    def add_job_time(self, seconds: float) -> None:
+        with self._lock:
+            self.job_time += seconds
+
+    @contextmanager
+    def timed_run(self):
+        """Accumulate the wall time of one plan execution."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            with self._lock:
+                self.wall_time += time.perf_counter() - t0
+
+    # ---- derived ---------------------------------------------------------
+
+    @property
+    def jobs_total(self) -> int:
+        return self.jobs_executed + self.jobs_skipped + self.jobs_failed
+
+    @property
+    def jobs_per_sec(self) -> float:
+        return self.jobs_executed / self.wall_time if self.wall_time > 0 else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        looked = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked if looked else 0.0
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            d = {name: getattr(self, name) for name in _COUNTERS}
+            d["wall_time"] = self.wall_time
+            d["job_time"] = self.job_time
+        d["jobs_per_sec"] = self.jobs_per_sec
+        d["hit_rate"] = self.hit_rate
+        return d
+
+    def summary(self) -> str:
+        d = self.as_dict()
+        return (
+            "engine: {jobs_executed} jobs "
+            "({cache_hits} cached, {evaluations} evaluated, "
+            "{jobs_skipped} skipped, {jobs_failed} failed), "
+            "{spec_builds} specs profiled, "
+            "hit rate {hit_rate:.0%}, "
+            "{wall_time:.2f} s wall ({jobs_per_sec:.1f} jobs/s)"
+        ).format(**d)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EngineMetrics {self.as_dict()}>"

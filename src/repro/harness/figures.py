@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..apps.base import APP_ORDER
+from ..engine import default_engine
 from ..machine import (
     A100_40GB,
     CPU_PLATFORMS,
@@ -102,11 +103,16 @@ def fig2() -> FigureResult:
 
 
 def _config_matrix(apps: list[str], platform, sweep_fn) -> FigureResult:
-    """Shared engine of Figures 3 and 4: slowdown vs per-app best."""
+    """Shared engine of Figures 3 and 4: slowdown vs per-app best.
+
+    All apps go into one job plan so the sweep engine dedups, caches,
+    and (with ``--jobs``) parallelizes the whole app x config matrix.
+    """
     configs = sweep_fn(platform)
+    runs_by_app = default_engine().sweep_many(apps, platform, configs)
     rows = {}
     for name in apps:
-        runs = sweep(name, platform, configs)
+        runs = runs_by_app[name]
         times = {c.label(): (e.total_time if e else None) for c, e in runs}
         best = min(t for t in times.values() if t is not None)
         rows[name] = {lbl: (t / best if t else None) for lbl, t in times.items()}
@@ -177,12 +183,14 @@ def fig5(platform=XEON_MAX_9480) -> FigureResult:
     for name in APP_ORDER:
         if name == "minibude":
             continue  # not an OPS/OP2 app; the paper's Fig 5 excludes it
-        configs = _sweep_for(name, platform)
+        # One engine sweep over the full config set; the parallelization
+        # groups are then sliced in memory (every group is a subset).
+        runs = sweep(name, platform, _sweep_for(name, platform))
         by_group = {}
         for gname, pars in groups.items():
-            cfgs = [c for c in configs if c.parallelization in pars]
-            runs = [e for _, e in sweep(name, platform, cfgs) if e is not None]
-            by_group[gname] = min((e.total_time for e in runs), default=None)
+            times = [e.total_time for c, e in runs
+                     if e is not None and c.parallelization in pars]
+            by_group[gname] = min(times, default=None)
         base = by_group["MPI"]
         res.rows.append(tuple(
             [name] + [
@@ -234,12 +242,12 @@ def fig7() -> FigureResult:
         if name == "minibude":
             continue
         for p in CPU_PLATFORMS:
-            configs = _sweep_for(name, p)
+            runs = sweep(name, p, _sweep_for(name, p))
             fracs = {}
             for par in (Parallelization.MPI, Parallelization.MPI_OMP):
-                cfgs = [c for c in configs if c.parallelization is par]
-                runs = [e for _, e in sweep(name, p, cfgs) if e is not None]
-                best = min(runs, key=lambda e: e.total_time, default=None)
+                ests = [e for c, e in runs
+                        if e is not None and c.parallelization is par]
+                best = min(ests, key=lambda e: e.total_time, default=None)
                 fracs[par] = best.mpi_fraction * 100 if best else None
             res.rows.append((name, p.short_name,
                              fracs[Parallelization.MPI],

@@ -1,48 +1,36 @@
 """Benchmark runner: application x platform x configuration → estimate.
 
-Profiles each application once (scaled-down run through the recording
+Since the sweep engine landed these are thin compatibility wrappers over
+the process-default :class:`~repro.engine.core.SweepEngine`, which
+profiles each application once (scaled-down run through the recording
 DSL context, extrapolated to paper scale — see
-:func:`repro.apps.base.build_spec`), caches the spec, and evaluates the
-performance model for any platform/configuration.  All figure harnesses
-go through :func:`run_application` / :func:`sweep` / :func:`best_run`.
+:func:`repro.apps.base.build_spec`), caches estimates in a persistent
+content-addressed store, and can fan sweeps out over parallel workers.
+All figure harnesses go through :func:`run_application` / :func:`sweep`
+/ :func:`best_run`; configure workers and caching with
+``repro.engine.configure_engine`` or the CLI's ``--jobs``/``--no-cache``.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-
-from ..apps.base import AppDefinition, build_spec, get_app
-from ..machine.config import RunConfig, feasible
+from ..engine import default_engine
+from ..machine.config import RunConfig
 from ..machine.spec import PlatformSpec
-from ..mem.hierarchy import HierarchyModel
-from ..perfmodel import calibration as cal
 from ..perfmodel.kernelmodel import AppSpec
-from ..perfmodel.roofline import AppEstimate, estimate_app
+from ..perfmodel.roofline import AppEstimate
 
 __all__ = ["app_spec", "run_application", "sweep", "best_run", "clear_cache"]
-
-_SPEC_CACHE: dict[str, AppSpec] = {}
-_HM_CACHE: dict[str, HierarchyModel] = {}
 
 
 def app_spec(name: str) -> AppSpec:
     """The (cached) paper-scale model spec of an application."""
-    if name not in _SPEC_CACHE:
-        _SPEC_CACHE[name] = build_spec(get_app(name))
-    return _SPEC_CACHE[name]
+    return default_engine().app_spec(name)
 
 
 def clear_cache() -> None:
-    _SPEC_CACHE.clear()
-    _HM_CACHE.clear()
-
-
-def _hierarchy(platform: PlatformSpec) -> HierarchyModel:
-    if platform.short_name not in _HM_CACHE:
-        _HM_CACHE[platform.short_name] = HierarchyModel(
-            platform, utilization=cal.CACHE_UTILIZATION
-        )
-    return _HM_CACHE[platform.short_name]
+    """Forget profiled specs and hierarchy models *and* wipe the engine's
+    persistent result store, so tests stay hermetic."""
+    default_engine().clear(store=True)
 
 
 def run_application(
@@ -50,7 +38,7 @@ def run_application(
 ) -> AppEstimate:
     """Estimate one application run; raises for infeasible configs or
     compilers the app does not run under (miniBUDE + Classic)."""
-    return estimate_app(app_spec(name), platform, config, _hierarchy(platform))
+    return default_engine().run(name, platform, config)
 
 
 def sweep(
@@ -58,21 +46,11 @@ def sweep(
 ) -> list[tuple[RunConfig, AppEstimate | None]]:
     """Run every feasible configuration; None for configs the app cannot
     run (e.g. the paper's stalling Classic-compiled miniBUDE)."""
-    out = []
-    spec = app_spec(name)
-    for cfg in configs:
-        if not feasible(cfg, platform) or spec.affinity(cfg.compiler) <= 0.0:
-            out.append((cfg, None))
-            continue
-        out.append((cfg, run_application(name, platform, cfg)))
-    return out
+    return default_engine().sweep(name, platform, configs)
 
 
 def best_run(
     name: str, platform: PlatformSpec, configs: list[RunConfig]
 ) -> tuple[RunConfig, AppEstimate]:
     """The fastest feasible configuration of a sweep."""
-    runs = [(c, e) for c, e in sweep(name, platform, configs) if e is not None]
-    if not runs:
-        raise ValueError(f"{name} has no feasible configuration on {platform.name}")
-    return min(runs, key=lambda ce: ce[1].total_time)
+    return default_engine().best_run(name, platform, configs)

@@ -15,8 +15,10 @@ from the paper's Section 5 discussion.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from enum import Enum
 
 from ..machine.config import Compiler
@@ -185,6 +187,35 @@ class AppSpec:
 
     def affinity(self, compiler: Compiler) -> float:
         return self.compiler_affinity.get(compiler, 1.0)
+
+    def fingerprint(self) -> str:
+        """Deterministic 16-hex-digit digest of the complete spec.
+
+        Stable across processes (keys are sorted, floats serialize via
+        their shortest round-trip repr) and sensitive to every modeled
+        quantity — adding a loop, changing an iteration count or a
+        measured bytes-per-point all produce a new fingerprint.  The
+        sweep engine's result store uses this as the application part of
+        its cache key; it is also handy for spotting profiling drift.
+        """
+        payload = {
+            "name": self.name,
+            "klass": self.klass.value,
+            "dtype_bytes": self.dtype_bytes,
+            "iterations": self.iterations,
+            "loops": [asdict(l) for l in self.loops],
+            "domain": list(self.domain),
+            "halo_depth": self.halo_depth,
+            "fields_exchanged": self.fields_exchanged,
+            "exchanges_per_iter": self.exchanges_per_iter,
+            "reductions_per_iter": self.reductions_per_iter,
+            "compiler_affinity": {c.value: v for c, v in self.compiler_affinity.items()},
+            "mesh_neighbors": self.mesh_neighbors,
+            "state_bytes": self.state_bytes,
+            "gather_hit": self.gather_hit,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
     def bytes_per_iteration(self) -> float:
         return sum(l.bytes_total for l in self.loops)

@@ -1,0 +1,28 @@
+"""Suite-wide fixtures: keep the sweep engine hermetic.
+
+The engine's result store is persistent by default (``~/.cache/repro``).
+Tests must neither read a developer's warm cache nor leave entries
+behind, so the whole session runs against a temp-dir store and a fresh
+default engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_engine(tmp_path_factory):
+    import os
+
+    from repro.engine import reset_engine
+
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("engine-cache"))
+    reset_engine()
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+    reset_engine()

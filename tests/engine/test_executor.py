@@ -1,0 +1,93 @@
+"""Tests for the parallel job executor (ordering, chunking, fallback)."""
+
+import threading
+
+import pytest
+
+from repro.engine.executor import resolve_workers, run_jobs
+
+
+def square(x):
+    return x * x
+
+
+class TestRunJobs:
+    def test_serial_basic(self):
+        assert run_jobs(square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_parallel_preserves_input_order(self):
+        import time
+
+        def jittery(x):
+            time.sleep(0.001 * (x % 3))  # finish out of order
+            return x * 10
+
+        jobs = list(range(40))
+        assert run_jobs(jittery, jobs, workers=4) == [x * 10 for x in jobs]
+
+    def test_parallel_matches_serial(self):
+        jobs = list(range(100))
+        assert run_jobs(square, jobs, workers=8) == run_jobs(square, jobs, workers=1)
+
+    def test_actually_runs_concurrently(self):
+        barrier = threading.Barrier(2, timeout=10)
+
+        def rendezvous(x):
+            barrier.wait()  # deadlocks unless two workers run at once
+            return x
+
+        assert run_jobs(rendezvous, [1, 2], workers=2) == [1, 2]
+
+    def test_chunked_dispatch_bounds_in_flight(self):
+        peak = 0
+        active = 0
+        lock = threading.Lock()
+
+        def track(x):
+            nonlocal peak, active
+            with lock:
+                active += 1
+                peak = max(peak, active)
+            with lock:
+                active -= 1
+            return x
+
+        run_jobs(track, list(range(64)), workers=2, chunk_size=1)
+        assert peak <= 2
+
+    def test_empty_and_single(self):
+        assert run_jobs(square, [], workers=4) == []
+        assert run_jobs(square, [5], workers=4) == [25]
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise RuntimeError(f"job {x}")
+
+        with pytest.raises(RuntimeError, match="job"):
+            run_jobs(boom, [1, 2, 3], workers=2)
+        with pytest.raises(RuntimeError, match="job"):
+            run_jobs(boom, [1, 2, 3], workers=1)
+
+    def test_progress_callback_fires_per_job(self):
+        seen = []
+
+        def progress(done, total, job, result):
+            seen.append((done, total, job, result))
+
+        run_jobs(square, [1, 2, 3], workers=2, progress=progress)
+        assert len(seen) == 3
+        assert [d for d, *_ in seen] == [1, 2, 3]  # monotone done counter
+        assert all(t == 3 for _, t, *_ in seen)
+        assert {(j, r) for _, _, j, r in seen} == {(1, 1), (2, 4), (3, 9)}
+
+
+class TestResolveWorkers:
+    def test_defaults_to_serial(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(0) == 1
+
+    def test_negative_means_cpu_count(self):
+        assert resolve_workers(-1) >= 1
+
+    def test_explicit(self):
+        assert resolve_workers(6) == 6

@@ -1,0 +1,128 @@
+"""Tests for the content-addressed result store and its key scheme."""
+
+import json
+
+import pytest
+
+from repro.engine.store import (
+    ResultStore,
+    estimate_from_dict,
+    estimate_to_dict,
+    fingerprint,
+    model_version,
+    result_key,
+)
+from repro.machine import XEON_MAX_9480, Compiler, Parallelization, RunConfig
+from repro.perfmodel import calibration
+from repro.perfmodel.commmodel import CommEstimate
+from repro.perfmodel.roofline import AppEstimate, LoopTime
+
+
+def make_estimate(total=1.25) -> AppEstimate:
+    loops = (
+        LoopTime("flux", 0.011, 0.009, 0.003, 0.0, 1e-6, 3.2e9, 1.1e9),
+        LoopTime("update", 0.004, 0.0035, 0.001, 0.0002, 2e-6, 1.6e9, 0.4e9),
+    )
+    return AppEstimate(
+        app="toy",
+        platform="max9480",
+        config_label="MPI w/o HT OneAPI (ZMM default)",
+        total_time=total,
+        compute_time=total * 0.8,
+        mpi_time=total * 0.2,
+        per_loop=loops,
+        counted_bytes=4.8e9,
+        flops=1.5e9,
+        comm=CommEstimate(0.01, 12.0, 3.4e6),
+    )
+
+
+CFG = RunConfig(Compiler.ONEAPI, Parallelization.MPI)
+
+
+class TestSerialization:
+    def test_round_trip_is_exact(self):
+        est = make_estimate(1.0 / 3.0)  # non-representable float
+        back = estimate_from_dict(json.loads(json.dumps(estimate_to_dict(est))))
+        assert back == est  # dataclass equality: every field bit-identical
+
+    def test_round_trip_preserves_derived_metrics(self):
+        est = make_estimate()
+        back = estimate_from_dict(estimate_to_dict(est))
+        assert back.mpi_fraction == est.mpi_fraction
+        assert back.effective_bandwidth == est.effective_bandwidth
+        assert back.per_loop[0].bottleneck == est.per_loop[0].bottleneck
+
+
+class TestResultStore:
+    def test_memory_roundtrip(self):
+        store = ResultStore(None)
+        est = make_estimate()
+        store.put("k1", est)
+        assert store.get("k1") == est
+        assert store.get("other") is None
+        assert len(store) == 1 and "k1" in store
+
+    def test_persists_across_instances(self, tmp_path):
+        ResultStore(tmp_path).put("k1", make_estimate(2.5))
+        again = ResultStore(tmp_path)
+        got = again.get("k1")
+        assert got is not None and got.total_time == 2.5
+
+    def test_last_write_wins(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k1", make_estimate(1.0))
+        store.put("k1", make_estimate(2.0))
+        assert ResultStore(tmp_path).get("k1").total_time == 2.0
+        assert len(ResultStore(tmp_path)) == 1
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k1", make_estimate())
+        with store.path.open("a") as f:
+            f.write("{torn-line\n")
+        assert ResultStore(tmp_path).get("k1") is not None
+
+    def test_clear_removes_file(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k1", make_estimate())
+        store.clear()
+        assert len(store) == 0
+        assert not store.path.exists()
+        assert len(ResultStore(tmp_path)) == 0
+
+    def test_compact_dedups_log(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for t in (1.0, 2.0, 3.0):
+            store.put("k1", make_estimate(t))
+        assert len(store.path.read_text().splitlines()) == 3
+        assert store.compact() == 1
+        assert len(store.path.read_text().splitlines()) == 1
+        assert ResultStore(tmp_path).get("k1").total_time == 3.0
+
+
+class TestKeys:
+    def test_fingerprint_deterministic(self):
+        assert fingerprint(CFG) == fingerprint(CFG)
+        assert fingerprint(XEON_MAX_9480) == fingerprint(XEON_MAX_9480)
+
+    def test_fingerprint_distinguishes_configs(self):
+        assert fingerprint(CFG) != fingerprint(CFG.with_(hyperthreading=True))
+
+    def test_key_depends_on_all_axes(self):
+        base = result_key("a" * 16, XEON_MAX_9480, CFG)
+        assert result_key("b" * 16, XEON_MAX_9480, CFG) != base
+        assert result_key("a" * 16, XEON_MAX_9480,
+                          CFG.with_(compiler=Compiler.CLASSIC)) != base
+        assert result_key("a" * 16, XEON_MAX_9480, CFG) == base
+
+    def test_model_version_bumps_on_calibration_change(self):
+        v0 = model_version()
+        with calibration.override(BOTTLENECK_PNORM=5.0):
+            assert model_version() != v0
+        assert model_version() == v0  # restored with the constant
+
+    def test_calibration_change_invalidates_keys(self):
+        base = result_key("a" * 16, XEON_MAX_9480, CFG)
+        with calibration.override(MEM_CONCURRENCY_BASE=1e9):
+            assert result_key("a" * 16, XEON_MAX_9480, CFG) != base

@@ -43,6 +43,44 @@ class TestFigures:
         assert main(["figures", "fig99"]) == 2
 
 
+class TestSweep:
+    def test_single_app_sweep(self, capsys):
+        assert main(["sweep", "miniweather", "--platform", "max9480"]) == 0
+        out = capsys.readouterr().out
+        assert "miniweather" in out
+        assert "max9480" in out
+        assert "engine:" in out  # metrics summary printed
+        assert "MPI+OpenMP" in out
+
+    def test_parallel_no_cache_sweep(self, capsys):
+        assert main(["sweep", "miniweather", "--platform", "max9480",
+                     "--jobs", "2", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "0 cached" in out
+
+    def test_multi_platform_sweep(self, capsys):
+        assert main(["sweep", "minibude", "--platform",
+                     "max9480,epyc7v73x"]) == 0
+        out = capsys.readouterr().out
+        assert "epyc7v73x" in out
+        # miniBUDE + Classic stalls: planned as infeasible, not run.
+        assert "planned-infeasible" in out
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(KeyError):
+            main(["sweep", "miniweather", "--platform", "cray1"])
+
+    def test_unknown_app_rejected(self, capsys):
+        assert main(["sweep", "linpack"]) == 2
+        assert "unknown application" in capsys.readouterr().err
+
+
+class TestFiguresEngineFlags:
+    def test_figures_accepts_jobs_and_no_cache(self, capsys):
+        assert main(["figures", "fig2", "--jobs", "2", "--no-cache"]) == 0
+        assert "fig2" in capsys.readouterr().out
+
+
 class TestValidate:
     def test_validate_runs_numerics(self, capsys):
         assert main(["validate", "volna"]) == 0

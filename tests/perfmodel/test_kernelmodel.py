@@ -117,3 +117,34 @@ class TestStencilTrafficFactor:
         f1 = stencil_traffic_factor(loop(radius=3), XEON_MAX_9480, ppc, 3)
         f2 = stencil_traffic_factor(loop(radius=3), XEON_MAX_9480, ppc * 2, 3)
         assert f2 >= f1
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        a = app()
+        assert a.fingerprint() == a.fingerprint()
+        assert app().fingerprint() == a.fingerprint()
+
+    def test_format(self):
+        fp = app().fingerprint()
+        assert len(fp) == 16
+        int(fp, 16)  # hex digest
+
+    def test_changes_with_loop_count(self):
+        one = app(loops=(loop(),))
+        two = app(loops=(loop(), loop(name="l2")))
+        assert one.fingerprint() != two.fingerprint()
+
+    def test_changes_with_measured_profile(self):
+        assert (app(loops=(loop(bytes_per_point=80.0),)).fingerprint()
+                != app(loops=(loop(bytes_per_point=88.0),)).fingerprint())
+
+    def test_changes_with_iterations_and_domain(self):
+        base = app()
+        assert app(iterations=11).fingerprint() != base.fingerprint()
+        assert app(domain=(200, 100)).fingerprint() != base.fingerprint()
+
+    def test_insensitive_to_affinity_dict_order(self):
+        a = app(compiler_affinity={Compiler.CLASSIC: 0.8, Compiler.ONEAPI: 1.0})
+        b = app(compiler_affinity={Compiler.ONEAPI: 1.0, Compiler.CLASSIC: 0.8})
+        assert a.fingerprint() == b.fingerprint()
