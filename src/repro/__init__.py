@@ -5,7 +5,10 @@ The package rebuilds, in pure Python/numpy, the full software stack the
 paper's measurements rest on — platform models of the four machines, a
 memory-hierarchy simulator, a simulated MPI runtime, OPS/OP2-style
 structured/unstructured mesh DSLs, the seven benchmarked applications,
-and a harness that regenerates every figure of the evaluation.
+and a harness that regenerates every figure of the evaluation.  An
+observability layer (:mod:`repro.obs`) threads span-based tracing
+through all of it — see docs/ARCHITECTURE.md for the layer map and
+docs/TRACING.md for the trace tooling.
 
 Quick start::
 
@@ -24,5 +27,5 @@ __version__ = "1.0.0"
 
 __all__ = [
     "machine", "mem", "simmpi", "perfmodel", "ops", "op2", "apps",
-    "engine", "harness",
+    "engine", "harness", "obs",
 ]

@@ -6,6 +6,9 @@ Commands
     Show the applications and platforms.
 ``run APP [--platform P] [--config auto|best] [--compare]``
     Model one application (best configuration by default).
+``trace APP [--platform P] [-o trace.json] [--iterations N] [--csv]``
+    Trace one modeled run and export a Chrome trace-event JSON
+    (``chrome://tracing`` / Perfetto) plus the per-kernel breakdown.
 ``figures [figN ...] [--jobs N] [--no-cache]``
     Regenerate the paper's figures (all by default) through the sweep
     engine.
@@ -15,6 +18,12 @@ Commands
 ``validate APP``
     Execute the application's numerics at test scale and print its
     invariant diagnostics.
+
+Application names may be abbreviated to any unambiguous prefix
+(``mgcfd``, ``volna``); an ambiguous prefix like ``cloverleaf`` resolves
+to the first match in the canonical order with a note on stderr.
+Unknown application or platform names exit with status 2 and a message
+listing the valid choices.
 """
 
 from __future__ import annotations
@@ -38,6 +47,34 @@ from .machine import (
 )
 
 
+def _resolve_app(name: str) -> str | None:
+    """Canonical application name for ``name`` (exact or prefix match);
+    None — with a stderr message listing the choices — when unknown."""
+    if name in APP_ORDER:
+        return name
+    matches = [a for a in APP_ORDER if a.startswith(name)]
+    if not matches:
+        print(f"unknown application {name!r} "
+              f"(choose from: {', '.join(APP_ORDER)})", file=sys.stderr)
+        return None
+    if len(matches) > 1:
+        print(f"note: {name!r} is ambiguous ({', '.join(matches)}); "
+              f"using {matches[0]!r}", file=sys.stderr)
+    return matches[0]
+
+
+def _get_platform(short_name: str):
+    """Platform spec for ``short_name``; None — with a stderr message
+    listing the choices — when unknown."""
+    try:
+        return get_platform(short_name)
+    except KeyError:
+        print(f"unknown platform {short_name!r} (choose from: "
+              f"{', '.join(p.short_name for p in ALL_PLATFORMS)})",
+              file=sys.stderr)
+        return None
+
+
 def cmd_list(_args) -> int:
     print("applications:")
     for name in APP_ORDER:
@@ -58,15 +95,47 @@ def _sweep(defn, platform):
 
 
 def cmd_run(args) -> int:
-    defn = get_app(args.app)
-    platforms = ALL_PLATFORMS if args.compare else [get_platform(args.platform)]
+    name = _resolve_app(args.app)
+    if name is None:
+        return 2
+    defn = get_app(name)
+    if args.compare:
+        platforms = list(ALL_PLATFORMS)
+    else:
+        platform = _get_platform(args.platform)
+        if platform is None:
+            return 2
+        platforms = [platform]
     print(f"{defn.name}: {defn.description}")
     print(f"paper scale: {defn.paper_domain} x {defn.paper_iterations} iterations\n")
     for platform in platforms:
-        cfg, est = best_run(args.app, platform, _sweep(defn, platform))
+        cfg, est = best_run(name, platform, _sweep(defn, platform))
         print(f"{platform.short_name:10s} {est.total_time:9.3f} s  "
               f"effBW {est.effective_bandwidth / 1e9:6.0f} GB/s  "
               f"MPI {est.mpi_fraction * 100:4.1f}%  [{cfg.label()}]")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    name = _resolve_app(args.app)
+    if name is None:
+        return 2
+    platform = _get_platform(args.platform)
+    if platform is None:
+        return 2
+    from .harness import render_breakdown, trace_application
+    from .obs import breakdown_csv, check_nesting, summary_dict, write_chrome_trace
+
+    est, tracer = trace_application(name, platform, iterations=args.iterations)
+    check_nesting(tracer)
+    path = write_chrome_trace(tracer, args.output)
+    if args.csv:
+        print(breakdown_csv(est), end="")
+    else:
+        print(render_breakdown(summary_dict(est)))
+    print(f"trace: {len(tracer.spans)} spans, {len(tracer.events)} events "
+          f"-> {path} (load in chrome://tracing or https://ui.perfetto.dev)",
+          file=sys.stderr)
     return 0
 
 
@@ -97,16 +166,21 @@ def cmd_figures(args) -> int:
 
 def cmd_sweep(args) -> int:
     engine = _configure_engine(args)
-    apps = args.apps or APP_ORDER
-    unknown = [a for a in apps if a not in APP_ORDER]
-    if unknown:
-        print(f"unknown application(s): {', '.join(unknown)} "
-              f"(choose from {', '.join(APP_ORDER)})", file=sys.stderr)
-        return 2
+    apps = []
+    for a in args.apps or APP_ORDER:
+        resolved = _resolve_app(a)
+        if resolved is None:
+            return 2
+        apps.append(resolved)
     if args.platform == "all":
         platforms = list(ALL_PLATFORMS)
     else:
-        platforms = [get_platform(p) for p in args.platform.split(",")]
+        platforms = []
+        for p in args.platform.split(","):
+            platform = _get_platform(p)
+            if platform is None:
+                return 2
+            platforms.append(platform)
     plan = build_plan(apps, platforms)
     print(f"sweep: {len(apps)} apps x {len(platforms)} platforms -> "
           f"{len(plan)} jobs ({len(plan.skipped)} planned-infeasible)")
@@ -134,7 +208,10 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_validate(args) -> int:
-    defn = get_app(args.app)
+    name = _resolve_app(args.app)
+    if name is None:
+        return 2
+    defn = get_app(name)
     ctx = defn.make_context()
     diag = defn.run(ctx, defn.test_domain, defn.test_iterations)
     print(f"{defn.name} at {defn.test_domain} x {defn.test_iterations}:")
@@ -163,11 +240,24 @@ def main(argv=None) -> int:
     sub.add_parser("list", help="list applications and platforms")
 
     p_run = sub.add_parser("run", help="model one application")
-    p_run.add_argument("app", choices=APP_ORDER)
+    p_run.add_argument("app", help="application name (any unambiguous prefix)")
     p_run.add_argument("--platform", default="max9480",
                        help="platform short name (default max9480)")
     p_run.add_argument("--compare", action="store_true",
                        help="run on every platform")
+
+    p_trace = sub.add_parser(
+        "trace", help="trace one modeled run and export a Chrome trace")
+    p_trace.add_argument("app", help="application name (any unambiguous prefix)")
+    p_trace.add_argument("--platform", default="max9480",
+                         help="platform short name (default max9480)")
+    p_trace.add_argument("-o", "--output", default="trace.json",
+                         help="Chrome trace-event JSON path (default trace.json)")
+    p_trace.add_argument("--iterations", type=int, default=1,
+                         help="timeline iterations to lay out (default 1)")
+    p_trace.add_argument("--csv", action="store_true",
+                         help="print the per-kernel breakdown as CSV "
+                              "instead of a table")
 
     p_fig = sub.add_parser("figures", help="regenerate paper figures")
     p_fig.add_argument("figures", nargs="*", help="fig1 .. fig9 (default: all)")
@@ -190,11 +280,12 @@ def main(argv=None) -> int:
                          help="bypass the persistent result store")
 
     p_val = sub.add_parser("validate", help="run an app's numerics at test scale")
-    p_val.add_argument("app", choices=APP_ORDER)
+    p_val.add_argument("app", help="application name (any unambiguous prefix)")
 
     args = parser.parse_args(argv)
-    return {"list": cmd_list, "run": cmd_run, "figures": cmd_figures,
-            "sweep": cmd_sweep, "validate": cmd_validate}[args.command](args)
+    return {"list": cmd_list, "run": cmd_run, "trace": cmd_trace,
+            "figures": cmd_figures, "sweep": cmd_sweep,
+            "validate": cmd_validate}[args.command](args)
 
 
 if __name__ == "__main__":

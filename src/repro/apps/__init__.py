@@ -19,6 +19,10 @@ minibude     compute        single      65536 poses — molecular docking
 Use :func:`get_app` / :func:`all_apps` to enumerate, ``defn.run(ctx,
 domain, iterations)`` to execute, and :func:`build_spec` to produce the
 performance-model input extrapolated to paper scale.
+
+Layer role (docs/ARCHITECTURE.md): the workload layer — real numerical
+codes on the DSLs whose measured loop profiles become the perfmodel's
+AppSpec inputs via build_spec.
 """
 
 from .base import AppDefinition, APP_ORDER, all_apps, build_spec, get_app

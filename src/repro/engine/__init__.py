@@ -14,6 +14,10 @@ Every model sweep in the repository routes through this package:
   process-default instance behind :mod:`repro.harness.runner`.
 
 See ``docs/ENGINE.md`` for the design and the cache-key scheme.
+
+Layer role (docs/ARCHITECTURE.md): the execution layer above the
+perfmodel — evaluates (app x platform x config) points with caching and
+parallelism; the harness and CLI route every sweep through it.
 """
 
 from .core import (

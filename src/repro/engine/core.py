@@ -34,6 +34,7 @@ from ..apps.base import build_spec, get_app
 from ..machine.config import RunConfig, check_feasible
 from ..machine.spec import PlatformSpec
 from ..mem.hierarchy import HierarchyModel
+from ..obs.tracer import active_tracer
 from ..perfmodel import calibration as cal
 from ..perfmodel.kernelmodel import AppSpec
 from ..perfmodel.roofline import AppEstimate, estimate_app
@@ -199,12 +200,25 @@ class SweepEngine:
             est, cached = self._estimate(job.app, job.platform, job.config)
         except Exception as exc:  # surfaced in the plan results, not raised
             self.metrics.count("jobs_failed")
-            return JobResult(job, None, "error", reason=str(exc),
-                             duration=time.perf_counter() - t0)
-        dt = time.perf_counter() - t0
-        self.metrics.count("jobs_executed")
-        self.metrics.add_job_time(dt)
-        return JobResult(job, est, "cached" if cached else "ok", duration=dt)
+            result = JobResult(job, None, "error", reason=str(exc),
+                               duration=time.perf_counter() - t0)
+        else:
+            dt = time.perf_counter() - t0
+            self.metrics.count("jobs_executed")
+            self.metrics.add_job_time(dt)
+            result = JobResult(job, est, "cached" if cached else "ok", duration=dt)
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.wall_span(
+                "engine",
+                f"{job.app}@{job.platform.short_name}",
+                t0,
+                t0 + result.duration,
+                track=("engine", threading.current_thread().name),
+                status=result.status,
+                config=job.config.label(),
+            )
+        return result
 
     # ---- plan execution --------------------------------------------------
 

@@ -18,8 +18,12 @@ paying per-process re-profiling of every application.
 
 from __future__ import annotations
 
+import contextvars
+import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import Callable, Sequence, TypeVar
+
+from ..obs.tracer import active_tracer
 
 __all__ = ["run_jobs", "resolve_workers"]
 
@@ -59,12 +63,23 @@ def run_jobs(
     """
     jobs = list(jobs)
     nworkers = resolve_workers(workers)
+    tracer = active_tracer()
     if nworkers <= 1 or len(jobs) <= 1:
+        if tracer is not None:
+            tracer.wall_event(
+                "engine", "dispatch:serial", time.perf_counter(),
+                track=("engine", "dispatch"), jobs=len(jobs),
+            )
         return _run_serial(fn, jobs, progress)
     try:
         pool = ThreadPoolExecutor(max_workers=nworkers)
     except RuntimeError:  # e.g. spawned during interpreter teardown
         return _run_serial(fn, jobs, progress)
+    if tracer is not None:
+        tracer.wall_event(
+            "engine", "dispatch:pool", time.perf_counter(),
+            track=("engine", "dispatch"), jobs=len(jobs), workers=nworkers,
+        )
     with pool:
         return _run_pooled(pool, fn, jobs, max(chunk_size, 1) * nworkers, progress)
 
@@ -94,7 +109,10 @@ def _run_pooled(pool, fn, jobs, in_flight, progress) -> list:
             except StopIteration:
                 exhausted = True
                 break
-            pending[pool.submit(fn, job)] = (i, job)
+            # Each submit carries the dispatcher's context so ContextVar
+            # state (the active tracer) is visible inside pool workers.
+            ctx = contextvars.copy_context()
+            pending[pool.submit(ctx.run, fn, job)] = (i, job)
         if not pending:
             break
         finished, _ = wait(pending, return_when=FIRST_COMPLETED)

@@ -59,6 +59,14 @@ class EngineMetrics:
         finally:
             with self._lock:
                 self.wall_time += time.perf_counter() - t0
+            from ..obs.tracer import active_tracer
+
+            tracer = active_tracer()
+            if tracer is not None:
+                tracer.wall_event(
+                    "engine", "plan:metrics", time.perf_counter(),
+                    track=("engine", "dispatch"), **self.as_dict(),
+                )
 
     # ---- derived ---------------------------------------------------------
 

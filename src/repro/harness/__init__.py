@@ -5,6 +5,9 @@
 - :mod:`~repro.harness.figures` — ``fig1()`` .. ``fig9()`` regenerate the
   paper's tables and figures with published values alongside;
 - ``python -m repro.harness`` prints everything.
+
+Layer role (docs/ARCHITECTURE.md): the top of the stack — user-facing
+runners over the engine and the fig1..fig9 regeneration.
 """
 
 from .figures import (
@@ -19,17 +22,26 @@ from .figures import (
     fig8,
     fig9,
 )
-from .report import FigureResult, format_table
-from .runner import app_spec, best_run, clear_cache, run_application, sweep
+from .report import FigureResult, format_table, render_breakdown
+from .runner import (
+    app_spec,
+    best_run,
+    clear_cache,
+    run_application,
+    sweep,
+    trace_application,
+)
 
 __all__ = [
     "run_application",
+    "trace_application",
     "sweep",
     "best_run",
     "app_spec",
     "clear_cache",
     "FigureResult",
     "format_table",
+    "render_breakdown",
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
     "all_figures",
 ]

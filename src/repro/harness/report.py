@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-__all__ = ["FigureResult", "format_table"]
+__all__ = ["FigureResult", "format_table", "render_breakdown"]
 
 
 def _fmt(v: Any) -> str:
@@ -35,6 +35,34 @@ def format_table(columns: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
     out = [line(columns), line(["-" * w for w in widths])]
     out.extend(line(r) for r in cells)
     return "\n".join(out)
+
+
+def render_breakdown(summary: dict) -> str:
+    """Render a :func:`repro.obs.breakdown.summary_dict` as text: run
+    headline, then the per-kernel table (``python -m repro trace``'s
+    ``--table`` output)."""
+    head = (
+        f"== {summary['app']} on {summary['platform']} ({summary['config']}) ==\n"
+        f"total {_fmt(summary['total_time'])} s "
+        f"(compute {_fmt(summary['compute_time'])} s, "
+        f"MPI {_fmt(summary['mpi_time'])} s = "
+        f"{summary['mpi_fraction'] * 100:.1f}%)\n"
+        f"effective bandwidth {summary['effective_bandwidth'] / 1e9:.1f} GB/s, "
+        f"achieved {summary['achieved_flops'] / 1e9:.1f} GFLOP/s"
+    )
+    columns = (
+        "loop", "time", "t_bandwidth", "t_compute", "t_latency",
+        "overhead", "counted_bytes", "flops", "bottleneck",
+    )
+    rows = [
+        (
+            l["name"], l["time"], l["t_bandwidth"], l["t_compute"],
+            l["t_latency"], l["overhead"], l["counted_bytes"], l["flops"],
+            l["bottleneck"],
+        )
+        for l in summary["loops"]
+    ]
+    return f"{head}\n{format_table(columns, rows)}"
 
 
 @dataclass

@@ -14,12 +14,20 @@ All figure harnesses go through :func:`run_application` / :func:`sweep`
 from __future__ import annotations
 
 from ..engine import default_engine
-from ..machine.config import RunConfig
+from ..machine.config import RunConfig, best_practice_config
 from ..machine.spec import PlatformSpec
+from ..obs.tracer import Tracer, tracing
 from ..perfmodel.kernelmodel import AppSpec
-from ..perfmodel.roofline import AppEstimate
+from ..perfmodel.roofline import AppEstimate, estimate_app
 
-__all__ = ["app_spec", "run_application", "sweep", "best_run", "clear_cache"]
+__all__ = [
+    "app_spec",
+    "run_application",
+    "trace_application",
+    "sweep",
+    "best_run",
+    "clear_cache",
+]
 
 
 def app_spec(name: str) -> AppSpec:
@@ -39,6 +47,39 @@ def run_application(
     """Estimate one application run; raises for infeasible configs or
     compilers the app does not run under (miniBUDE + Classic)."""
     return default_engine().run(name, platform, config)
+
+
+def trace_application(
+    name: str,
+    platform: PlatformSpec,
+    config: RunConfig | None = None,
+    *,
+    tracer: Tracer | None = None,
+    iterations: int = 1,
+) -> tuple[AppEstimate, Tracer]:
+    """Estimate one run with tracing enabled, returning the estimate and
+    a populated :class:`~repro.obs.tracer.Tracer`.
+
+    The evaluation bypasses the persistent result store (a cache hit
+    would skip the instrumented model code and yield an empty trace) but
+    still uses the engine's cached spec and hierarchy model.  Beyond the
+    perfmodel events the roofline emits, the tracer gets a synthetic
+    simulated-time timeline (one span per kernel loop and per halo
+    exchange, repeated for ``iterations`` application iterations) built
+    by :func:`repro.obs.apptrace.build_timeline` — the view ``python -m
+    repro trace`` exports for Perfetto.
+    """
+    from ..obs.apptrace import build_timeline
+
+    engine = default_engine()
+    spec = engine.app_spec(name)
+    if config is None:
+        config = best_practice_config(platform)
+    tr = tracer if tracer is not None else Tracer()
+    with tracing(tr):
+        est = estimate_app(spec, platform, config, engine.hierarchy(platform))
+        build_timeline(tr, spec, est, iterations=iterations)
+    return est, tr
 
 
 def sweep(

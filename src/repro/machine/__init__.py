@@ -10,6 +10,9 @@ Public entry points:
   parallelization combination, with the Figure 3/4 sweep enumerators.
 - :mod:`~repro.machine.topology` — core-to-core latency classification
   (Figure 2's microbenchmark).
+
+Layer role (docs/ARCHITECTURE.md): the bottom of the stack —
+hardware facts every other layer consumes; depends on nothing.
 """
 
 from .config import (

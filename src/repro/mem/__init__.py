@@ -7,6 +7,10 @@
   achievable bandwidth (the engine behind Figure 1 and the roofline's
   bandwidth term).
 - :mod:`~repro.mem.stream` — BabelStream kernels and the Triad sweep.
+
+Layer role (docs/ARCHITECTURE.md): memory-system layer between the
+platform models and the DSLs/perfmodel; prices working sets on the
+machine models' cache hierarchies.
 """
 
 from .babelstream import BabelStream, KernelResult

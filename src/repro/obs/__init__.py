@@ -1,0 +1,54 @@
+"""Observability layer: span-based tracing and per-kernel metrics.
+
+Sits beside every execution layer of the stack (see
+``docs/ARCHITECTURE.md``): the ops/op2 parloop engines record per-kernel
+spans (points, counted bytes, flops, access modes), the simmpi runtime
+records sends, halo exchanges and per-rank virtual-clock wait
+intervals, the perfmodel records each loop's roofline terms and winning
+limb, and the sweep engine records job lifecycle on a separate
+wall-clock domain.
+
+- :mod:`~repro.obs.tracer` — :class:`Tracer`, :func:`tracing` /
+  :func:`active_tracer` (context-var scoped; a true no-op when
+  disabled);
+- :mod:`~repro.obs.export` — Chrome trace-event JSON
+  (``chrome://tracing`` / Perfetto) and span-nesting validation;
+- :mod:`~repro.obs.breakdown` — per-kernel breakdown tables (text/CSV)
+  and the summary dict :mod:`repro.harness.report` renders;
+- :mod:`~repro.obs.apptrace` — model-level timeline of one estimated
+  run (one span per kernel loop and per halo exchange), behind
+  ``python -m repro trace``.
+
+See ``docs/TRACING.md`` for the span taxonomy and overhead guarantees.
+
+Layer role (docs/ARCHITECTURE.md): sits beside the stack rather than
+in it — every execution layer records into it, nothing reads back.
+"""
+
+from .apptrace import build_timeline
+from .breakdown import (
+    BREAKDOWN_COLUMNS,
+    breakdown_csv,
+    breakdown_table,
+    kernel_breakdown,
+    summary_dict,
+)
+from .export import check_nesting, chrome_trace, write_chrome_trace
+from .tracer import Span, TraceEvent, Tracer, active_tracer, tracing
+
+__all__ = [
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "active_tracer",
+    "tracing",
+    "chrome_trace",
+    "write_chrome_trace",
+    "check_nesting",
+    "BREAKDOWN_COLUMNS",
+    "kernel_breakdown",
+    "breakdown_csv",
+    "breakdown_table",
+    "summary_dict",
+    "build_timeline",
+]

@@ -1,0 +1,109 @@
+"""Per-kernel breakdown tables and summaries of an :class:`AppEstimate`.
+
+The paper's analysis lives in per-kernel attributions (which loops are
+bandwidth- vs latency-bound, where the time goes); these helpers expose
+exactly the ``AppEstimate.per_loop`` numbers — no re-derivation, so a
+table row is bit-equal to the estimate it came from (the tests assert
+this).  Rendering goes through :func:`repro.harness.report.
+render_breakdown`, which consumes :func:`summary_dict`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+__all__ = [
+    "BREAKDOWN_COLUMNS",
+    "kernel_breakdown",
+    "breakdown_csv",
+    "breakdown_table",
+    "summary_dict",
+]
+
+#: Column order of the per-kernel breakdown (raw model quantities).
+BREAKDOWN_COLUMNS = (
+    "loop",
+    "time",
+    "t_bandwidth",
+    "t_compute",
+    "t_latency",
+    "overhead",
+    "counted_bytes",
+    "flops",
+    "bottleneck",
+)
+
+
+def kernel_breakdown(est) -> tuple[tuple[str, ...], list[tuple]]:
+    """(columns, rows): one row per loop, values straight off the
+    estimate's :class:`~repro.perfmodel.roofline.LoopTime` entries."""
+    rows = [
+        (
+            lt.name,
+            lt.time,
+            lt.t_bandwidth,
+            lt.t_compute,
+            lt.t_latency,
+            lt.overhead,
+            lt.counted_bytes,
+            lt.flops,
+            lt.bottleneck,
+        )
+        for lt in est.per_loop
+    ]
+    return BREAKDOWN_COLUMNS, rows
+
+
+def breakdown_csv(est) -> str:
+    """The per-kernel breakdown as CSV (header + one row per loop)."""
+    columns, rows = kernel_breakdown(est)
+    buf = io.StringIO()
+    w = csv.writer(buf)
+    w.writerow(columns)
+    w.writerows(rows)
+    return buf.getvalue()
+
+
+def breakdown_table(est) -> str:
+    """The per-kernel breakdown as an aligned text table."""
+    from ..harness.report import format_table  # lazy: obs must import light
+
+    columns, rows = kernel_breakdown(est)
+    return format_table(columns, rows)
+
+
+def summary_dict(est) -> dict:
+    """Whole-run summary plus per-loop breakdown, as plain data.
+
+    This is the hand-off format :func:`repro.harness.report.
+    render_breakdown` renders and the trace CLI prints; keys mirror the
+    ``AppEstimate`` field/property names.
+    """
+    return {
+        "app": est.app,
+        "platform": est.platform,
+        "config": est.config_label,
+        "total_time": est.total_time,
+        "compute_time": est.compute_time,
+        "mpi_time": est.mpi_time,
+        "mpi_fraction": est.mpi_fraction,
+        "effective_bandwidth": est.effective_bandwidth,
+        "achieved_flops": est.achieved_flops,
+        "counted_bytes": est.counted_bytes,
+        "flops": est.flops,
+        "loops": [
+            {
+                "name": lt.name,
+                "time": lt.time,
+                "t_bandwidth": lt.t_bandwidth,
+                "t_compute": lt.t_compute,
+                "t_latency": lt.t_latency,
+                "overhead": lt.overhead,
+                "counted_bytes": lt.counted_bytes,
+                "flops": lt.flops,
+                "bottleneck": lt.bottleneck,
+            }
+            for lt in est.per_loop
+        ],
+    }

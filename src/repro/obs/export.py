@@ -1,0 +1,152 @@
+"""Trace exporters: Chrome trace-event JSON and nesting validation.
+
+:func:`chrome_trace` converts a :class:`~repro.obs.tracer.Tracer` into
+the Chrome trace-event format (the JSON ``chrome://tracing`` and
+Perfetto load).  Each track domain becomes a process row, each lane a
+thread row; simulated-time domains are labeled as such so a reader
+never mistakes virtual seconds for wall time.  Timestamps are exported
+in microseconds (the format's native unit), so one simulated second is
+1e6 ticks on the viewer timeline.
+
+:func:`check_nesting` verifies the structural invariant the tests pin
+down: on any single track, spans either nest or are disjoint — they
+never partially overlap, because each track belongs to one sequential
+actor (one rank, one worker, one timeline lane).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .tracer import Span, Tracer, WALL_DOMAINS
+
+__all__ = ["chrome_trace", "write_chrome_trace", "check_nesting"]
+
+#: Spans shorter than this (seconds) still export with a minimal
+#: duration so zero-cost records remain visible in the viewer.
+_SECONDS_TO_US = 1e6
+
+
+def _jsonable(value):
+    """Reduce attribute values to JSON-serializable primitives."""
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    item = getattr(value, "item", None)  # numpy scalars
+    if callable(item):
+        return _jsonable(item())
+    return str(value)
+
+
+def _track_ids(tracer: Tracer) -> dict[tuple, tuple[int, int]]:
+    """Assign stable (pid, tid) integers to every (domain, lane) track."""
+    domains: dict[str, int] = {}
+    lanes: dict[tuple, tuple[int, int]] = {}
+    per_domain: dict[str, dict] = {}
+    for track in tracer.tracks():
+        domain, lane = track
+        pid = domains.setdefault(domain, len(domains) + 1)
+        dlanes = per_domain.setdefault(domain, {})
+        tid = dlanes.setdefault(lane, len(dlanes) + 1)
+        lanes[track] = (pid, tid)
+    return lanes
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The tracer's contents as a Chrome trace-event JSON object."""
+    lanes = _track_ids(tracer)
+    events: list[dict] = []
+
+    named_pids: set[int] = set()
+    for track, (pid, tid) in lanes.items():
+        domain, lane = track
+        if pid not in named_pids:
+            named_pids.add(pid)
+            clock = "wall clock" if domain in WALL_DOMAINS else "simulated time"
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": f"{domain} ({clock})"},
+            })
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+            "args": {"name": f"{domain}:{lane}"},
+        })
+
+    for s in tracer.spans:
+        pid, tid = lanes[s.track]
+        events.append({
+            "ph": "X",
+            "name": s.name,
+            "cat": s.cat,
+            "ts": s.start * _SECONDS_TO_US,
+            "dur": s.duration * _SECONDS_TO_US,
+            "pid": pid,
+            "tid": tid,
+            "args": _jsonable(s.attrs),
+        })
+    for e in tracer.events:
+        pid, tid = lanes[e.track]
+        events.append({
+            "ph": "i",
+            "s": "t",
+            "name": e.name,
+            "cat": e.cat,
+            "ts": e.ts * _SECONDS_TO_US,
+            "pid": pid,
+            "tid": tid,
+            "args": _jsonable(e.attrs),
+        })
+
+    # Stable ordering: metadata first (ph sorts M < X/i by insertion),
+    # then by track and start time — viewers do not require it, diffs do.
+    meta = [ev for ev in events if ev["ph"] == "M"]
+    data = sorted(
+        (ev for ev in events if ev["ph"] != "M"),
+        key=lambda ev: (ev["pid"], ev["tid"], ev["ts"], ev["name"]),
+    )
+    return {
+        "traceEvents": meta + data,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "spans": len(tracer.spans),
+            "events": len(tracer.events),
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path) -> Path:
+    """Serialize :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(tracer), indent=1) + "\n")
+    return path
+
+
+def check_nesting(tracer: Tracer) -> None:
+    """Raise ``ValueError`` unless spans on each track nest monotonely.
+
+    Within one track, for any two spans A and B either one contains the
+    other or they do not overlap.  A tiny relative tolerance absorbs
+    float rounding of accumulated simulated clocks.
+    """
+    by_track: dict[tuple, list[Span]] = {}
+    for s in tracer.spans:
+        by_track.setdefault(s.track, []).append(s)
+    for track, spans in by_track.items():
+        spans.sort(key=lambda s: (s.start, -s.end))
+        stack: list[Span] = []
+        for s in spans:
+            tol = 1e-12 * max(abs(s.end), 1.0)
+            while stack and stack[-1].end <= s.start + tol:
+                stack.pop()
+            if stack and s.end > stack[-1].end + tol:
+                raise ValueError(
+                    f"track {track}: span {s.name!r} [{s.start}, {s.end}] "
+                    f"overlaps {stack[-1].name!r} "
+                    f"[{stack[-1].start}, {stack[-1].end}] without nesting"
+                )
+            stack.append(s)

@@ -17,6 +17,10 @@ same application over simulated MPI with halo import/export.
     ctx.par_loop(flux_kernel, "flux", edges,
                  arg(q, e2c, 0, Access.READ), arg(q, e2c, 1, Access.READ),
                  arg(res, e2c, 0, Access.INC), arg(res, e2c, 1, Access.INC))
+
+Layer role (docs/ARCHITECTURE.md): unstructured-mesh execution layer —
+the gather/scatter counterpart of repro.ops, with the same measured
+profile outputs and tracer instrumentation.
 """
 
 from ..ops.access import Access

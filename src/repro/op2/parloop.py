@@ -31,11 +31,31 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs.tracer import active_tracer
 from ..ops.access import Access
 from .coloring import color_iterset
 from .mesh import Dat, Global, Map, Set
 
-__all__ = ["Arg", "arg", "arg_direct", "arg_global", "Op2LoopRecord", "Op2Context"]
+__all__ = [
+    "Arg", "arg", "arg_direct", "arg_global", "Op2LoopRecord", "Op2Context",
+    "describe_args",
+]
+
+
+def describe_args(args) -> tuple[str, ...]:
+    """Compact per-argument access summary for tracing/diagnostics:
+    ``"q@e2c[0]:read"`` (indirect), ``"res:inc"`` (direct),
+    ``"gbl:inc"`` (global)."""
+    out = []
+    for a in args:
+        if a.is_global:
+            out.append(f"gbl:{a.access.value}")
+        elif a.is_indirect:
+            slot = "*" if a.index is None else str(a.index)
+            out.append(f"{a.dat.name}@{a.map.name}[{slot}]:{a.access.value}")
+        else:
+            out.append(f"{a.dat.name}:{a.access.value}")
+    return tuple(out)
 
 
 @dataclass(frozen=True)
@@ -144,6 +164,27 @@ class Op2Context:
         self.state_bytes = 0
         self._color_cache: dict[tuple, np.ndarray] = {}
 
+    # ---- observability hooks -----------------------------------------
+
+    def _tracer(self):
+        """The active tracer, or None.  Distributed contexts execute in
+        simmpi rank threads, where the tracer arrives wired onto the
+        rank's virtual clock rather than through the ContextVar."""
+        comm = getattr(self, "comm", None)
+        if comm is not None:
+            wired = getattr(comm.clock, "tracer", None)
+            if wired is not None:
+                return wired
+        return active_tracer()
+
+    def _sim_now(self) -> float:
+        comm = getattr(self, "comm", None)
+        return comm.clock.now if comm is not None else self.simulated_time
+
+    def _trace_track(self) -> tuple[str, int]:
+        comm = getattr(self, "comm", None)
+        return ("op2", comm.rank if comm is not None else 0)
+
     # ---- declaration factories ---------------------------------------
     # (Overridden by the distributed context, which localizes each
     # declaration; writing apps against these methods makes them run
@@ -211,9 +252,18 @@ class Op2Context:
         for i, a in enumerate(args):
             if a.is_global and a.access is not Access.READ:
                 self._finish_global(a, gbl_bufs[i])
-        self._record(name, iterset, args, flops_per_elem)
+        tracer = self._tracer()
+        t0 = self._sim_now() if tracer is not None else 0.0
+        nbytes = self._record(name, iterset, args, flops_per_elem)
         if self.timing is not None and n > 0:
             self._charge_time(name, iterset, args, flops_per_elem)
+        if tracer is not None:
+            tracer.span(
+                "kernel", name, t0, self._sim_now(),
+                track=self._trace_track(),
+                elements=n, bytes=nbytes, flops=n * flops_per_elem,
+                access=describe_args(args), mode=self.mode,
+            )
 
     # ------------------------------------------------------------------
 
@@ -309,7 +359,9 @@ class Op2Context:
 
     # ------------------------------------------------------------------
 
-    def _record(self, name, iterset, args, flops_per_elem) -> None:
+    def _record(self, name, iterset, args, flops_per_elem) -> float:
+        """Accumulate the loop's profile; returns this call's byte count
+        (consumed by the kernel span the tracer records)."""
         rec = self.records.get(name)
         if rec is None:
             rec = Op2LoopRecord(name)
@@ -339,6 +391,7 @@ class Op2Context:
         rec.has_indirect_inc = rec.has_indirect_inc or any(
             a.is_indirect and a.access is Access.INC for a in args
         )
+        return nbytes
 
     def _charge_time(self, name, iterset, args, flops_per_elem) -> None:
         """Accumulate the modeled kernel time of this invocation."""

@@ -20,6 +20,10 @@ model that regenerates the paper's figures.
     ctx.par_loop(jacobi, "jacobi", grid, grid.interior,
                  arg_dat(u_new, S2D_00, Access.WRITE),
                  arg_dat(u, S5, Access.READ), flops_per_point=4)
+
+Layer role (docs/ARCHITECTURE.md): structured-mesh execution layer —
+runs the real numerics over simmpi, measures the per-loop byte/flop
+profiles the perfmodel consumes, and emits kernel spans to repro.obs.
 """
 
 from .access import Access, ArgDat, ArgGbl, arg_dat, arg_gbl

@@ -23,7 +23,26 @@ import numpy as np
 from .access import Access, ArgDat, ArgGbl
 from .block import Dat
 
-__all__ = ["DatAccessor", "GblAccessor", "execution_view"]
+__all__ = ["DatAccessor", "GblAccessor", "execution_view", "describe_access"]
+
+
+def describe_access(args) -> tuple[str, ...]:
+    """Compact per-argument access summary for tracing/diagnostics.
+
+    One entry per loop argument: ``"u:read/r1"`` (dat ``u``, READ through
+    a radius-1 stencil) or ``"gbl:inc"`` for globals — the access-mode
+    attribute the observability layer attaches to every kernel span.
+    """
+    out = []
+    for a in args:
+        if isinstance(a, ArgDat):
+            desc = f"{a.dat.name}:{a.access.value}"
+            if a.stencil.radius > 0:
+                desc += f"/r{a.stencil.radius}"
+        else:
+            desc = f"gbl:{a.access.value}"
+        out.append(desc)
+    return tuple(out)
 
 
 def _normalize_offset(offset, ndim: int) -> tuple[int, ...]:

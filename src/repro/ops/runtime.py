@@ -28,12 +28,13 @@ import numpy as np
 
 from ..machine.config import RunConfig
 from ..machine.spec import PlatformSpec
+from ..obs.tracer import active_tracer
 from ..perfmodel.kernelmodel import AppClass, AppSpec, LoopSpec
 from ..simmpi.cart import CartGrid, exchange_halos
 from ..simmpi.comm import Communicator
 from .access import Access, ArgDat, ArgGbl
 from .block import Block, Dat
-from .parloop import DatAccessor, GblAccessor, execution_view
+from .parloop import DatAccessor, GblAccessor, describe_access, execution_view
 
 __all__ = ["LoopRecord", "TimingModel", "OpsContext"]
 
@@ -144,6 +145,27 @@ class OpsContext:
     def nranks(self) -> int:
         return self.comm.size if self.comm is not None else 1
 
+    # ---- observability hooks -----------------------------------------
+
+    def _tracer(self):
+        """The active tracer for this context, or None (the common case).
+
+        Distributed contexts run inside simmpi rank threads, which do not
+        inherit the installing thread's ContextVar scope — the world
+        wires the tracer onto each rank's virtual clock instead.
+        """
+        if self.comm is not None:
+            wired = getattr(self.comm.clock, "tracer", None)
+            if wired is not None:
+                return wired
+        return active_tracer()
+
+    def _sim_now(self) -> float:
+        return self.comm.clock.now if self.comm is not None else self.simulated_time
+
+    def _trace_track(self) -> tuple[str, int]:
+        return ("ops", self.comm.rank if self.comm is not None else 0)
+
     def block(self, name: str, shape: tuple[int, ...]) -> Block:
         """Declare a global structured block."""
         return Block(self, name, shape)
@@ -219,8 +241,11 @@ class OpsContext:
         consumes — tiny boundary-strip loops exchange for correctness but
         piggyback on the bulk exchanges in real OPS.
         """
+        tracer = self._tracer()
+        t0 = self._sim_now() if tracer is not None else 0.0
         seen: set[int] = set()
         fields = 0
+        exchanged: list[str] = []
         for a in args:
             if not isinstance(a, ArgDat):
                 continue
@@ -230,12 +255,19 @@ class OpsContext:
                 continue
             seen.add(id(a.dat))
             fields += 1
+            exchanged.append(a.dat.name)
             if self.comm is not None and self.grid.size > 1 and a.dat.halo > 0:
                 exchange_halos(self.comm, self.grid, a.dat.data, a.dat.halo)
             a.dat.halo_dirty = False
         if fields and bulk:
             self.halo_exchange_count += 1
             self.halo_fields_exchanged += fields
+        if tracer is not None and fields:
+            tracer.span(
+                "mpi", "halo-exchange", t0, self._sim_now(),
+                track=self._trace_track(), fields=fields,
+                dats=tuple(exchanged), bulk=bulk,
+            )
 
     def _local_range(
         self, block: Block, rng: Sequence[tuple[int, int]], halo_needed: int
@@ -263,6 +295,8 @@ class OpsContext:
         for d in block.shape:
             interior_points *= d
         self._sync_halos(args, bulk=rng_points >= 0.5 * interior_points)
+        tracer = self._tracer()
+        t0 = self._sim_now() if tracer is not None else 0.0
 
         # Halo reach of writes determines how far into physical ghosts the
         # range may extend on this rank.
@@ -299,7 +333,16 @@ class OpsContext:
                 a.dat.halo_dirty = True
 
         self._finish_reductions(gbls)
-        self._record(job, npoints, args)
+        nbytes = self._record(job, npoints, args)
+        if tracer is not None:
+            tracer.span(
+                "kernel", job["name"], t0, self._sim_now(),
+                track=self._trace_track(),
+                points=npoints, bytes=nbytes,
+                flops=npoints * job["flops"],
+                access=describe_access(args),
+                rank=self.comm.rank if self.comm is not None else 0,
+            )
 
     def _finish_reductions(self, gbls: list[tuple[ArgGbl, GblAccessor]]) -> None:
         for arg, acc in gbls:
@@ -317,7 +360,9 @@ class OpsContext:
 
     # ------------------------------------------------------------------
 
-    def _record(self, job: dict, npoints: int, args) -> None:
+    def _record(self, job: dict, npoints: int, args) -> float:
+        """Accumulate the loop's profile; returns this call's byte count
+        (consumed by the kernel span the tracer records)."""
         name = job["name"]
         rec = self.records.get(name)
         if rec is None:
@@ -359,6 +404,7 @@ class OpsContext:
                 self.comm.compute(dt)
             else:
                 self.simulated_time += dt
+        return nbytes
 
     # ------------------------------------------------------------------
 

@@ -11,6 +11,10 @@ platform model, run configuration) into simulated runtimes:
 - :mod:`~repro.perfmodel.commmodel` — halo-exchange and collective costs;
 - :mod:`~repro.perfmodel.calibration` — every tunable constant, with the
   mechanism and paper statement that justifies it.
+
+Layer role (docs/ARCHITECTURE.md): converts the DSLs' measured
+profiles plus a machine model and run configuration into the
+AppEstimate every figure, sweep and trace consumes.
 """
 
 from .analysis import (

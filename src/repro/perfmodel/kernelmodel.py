@@ -117,6 +117,20 @@ class LoopSpec:
             return math.inf
         return self.flops_total / self.bytes_total
 
+    def trace_attrs(self) -> dict:
+        """The span/event attributes the observability layer attaches to
+        this loop's perfmodel records (a stable, JSON-friendly subset)."""
+        return {
+            "points": self.points,
+            "bytes_per_point": self.bytes_per_point,
+            "flops_per_point": self.flops_per_point,
+            "radius": self.radius,
+            "indirect_per_point": self.indirect_per_point,
+            "streams": self.streams,
+            "invocations": self.invocations,
+            "vectorizable": self.vectorizable,
+        }
+
     def scaled(self, factor: float) -> "LoopSpec":
         """Same loop with ``points`` scaled by ``factor`` (used to
         extrapolate a scaled-down run to the paper's problem size)."""

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from ..machine.config import RunConfig
 from ..machine.spec import DeviceKind, PlatformSpec
 from ..mem.hierarchy import HierarchyModel, Scope
+from ..obs.tracer import active_tracer
 from . import calibration as cal
 from .commmodel import CommEstimate, estimate_comm
 from .configmodel import (
@@ -174,9 +175,20 @@ def loop_time(
 
     core = _pnorm(t_bw, t_fl, t_lat) * sycl_time_multiplier(config) / affinity
     ovh = loop_overhead(platform, config) * max(loop.invocations, 1.0)
-    return LoopTime(
+    lt = LoopTime(
         loop.name, core + ovh, t_bw, t_fl, t_lat, ovh, loop.bytes_total, flops
     )
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.event(
+            "perfmodel", loop.name, 0.0, track=("perfmodel", 0),
+            t_bandwidth=t_bw, t_compute=t_fl, t_latency=t_lat,
+            overhead=ovh, time=lt.time, limb=lt.bottleneck,
+            traffic=traffic, bandwidth=bw,
+            platform=platform.short_name, config=config.label(),
+            **loop.trace_attrs(),
+        )
+    return lt
 
 
 def estimate_app(
@@ -200,6 +212,15 @@ def estimate_app(
     )
     mpi_per_iter = comm.time_per_iter + imbalance
     n = app.iterations
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.event(
+            "perfmodel", f"estimate:{app.name}", 0.0, track=("perfmodel", 0),
+            platform=platform.short_name, config=config.label(),
+            compute_per_iter=compute_per_iter, mpi_per_iter=mpi_per_iter,
+            comm_per_iter=comm.time_per_iter, imbalance=imbalance,
+            iterations=n, loops=len(loops),
+        )
     return AppEstimate(
         app=app.name,
         platform=platform.short_name,

@@ -8,6 +8,10 @@
 - :mod:`~repro.simmpi.clock` — virtual clocks and message cost models
   (the MPI-wait accounting behind Figure 7).
 - :mod:`~repro.simmpi.cart` — Cartesian grids and ghost-layer exchange.
+
+Layer role (docs/ARCHITECTURE.md): the communication substrate the
+DSLs' distributed contexts run on; prices messages with the machine
+models and feeds per-rank wait accounting to the tracer.
 """
 
 from .cart import CartGrid, dims_create, exchange_halos, local_range

@@ -35,11 +35,20 @@ __all__ = [
 
 @dataclass
 class VirtualClock:
-    """Per-rank simulated time, split into busy and MPI-wait components."""
+    """Per-rank simulated time, split into busy and MPI-wait components.
+
+    ``tracer``/``track`` are observability wiring (set by
+    :meth:`repro.simmpi.comm.World.run` when a tracer is active): each
+    MPI-wait gap the clock absorbs is then recorded as a span — the raw
+    material of the paper's Figure 7 per-rank wait accounting.  They are
+    excluded from equality so traced and untraced clocks compare equal.
+    """
 
     now: float = 0.0
     compute_time: float = 0.0
     mpi_time: float = 0.0
+    tracer: object = field(default=None, compare=False, repr=False)
+    track: tuple = field(default=None, compare=False, repr=False)
 
     def advance_compute(self, dt: float) -> None:
         if dt < 0:
@@ -50,6 +59,11 @@ class VirtualClock:
     def advance_mpi(self, until: float) -> None:
         """Move the clock forward to ``until``, charging the gap to MPI."""
         if until > self.now:
+            if self.tracer is not None:
+                self.tracer.span(
+                    "mpi", "wait", self.now, until,
+                    track=self.track or ("rank", 0),
+                )
             self.mpi_time += until - self.now
             self.now = until
 

@@ -246,6 +246,12 @@ class Communicator:
         w._mailboxes.setdefault((self._grank, gdest, self._ctx), deque()).append(msg)
         self.stats.messages_sent += 1
         self.stats.bytes_sent += nbytes
+        if self.clock.tracer is not None:
+            self.clock.tracer.event(
+                "mpi", "send", self.clock.now,
+                track=self.clock.track or ("rank", self._grank),
+                dst=gdest, tag=tag, bytes=nbytes,
+            )
         return Request("send", self._grank)
 
     def send(self, data: Any, dest: int, tag: int = 0) -> None:
@@ -412,6 +418,17 @@ class World:
         self._failure = None
         self._results = [None] * self.nranks
 
+        # Rank threads do not inherit the caller's ContextVar scope, so
+        # hand an active tracer to each rank's clock for the duration of
+        # the run (spans land on per-rank tracks).
+        from ..obs.tracer import active_tracer
+
+        tracer = active_tracer()
+        if tracer is not None:
+            for r, comm in enumerate(self.comms):
+                comm.clock.tracer = tracer
+                comm.clock.track = ("rank", r)
+
         threads = [
             threading.Thread(
                 target=self._thread_body, args=(r, program, args, kwargs), daemon=True
@@ -435,6 +452,9 @@ class World:
         finally:
             for t in threads:
                 t.join(timeout=10.0)
+            if tracer is not None:
+                for comm in self.comms:
+                    comm.clock.tracer = None
         if self._failure is not None:
             raise self._failure
         return list(self._results)
@@ -592,6 +612,12 @@ class World:
         req.completed = True
         comm.stats.messages_received += 1
         comm.stats.bytes_received += msg.nbytes
+        if comm.clock.tracer is not None:
+            comm.clock.tracer.event(
+                "mpi", "recv", comm.clock.now,
+                track=comm.clock.track or ("rank", comm._grank),
+                src=msg.src, tag=msg.tag, bytes=msg.nbytes,
+            )
         return True
 
     def _fulfill_ready(self) -> bool:
@@ -684,6 +710,12 @@ class World:
         for info, c, res in zip(infos, comms, results):
             c.clock.advance_mpi(t_done)
             info.coll_result = res
+            if c.clock.tracer is not None:
+                c.clock.tracer.event(
+                    "mpi", f"collective:{kind}", c.clock.now,
+                    track=c.clock.track or ("rank", c._grank),
+                    ranks=len(comms), bytes=nbytes, op=op,
+                )
 
 
 def _reduce_payloads(payloads: list[Any], op: str) -> Any:

@@ -27,9 +27,27 @@ class TestRun:
         for p in ("max9480", "icx8360y", "epyc7v73x", "a100"):
             assert p in out
 
-    def test_unknown_app_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["run", "linpack"])
+    def test_unknown_app_rejected(self, capsys):
+        assert main(["run", "linpack"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown application" in err
+        assert "cloverleaf2d" in err  # lists the valid choices
+
+    def test_unknown_platform_rejected(self, capsys):
+        assert main(["run", "miniweather", "--platform", "cray1"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown platform" in err
+        assert "max9480" in err  # lists the valid choices
+
+    def test_prefix_resolves(self, capsys):
+        assert main(["run", "miniw"]) == 0
+        assert "max9480" in capsys.readouterr().out
+
+    def test_ambiguous_prefix_takes_first_with_note(self, capsys):
+        assert main(["run", "cloverleaf"]) == 0
+        captured = capsys.readouterr()
+        assert "ambiguous" in captured.err
+        assert "cloverleaf2d" in captured.err
 
 
 class TestFigures:
@@ -66,9 +84,11 @@ class TestSweep:
         # miniBUDE + Classic stalls: planned as infeasible, not run.
         assert "planned-infeasible" in out
 
-    def test_unknown_platform_rejected(self):
-        with pytest.raises(KeyError):
-            main(["sweep", "miniweather", "--platform", "cray1"])
+    def test_unknown_platform_rejected(self, capsys):
+        assert main(["sweep", "miniweather", "--platform", "cray1"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown platform" in err
+        assert "max9480" in err
 
     def test_unknown_app_rejected(self, capsys):
         assert main(["sweep", "linpack"]) == 2

@@ -1,0 +1,72 @@
+"""Per-kernel breakdown tables must mirror the estimate exactly."""
+
+import csv
+import io
+
+from repro.engine import SweepEngine
+from repro.harness import render_breakdown
+from repro.machine import XEON_MAX_9480, best_practice_config
+from repro.obs import (
+    BREAKDOWN_COLUMNS,
+    breakdown_csv,
+    breakdown_table,
+    kernel_breakdown,
+    summary_dict,
+)
+from repro.perfmodel.roofline import estimate_app
+
+
+def _estimate(tmp_path):
+    engine = SweepEngine(cache_dir=tmp_path / "bd")
+    platform = XEON_MAX_9480
+    spec = engine.app_spec("miniweather")
+    return estimate_app(spec, platform, best_practice_config(platform),
+                        engine.hierarchy(platform))
+
+
+class TestBreakdown:
+    def test_rows_match_per_loop_exactly(self, tmp_path):
+        est = _estimate(tmp_path)
+        columns, rows = kernel_breakdown(est)
+        assert columns == BREAKDOWN_COLUMNS
+        assert len(rows) == len(est.per_loop)
+        for row, lt in zip(rows, est.per_loop):
+            assert row == (lt.name, lt.time, lt.t_bandwidth, lt.t_compute,
+                           lt.t_latency, lt.overhead, lt.counted_bytes,
+                           lt.flops, lt.bottleneck)
+
+    def test_csv_round_trips(self, tmp_path):
+        est = _estimate(tmp_path)
+        reader = csv.reader(io.StringIO(breakdown_csv(est)))
+        header = next(reader)
+        assert tuple(header) == BREAKDOWN_COLUMNS
+        body = list(reader)
+        assert len(body) == len(est.per_loop)
+        for row, lt in zip(body, est.per_loop):
+            assert row[0] == lt.name
+            assert float(row[1]) == lt.time
+            assert float(row[6]) == lt.counted_bytes
+
+    def test_table_lists_every_loop(self, tmp_path):
+        est = _estimate(tmp_path)
+        table = breakdown_table(est)
+        for lt in est.per_loop:
+            assert lt.name in table
+
+    def test_summary_dict_mirrors_estimate(self, tmp_path):
+        est = _estimate(tmp_path)
+        s = summary_dict(est)
+        assert s["app"] == est.app
+        assert s["total_time"] == est.total_time
+        assert s["mpi_fraction"] == est.mpi_fraction
+        assert s["effective_bandwidth"] == est.effective_bandwidth
+        assert [l["name"] for l in s["loops"]] == [lt.name for lt in est.per_loop]
+        assert [l["time"] for l in s["loops"]] == [lt.time for lt in est.per_loop]
+
+    def test_render_breakdown(self, tmp_path):
+        est = _estimate(tmp_path)
+        text = render_breakdown(summary_dict(est))
+        assert est.app in text
+        assert "bottleneck" in text
+        for lt in est.per_loop:
+            assert lt.name in text

@@ -1,0 +1,147 @@
+"""Execution-level tracing: DSL kernel spans and simmpi wait accounting."""
+
+import numpy as np
+
+from repro.machine import XEON_MAX_9480, best_practice_config
+from repro.obs import Tracer, check_nesting, tracing
+from repro.ops import Access as OpsAccess
+from repro.ops import OpsContext, S2D_00, TimingModel, arg_dat, star_stencil
+from repro.op2 import Access as Op2Access
+from repro.op2 import Op2Context, arg, arg_direct
+from repro.simmpi import CartGrid, World
+
+
+def _ops_heat(ctx, n=12, iters=2):
+    grid = ctx.block("grid", (n, n))
+    u = grid.dat("u", halo=1)
+    un = grid.dat("un", halo=1)
+    u.set_from_global(np.arange(n * n, dtype=float).reshape(n, n))
+    s5 = star_stencil(2, 1)
+
+    def step(out, inp):
+        out[0, 0] = inp[0, 0] + 0.1 * (
+            inp[1, 0] + inp[-1, 0] + inp[0, 1] + inp[0, -1] - 4.0 * inp[0, 0]
+        )
+
+    def copyk(out, inp):
+        out[0, 0] = inp[0, 0]
+
+    for _ in range(iters):
+        ctx.par_loop(step, "step", grid, grid.interior,
+                     arg_dat(un, S2D_00, OpsAccess.WRITE),
+                     arg_dat(u, s5, OpsAccess.READ), flops_per_point=7)
+        ctx.par_loop(copyk, "copy", grid, grid.interior,
+                     arg_dat(u, S2D_00, OpsAccess.WRITE),
+                     arg_dat(un, S2D_00, OpsAccess.READ))
+    return u.gather_global()
+
+
+class TestOpsTracing:
+    def test_serial_kernel_spans(self):
+        platform = XEON_MAX_9480
+        timing = TimingModel(platform, best_practice_config(platform))
+        with tracing() as tr:
+            _ops_heat(OpsContext(timing=timing))
+        steps = tr.spans_of("kernel", "step")
+        assert len(steps) == 2
+        s = steps[0]
+        assert s.attrs["points"] == 12 * 12  # grid.interior of the 12x12 block
+        assert s.attrs["bytes"] > 0
+        assert s.attrs["flops"] == 7 * 12 * 12
+        assert any(a.startswith("u:read") for a in s.attrs["access"])
+        assert s.duration > 0  # the timing model advanced simulated time
+        check_nesting(tr)
+
+    def test_serial_halo_exchange_spans(self):
+        with tracing() as tr:
+            _ops_heat(OpsContext())
+        halos = tr.spans_of("mpi", "halo-exchange")
+        assert halos  # 'step' reads u through a radius-1 stencil
+        assert halos[0].attrs["fields"] == 1
+        assert "u" in halos[0].attrs["dats"]
+
+    def test_tracing_does_not_change_results(self):
+        plain = _ops_heat(OpsContext())
+        with tracing():
+            traced = _ops_heat(OpsContext())
+        assert np.array_equal(plain, traced)
+
+    def test_distributed_spans_per_rank(self):
+        platform = XEON_MAX_9480
+        timing = TimingModel(platform, best_practice_config(platform))
+
+        def program(comm):
+            ctx = OpsContext(comm=comm, grid=CartGrid((2, 2)), timing=timing)
+            return _ops_heat(ctx)
+
+        with tracing() as tr:
+            results = World(4).run(program)
+        assert np.array_equal(results[0], _ops_heat(OpsContext()))
+        lanes = {s.track for s in tr.spans_of("kernel", "step")}
+        assert lanes == {("ops", r) for r in range(4)}
+        check_nesting(tr)
+
+
+class TestSimmpiTracing:
+    def test_sends_and_waits_recorded(self):
+        def program(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            if comm.rank == 0:
+                comm.compute(1.0)  # force the others to wait on rank 0
+            comm.isend(np.array([comm.rank]), right, tag=7)
+            return int(comm.recv(left, tag=7)[0])
+
+        with tracing() as tr:
+            results = World(3).run(program)
+        assert results == [2, 0, 1]
+        sends = tr.events_of("mpi", "send")
+        assert len(sends) == 3
+        assert all(e.attrs["bytes"] > 0 for e in sends)
+        waits = tr.spans_of("mpi", "wait")
+        assert waits, "late sender must produce MPI-wait spans"
+        assert {s.track[0] for s in waits} == {"rank"}
+
+    def test_clock_unwired_after_run(self):
+        tracer = Tracer()
+        world = World(2)
+        with tracing(tracer):
+            world.run(lambda comm: comm.rank)
+        assert all(c.clock.tracer is None for c in world.comms)
+
+
+class TestOp2Tracing:
+    def test_kernel_span_with_access_modes(self):
+        ctx = Op2Context()
+        cells = ctx.set("cells", 8)
+        edges = ctx.set("edges", 8)
+        conn = np.stack([np.arange(8), (np.arange(8) + 1) % 8], axis=1)
+        e2c = ctx.map("e2c", edges, cells, conn)
+        q = ctx.dat(cells, 1, "q", data=np.arange(8.0))
+        res = ctx.dat(cells, 1, "res")
+
+        def k(r, a, b):
+            r[...] += a + b
+
+        with tracing() as tr:
+            ctx.par_loop(k, "flux", edges,
+                         arg(res, e2c, 0, Op2Access.INC),
+                         arg(q, e2c, 0, Op2Access.READ),
+                         arg(q, e2c, 1, Op2Access.READ),
+                         flops_per_elem=2)
+        (span,) = tr.spans_of("kernel", "flux")
+        assert span.attrs["elements"] == 8
+        assert span.attrs["flops"] == 16
+        assert span.attrs["bytes"] > 0
+        assert any("res" in a and "inc" in a for a in span.attrs["access"])
+
+    def test_direct_loop_untraced_is_unaffected(self):
+        ctx = Op2Context()
+        cells = ctx.set("cells", 4)
+        d = ctx.dat(cells, 1, "d")
+
+        def k(x):
+            x[...] = 1.0
+
+        ctx.par_loop(k, "fill", cells, arg_direct(d, Op2Access.WRITE))
+        assert np.all(d.data == 1.0)

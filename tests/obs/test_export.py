@@ -1,0 +1,86 @@
+"""Chrome trace export format and span-nesting validation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import Tracer, check_nesting, chrome_trace, write_chrome_trace
+
+
+def _sample_tracer():
+    tr = Tracer()
+    tr.span("kernel", "outer", 0.0, 4.0, track=("ops", 0))
+    tr.span("kernel", "inner", 1.0, 2.0, track=("ops", 0), bytes=128)
+    tr.span("mpi", "wait", 0.0, 0.5, track=("rank", 1))
+    tr.event("mpi", "send", 0.25, track=("rank", 1), dst=0, bytes=np.int64(8))
+    tr.wall_span("engine", "job", tr.wall_epoch, tr.wall_epoch + 0.1,
+                 track=("engine", "w0"))
+    return tr
+
+
+class TestChromeTrace:
+    def test_round_trips_through_json(self):
+        doc = chrome_trace(_sample_tracer())
+        again = json.loads(json.dumps(doc))
+        assert again == doc
+
+    def test_event_kinds_and_counts(self):
+        doc = chrome_trace(_sample_tracer())
+        by_ph = {}
+        for ev in doc["traceEvents"]:
+            by_ph.setdefault(ev["ph"], []).append(ev)
+        assert len(by_ph["X"]) == 4  # spans
+        assert len(by_ph["i"]) == 1  # instant events
+        assert by_ph["M"]  # metadata names the processes/threads
+
+    def test_timestamps_in_microseconds(self):
+        doc = chrome_trace(_sample_tracer())
+        inner = next(e for e in doc["traceEvents"] if e.get("name") == "inner")
+        assert inner["ts"] == pytest.approx(1.0e6)
+        assert inner["dur"] == pytest.approx(1.0e6)
+        assert inner["args"]["bytes"] == 128
+
+    def test_domains_become_processes_with_clock_labels(self):
+        doc = chrome_trace(_sample_tracer())
+        names = [e["args"]["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"]
+        assert "ops (simulated time)" in names
+        assert "rank (simulated time)" in names
+        assert "engine (wall clock)" in names
+
+    def test_numpy_attrs_are_serialized(self):
+        doc = chrome_trace(_sample_tracer())
+        send = next(e for e in doc["traceEvents"] if e.get("name") == "send")
+        assert send["args"]["bytes"] == 8
+        json.dumps(send)
+
+    def test_write_creates_loadable_file(self, tmp_path):
+        path = write_chrome_trace(_sample_tracer(), tmp_path / "t.json")
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["spans"] == 4
+        assert doc["otherData"]["events"] == 1
+
+
+class TestNesting:
+    def test_nested_and_disjoint_pass(self):
+        check_nesting(_sample_tracer())
+
+    def test_sequential_spans_pass(self):
+        tr = Tracer()
+        tr.span("kernel", "a", 0.0, 1.0, track=("ops", 0))
+        tr.span("kernel", "b", 1.0, 2.0, track=("ops", 0))
+        check_nesting(tr)
+
+    def test_partial_overlap_rejected(self):
+        tr = Tracer()
+        tr.span("kernel", "a", 0.0, 2.0, track=("ops", 0))
+        tr.span("kernel", "b", 1.0, 3.0, track=("ops", 0))
+        with pytest.raises(ValueError, match="without nesting"):
+            check_nesting(tr)
+
+    def test_overlap_on_different_tracks_is_fine(self):
+        tr = Tracer()
+        tr.span("kernel", "a", 0.0, 2.0, track=("ops", 0))
+        tr.span("kernel", "b", 1.0, 3.0, track=("ops", 1))
+        check_nesting(tr)
