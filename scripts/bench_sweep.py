@@ -2,11 +2,13 @@
 """Benchmark the sweep engine: cold vs warm fig3+fig6 regeneration.
 
 Runs the two heaviest figure sweeps (the Figure 3 structured config
-matrix and the Figure 6 cross-platform best-run table) twice against a
-fresh cache directory — once cold (every estimate evaluated, store
-populated) and once warm through a brand-new engine reading the same
-store — and writes the timings plus engine metrics to ``BENCH_sweep.json``
-for the performance trajectory.
+matrix and the Figure 6 cross-platform best-run table) twice — once
+cold with caching disabled (every estimate evaluated, zero cache hits
+by construction; fig6 re-evaluates even the points fig3 touched, as a
+truly storeless run would) and once warm through a brand-new engine
+reading a store populated by an untimed priming pass — and writes the
+timings plus engine metrics to ``BENCH_sweep.json`` for the
+performance trajectory.
 
 Usage::
 
@@ -44,14 +46,16 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as cache_dir:
-        # Prime the app specs once so both passes measure sweep work, not
-        # one-time profiling of the application numerics.
-        engine = configure_engine(cache_dir=cache_dir, workers=args.jobs,
-                                  use_cache=False)
+        # Prime the app specs (so both passes measure sweep work, not
+        # one-time profiling of the application numerics) and populate
+        # the store the warm pass will read.  Untimed.
+        engine = configure_engine(cache_dir=cache_dir, workers=args.jobs)
         timed_figures()
         spec_cache = engine._specs
 
-        engine = configure_engine(cache_dir=cache_dir, workers=args.jobs)
+        # Cold: caching disabled — pure evaluation, zero cache hits.
+        engine = configure_engine(cache_dir=cache_dir, workers=args.jobs,
+                                  use_cache=False)
         engine._specs.update(spec_cache)
         cold_s = timed_figures()
         cold = engine.metrics.as_dict()

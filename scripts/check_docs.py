@@ -8,7 +8,9 @@ Walks README.md and docs/*.md and verifies that
    (GitHub slug rules);
 2. every command in a fenced ``bash``/``console`` block actually runs
    (exit 0), and every fenced ``python`` block executes — so the docs
-   cannot drift from the CLI and API they describe.
+   cannot drift from the CLI and API they describe;
+3. every ``python -m repro`` subcommand appears in at least one
+   documented command — new CLI verbs cannot ship undocumented.
 
 Commands matching SKIP_PATTERNS (package installs, test-suite runs
 covered by other CI jobs, path placeholders) are listed but not
@@ -38,6 +40,8 @@ SKIP_PATTERNS = [
     r"bench_sweep\.py",      # the bench CI job runs the benchmark
     r"/path/to",             # placeholder paths
     r"calibrate\.py",        # calibration sweep: long-running, optional
+    r"drift --update",       # rewrites the committed fidelity baseline
+    r"\bgit diff\b",         # the temp workdir is not a git checkout
 ]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -120,6 +124,29 @@ def commands_in(lang: str, lines: list[str]) -> list[str]:
     return []
 
 
+def cli_subcommands() -> list[str]:
+    """Every ``python -m repro`` subcommand, parsed from the CLI source."""
+    src = (ROOT / "src" / "repro" / "__main__.py").read_text()
+    return re.findall(r'sub\.add_parser\(\s*"(\w+)"', src)
+
+
+def check_cli_coverage(files: list[Path]) -> list[str]:
+    """Every CLI verb must appear in at least one documented command, so
+    new subcommands cannot ship undocumented."""
+    documented = "\n".join(
+        cmd
+        for f in files
+        for lang, lines in code_blocks(f)
+        for cmd in commands_in(lang, lines)
+    )
+    return [
+        f"CLI subcommand {verb!r} appears in no documented command "
+        "(add an example to README.md or docs/)"
+        for verb in cli_subcommands()
+        if not re.search(rf"python -m repro {verb}\b", documented)
+    ]
+
+
 def run_all(files: list[Path]) -> list[str]:
     errors = []
     cache = tempfile.mkdtemp(prefix="check-docs-cache-")
@@ -166,10 +193,14 @@ def main(argv=None) -> int:
     print(f"checking {len(files)} documents: "
           + ", ".join(str(f.relative_to(ROOT)) for f in files))
     errors = check_links(files)
-    for e in errors:
-        print(f"  FAIL {e}")
     if not errors:
         print("  ok   links and anchors")
+    coverage = check_cli_coverage(files)
+    if not coverage:
+        print(f"  ok   CLI coverage ({len(cli_subcommands())} subcommands)")
+    errors += coverage
+    for e in errors:
+        print(f"  FAIL {e}")
 
     if not args.no_run:
         errors += run_all(files)

@@ -18,6 +18,15 @@ Commands
 ``validate APP``
     Execute the application's numerics at test scale and print its
     invariant diagnostics.
+``metrics [APP ...] [--platform P] [--format prometheus|json] [-o FILE]``
+    Run configuration sweeps with the metrics registry installed and
+    export every counter/gauge/histogram (Prometheus text or JSON).
+``fidelity [figN ...] [-o scorecard.md] [--json]``
+    Score the model against every published reference value per figure
+    (signed relative error, rank agreement, pass/fail verdicts).
+``drift --check|--update``
+    Compare the fidelity scorecard against ``baselines/fidelity.json``
+    (``--check``, exits 1 on regression) or re-record it (``--update``).
 
 Application names may be abbreviated to any unambiguous prefix
 (``mgcfd``, ``volna``); an ambiguous prefix like ``cloverleaf`` resolves
@@ -207,6 +216,112 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    from .obs.metrics import collecting, prometheus_text, snapshot
+
+    engine = _configure_engine(args)
+    apps = []
+    for a in args.apps or APP_ORDER:
+        resolved = _resolve_app(a)
+        if resolved is None:
+            return 2
+        apps.append(resolved)
+    platform = _get_platform(args.platform)
+    if platform is None:
+        return 2
+    with collecting() as registry:
+        plan = build_plan(apps, [platform])
+        engine.run_plan(plan)
+        if args.format == "prometheus":
+            text = prometheus_text(registry)
+        else:
+            import json as _json
+
+            text = _json.dumps(snapshot(registry), indent=2, sort_keys=True) + "\n"
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"metrics: {len(registry)} samples across "
+              f"{len(registry.names())} families -> {args.output}",
+              file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+def _resolve_figures(names: list[str]) -> list[str] | None:
+    """Validate figure names; None — with a stderr message listing the
+    choices — when any is unknown (same contract as ``_resolve_app``)."""
+    from .obs.fidelity import FIGURE_ORDER
+
+    out = []
+    for name in names:
+        if name not in FIGURE_ORDER:
+            print(f"unknown figure {name!r} "
+                  f"(choose from: {', '.join(FIGURE_ORDER)})", file=sys.stderr)
+            return None
+        out.append(name)
+    return out
+
+
+def cmd_fidelity(args) -> int:
+    from .obs.fidelity import scorecard
+
+    _configure_engine(args)
+    figures = _resolve_figures(args.figures)
+    if figures is None:
+        return 2
+    card = scorecard(figures or None)
+    if args.json:
+        import json as _json
+
+        text = _json.dumps(card.as_dict(), indent=2, sort_keys=True) + "\n"
+    else:
+        text = card.to_markdown()
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        n = sum(len(s.entries) for s in card.scores)
+        print(f"fidelity: {len(card.scores)} figures, {n} reference values "
+              f"-> {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0 if card.passed else 1
+
+
+def cmd_drift(args) -> int:
+    from pathlib import Path
+
+    from .obs.fidelity import (
+        baseline_path, check_drift, load_baseline, save_baseline, scorecard,
+    )
+
+    _configure_engine(args)
+    path = Path(args.baseline) if args.baseline else baseline_path()
+    card = scorecard()
+    if args.update:
+        out = save_baseline(card, path)
+        print(f"drift baseline recorded for {len(card.scores)} figures -> {out}")
+        return 0
+    baseline = load_baseline(path)
+    if baseline is None:
+        print(f"no drift baseline at {path}; run "
+              "'python -m repro drift --update' first", file=sys.stderr)
+        return 2
+    problems = check_drift(card, baseline)
+    if problems:
+        print(f"drift check FAILED ({len(problems)} regressions):")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    worst = max(s.max_abs_rel_err for s in card.scores)
+    print(f"drift check passed: {len(card.scores)} figures within baseline "
+          f"(worst |rel err| {worst:.3f})")
+    return 0
+
+
 def cmd_validate(args) -> int:
     name = _resolve_app(args.app)
     if name is None:
@@ -282,10 +397,54 @@ def main(argv=None) -> int:
     p_val = sub.add_parser("validate", help="run an app's numerics at test scale")
     p_val.add_argument("app", help="application name (any unambiguous prefix)")
 
+    p_met = sub.add_parser(
+        "metrics", help="run sweeps with the metrics registry and export it")
+    p_met.add_argument("apps", nargs="*", metavar="APP",
+                       help=f"applications (default: all of {', '.join(APP_ORDER)})")
+    p_met.add_argument("--platform", default="max9480",
+                       help="platform short name (default max9480)")
+    p_met.add_argument("--format", choices=("prometheus", "json"),
+                       default="prometheus",
+                       help="export format (default prometheus text)")
+    p_met.add_argument("-o", "--output", default=None,
+                       help="write the export to a file instead of stdout")
+    p_met.add_argument("--jobs", type=int, default=None,
+                       help="parallel sweep workers (default serial)")
+    p_met.add_argument("--no-cache", action="store_true",
+                       help="bypass the persistent result store")
+
+    p_fid = sub.add_parser(
+        "fidelity", help="score the model against the paper's values")
+    p_fid.add_argument("figures", nargs="*", metavar="FIG",
+                       help="fig1 .. fig9 (default: all)")
+    p_fid.add_argument("-o", "--output", default=None,
+                       help="write the scorecard to a file instead of stdout")
+    p_fid.add_argument("--json", action="store_true",
+                       help="emit JSON instead of markdown")
+    p_fid.add_argument("--jobs", type=int, default=None,
+                       help="parallel sweep workers (default serial)")
+    p_fid.add_argument("--no-cache", action="store_true",
+                       help="bypass the persistent result store")
+
+    p_drift = sub.add_parser(
+        "drift", help="gate the fidelity scorecard against its baseline")
+    mode = p_drift.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--check", action="store_true",
+                      help="fail (exit 1) if any figure drifted past baseline")
+    mode.add_argument("--update", action="store_true",
+                      help="re-record baselines/fidelity.json from this run")
+    p_drift.add_argument("--baseline", default=None,
+                         help="baseline JSON path (default baselines/fidelity.json)")
+    p_drift.add_argument("--jobs", type=int, default=None,
+                         help="parallel sweep workers (default serial)")
+    p_drift.add_argument("--no-cache", action="store_true",
+                         help="bypass the persistent result store")
+
     args = parser.parse_args(argv)
     return {"list": cmd_list, "run": cmd_run, "trace": cmd_trace,
             "figures": cmd_figures, "sweep": cmd_sweep,
-            "validate": cmd_validate}[args.command](args)
+            "validate": cmd_validate, "metrics": cmd_metrics,
+            "fidelity": cmd_fidelity, "drift": cmd_drift}[args.command](args)
 
 
 if __name__ == "__main__":

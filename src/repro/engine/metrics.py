@@ -1,10 +1,17 @@
 """Engine counters and the end-of-sweep summary report.
 
 One :class:`EngineMetrics` instance rides along with each
-:class:`~repro.engine.core.SweepEngine`.  Counters are incremented from
-worker threads, so every mutation takes the instance lock.  The summary
-is what ``python -m repro sweep`` prints after its table and what the
-benchmark suite appends after the figure tables.
+:class:`~repro.engine.core.SweepEngine`.  Since the
+:mod:`repro.obs.metrics` registry landed, the counters themselves are
+registry counters (named ``engine_<counter>_total``) held in a private
+per-engine :class:`~repro.obs.metrics.MetricsRegistry`; attribute access
+(``metrics.cache_hits``), :meth:`as_dict` and :meth:`summary` read from
+it with byte-stable keys, so ``BENCH_sweep.json`` and the sweep CLI
+footer keep their exact shape.  When a session registry is installed
+via :func:`repro.obs.metrics.collecting`, every increment is mirrored
+into it too (plus an ``engine_job_seconds`` duration histogram), which
+is how ``python -m repro metrics`` surfaces engine activity alongside
+the mem/simmpi/perfmodel/store counters.
 """
 
 from __future__ import annotations
@@ -12,6 +19,8 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
+
+from ..obs.metrics import MetricsRegistry, active_metrics
 
 __all__ = ["EngineMetrics"]
 
@@ -27,28 +36,48 @@ _COUNTERS = (
 
 
 class EngineMetrics:
-    """Thread-safe counters plus wall-time accounting for sweep runs."""
+    """Thread-safe counters plus wall-time accounting for sweep runs.
+
+    Counter storage is delegated to a private registry; ``wall_time``
+    and ``job_time`` stay plain floats under the instance lock (they
+    are aggregates of ``timed_run`` scopes, not monotone counters).
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
+        self.registry = MetricsRegistry()
         self.reset()
 
     def reset(self) -> None:
-        with getattr(self, "_lock", threading.Lock()):
-            for name in _COUNTERS:
-                setattr(self, name, 0)
+        self.registry.clear()
+        with self._lock:
             self.wall_time = 0.0  # seconds inside run_plan
             self.job_time = 0.0  # summed per-job durations (all workers)
+
+    def __getattr__(self, name: str) -> int:
+        # Only reached when normal attribute lookup fails: the delegated
+        # counters read straight from the registry.
+        if name in _COUNTERS:
+            return int(self.__dict__["registry"].value(f"engine_{name}_total"))
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
     def count(self, name: str, n: int = 1) -> None:
         if name not in _COUNTERS:
             raise KeyError(f"unknown engine counter {name!r}")
-        with self._lock:
-            setattr(self, name, getattr(self, name) + n)
+        self.registry.inc(f"engine_{name}_total", n)
+        session = active_metrics()
+        if session is not None and session is not self.registry:
+            session.inc(f"engine_{name}_total", n)
 
     def add_job_time(self, seconds: float) -> None:
         with self._lock:
             self.job_time += seconds
+        session = active_metrics()
+        if session is not None:
+            session.inc("engine_job_seconds_total", seconds)
+            session.observe("engine_job_seconds", seconds)
 
     @contextmanager
     def timed_run(self):
@@ -57,8 +86,12 @@ class EngineMetrics:
         try:
             yield
         finally:
+            dt = time.perf_counter() - t0
             with self._lock:
-                self.wall_time += time.perf_counter() - t0
+                self.wall_time += dt
+            session = active_metrics()
+            if session is not None:
+                session.inc("engine_wall_seconds_total", dt)
             from ..obs.tracer import active_tracer
 
             tracer = active_tracer()
@@ -84,8 +117,8 @@ class EngineMetrics:
         return self.cache_hits / looked if looked else 0.0
 
     def as_dict(self) -> dict:
+        d = {name: getattr(self, name) for name in _COUNTERS}
         with self._lock:
-            d = {name: getattr(self, name) for name in _COUNTERS}
             d["wall_time"] = self.wall_time
             d["job_time"] = self.job_time
         d["jobs_per_sec"] = self.jobs_per_sec

@@ -30,6 +30,7 @@ import threading
 from enum import Enum
 from pathlib import Path
 
+from ..obs.metrics import active_metrics
 from ..perfmodel import calibration as cal
 from ..perfmodel.commmodel import CommEstimate
 from ..perfmodel.roofline import AppEstimate, LoopTime
@@ -177,7 +178,11 @@ class ResultStore:
         if self._mem is None:
             self._mem = {}
             if self._path is not None and self._path.exists():
-                for line in self._path.read_text().splitlines():
+                text = self._path.read_text()
+                m = active_metrics()
+                if m is not None:
+                    m.inc("store_bytes_read_total", len(text.encode()))
+                for line in text.splitlines():
                     try:
                         rec = json.loads(line)
                         self._mem[rec["key"]] = rec["estimate"]
@@ -188,6 +193,10 @@ class ResultStore:
     def get(self, key: str) -> AppEstimate | None:
         with self._lock:
             rec = self._loaded().get(key)
+        m = active_metrics()
+        if m is not None:
+            m.inc("store_reads_total",
+                  result="hit" if rec is not None else "miss")
         return estimate_from_dict(rec) if rec is not None else None
 
     def __contains__(self, key: str) -> bool:
@@ -201,6 +210,10 @@ class ResultStore:
     def put(self, key: str, estimate: AppEstimate) -> None:
         rec = estimate_to_dict(estimate)
         line = json.dumps({"key": key, "estimate": rec}, separators=(",", ":"))
+        m = active_metrics()
+        if m is not None:
+            m.inc("store_writes_total")
+            m.inc("store_bytes_written_total", len(line.encode()) + 1)
         with self._lock:
             self._loaded()[key] = rec
             if self._path is not None:

@@ -12,13 +12,18 @@ from __future__ import annotations
 __all__ = [
     "FIG1_STREAM_GBS",
     "FIG1_CACHE_RATIO",
+    "FIG2_EPYC_CROSS_SOCKET_FACTOR",
     "FIG3_MEAN_SLOWDOWN",
     "FIG4_TABLE",
+    "FIG5_MPI_VEC_UNSTRUCTURED_RANGE",
     "FIG6_SPEEDUP_VS_8360Y",
     "FIG6_SPEEDUP_VS_EPYC",
+    "FIG6_A100_SPEEDUP_RANGE",
+    "FIG7_MPI_RATIO_RANGE",
     "FIG8_EFFICIENCY_MAX",
     "FIG8_EFFICIENCY_RANGES",
     "FIG9_TILING_SPEEDUP",
+    "FIG9_TILED_MAX_VS_A100",
     "MINIBUDE_TFLOPS",
     "STRUCTURED_APPS",
     "UNSTRUCTURED_APPS",
@@ -41,6 +46,26 @@ FIG1_STREAM_GBS = {
 
 #: Figure 1 / 9: cache : memory bandwidth plateau ratios.
 FIG1_CACHE_RATIO = {"max9480": 3.8, "icx8360y": 6.3, "epyc7v73x": 14.0}
+
+#: Figure 2 commentary: EPYC cross-socket ping-pong latency is ~1.6x
+#: worse than cross-NUMA within a socket.
+FIG2_EPYC_CROSS_SOCKET_FACTOR = 1.6
+
+#: Figure 5 commentary: vectorized MPI beats scalar MPI by 1.6-1.8x on
+#: the unstructured-mesh apps (MG-CFD, Volna) on the Xeon MAX.
+FIG5_MPI_VEC_UNSTRUCTURED_RANGE = (1.6, 1.8)
+
+#: Figure 6 commentary: the A100 stays within 1.1-2.1x of the MAX 9480
+#: across the structured apps (both have ~comparable HBM bandwidth).
+FIG6_A100_SPEEDUP_RANGE = (1.1, 2.1)
+
+#: Figure 7 commentary: pure MPI spends 1.2-5.3x the MPI time of the
+#: one-rank-per-NUMA MPI+OpenMP configuration.
+FIG7_MPI_RATIO_RANGE = (1.2, 5.3)
+
+#: Figure 9 commentary: tiled CloverLeaf 2D on the MAX 9480 comes within
+#: ~1.5x of the A100 runtime.
+FIG9_TILED_MAX_VS_A100 = 1.5
 
 #: Sec. 5: mean/median slowdown vs the per-app best configuration.
 FIG3_MEAN_SLOWDOWN = {

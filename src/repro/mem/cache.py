@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..machine.spec import CacheLevel
+from ..obs.metrics import active_metrics
 
 __all__ = ["CacheStats", "Cache", "CacheHierarchy"]
 
@@ -66,6 +67,7 @@ class Cache:
         line_size: int = 64,
         associativity: int = 8,
         write_allocate: bool = True,
+        name: str = "cache",
     ) -> None:
         if capacity <= 0 or line_size <= 0 or associativity <= 0:
             raise ValueError("capacity, line_size, associativity must be positive")
@@ -75,6 +77,8 @@ class Cache:
         self.line_size = line_size
         self.associativity = associativity
         self.write_allocate = write_allocate
+        #: Level label used by the metrics registry (``level=...``).
+        self.name = name
         self.num_sets = capacity // (line_size * associativity)
         self.stats = CacheStats()
         # Per set: list of (tag, dirty) in LRU order (front = LRU).
@@ -82,7 +86,8 @@ class Cache:
 
     @classmethod
     def from_level(cls, level: CacheLevel) -> "Cache":
-        return cls(level.capacity, level.line_size, level.associativity)
+        return cls(level.capacity, level.line_size, level.associativity,
+                   name=level.name)
 
     # ------------------------------------------------------------------
 
@@ -102,21 +107,35 @@ class Cache:
         set_idx, tag = self._locate(line_addr)
         ways = self._sets[set_idx]
         self.stats.accesses += 1
+        m = active_metrics()
+        if m is not None:
+            m.inc("mem_cache_accesses_total", level=self.name)
         for i, entry in enumerate(ways):
             if entry[0] == tag:
                 self.stats.hits += 1
+                if m is not None:
+                    m.inc("mem_cache_hits_total", level=self.name)
                 ways.append(ways.pop(i))  # move to MRU
                 if write:
                     ways[-1][1] = True
                 return True
         self.stats.misses += 1
+        if m is not None:
+            m.inc("mem_cache_misses_total", level=self.name)
         if write and not self.write_allocate:
             return False
+        if m is not None:
+            m.inc("mem_cache_fill_bytes_total", self.line_size, level=self.name)
         if len(ways) >= self.associativity:
             victim = ways.pop(0)
             self.stats.evictions += 1
+            if m is not None:
+                m.inc("mem_cache_evictions_total", level=self.name)
             if victim[1]:
                 self.stats.writebacks += 1
+                if m is not None:
+                    m.inc("mem_cache_writeback_bytes_total", self.line_size,
+                          level=self.name)
         ways.append([tag, write])
         return False
 
@@ -154,6 +173,11 @@ class Cache:
         """Empty the cache; returns the number of dirty lines written back."""
         dirty = sum(1 for s in self._sets for e in s if e[1])
         self.stats.writebacks += dirty
+        if dirty:
+            m = active_metrics()
+            if m is not None:
+                m.inc("mem_cache_writeback_bytes_total", dirty * self.line_size,
+                      level=self.name)
         self._sets = [[] for _ in range(self.num_sets)]
         return dirty
 
@@ -191,6 +215,9 @@ class CacheHierarchy:
                     inner.access_line(line_addr, write)
                 return depth
         self.memory_lines += 1
+        m = active_metrics()
+        if m is not None:
+            m.inc("mem_cache_memory_bytes_total", self.line_size)
         return len(self.levels)
 
     def access_range(self, start: int, nbytes: int, write: bool = False) -> None:

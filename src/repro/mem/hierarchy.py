@@ -30,6 +30,7 @@ from enum import Enum
 import numpy as np
 
 from ..machine.spec import DeviceKind, PlatformSpec
+from ..obs.metrics import active_metrics
 
 __all__ = ["Scope", "HierarchyModel", "BandwidthPoint"]
 
@@ -147,12 +148,29 @@ class HierarchyModel:
         """
         if working_set <= 0:
             raise ValueError("working_set must be positive")
-        mem_bw = self.memory_bandwidth(scope, tuned)
+        level, bw = self.serving_level(working_set, scope, tuned)
+        m = active_metrics()
+        if m is not None:
+            m.inc("mem_hierarchy_lookups_total",
+                  platform=self.platform.short_name, level=level)
+        return bw
+
+    def serving_level(
+        self,
+        working_set: float,
+        scope: Scope = Scope.NODE,
+        tuned: bool = False,
+    ) -> tuple[str, float]:
+        """(level name, achievable bandwidth) for a working set: the
+        innermost aggregate level with room for all of it, or
+        ``"memory"``."""
         ceiling = self.core_throughput_ceiling(scope)
-        for cap, bw in self.aggregate_levels(scope):
+        for lvl, (cap, bw) in zip(
+            self.platform.caches, self.aggregate_levels(scope)
+        ):
             if working_set <= cap * self.utilization:
-                return min(bw, ceiling)
-        return min(mem_bw, ceiling)
+                return lvl.name, min(bw, ceiling)
+        return "memory", min(self.memory_bandwidth(scope, tuned), ceiling)
 
     def measured_bandwidth(
         self,
@@ -201,4 +219,11 @@ class HierarchyModel:
         set for kernels that re-traverse cached data (tiling).
         """
         ws = nbytes if working_set is None else working_set
-        return nbytes / self.effective_bandwidth(max(ws, 1.0), scope, tuned)
+        level, bw = self.serving_level(max(ws, 1.0), scope, tuned)
+        m = active_metrics()
+        if m is not None:
+            m.inc("mem_hierarchy_lookups_total",
+                  platform=self.platform.short_name, level=level)
+            m.inc("mem_hierarchy_bytes_total", nbytes,
+                  platform=self.platform.short_name, level=level)
+        return nbytes / bw

@@ -11,6 +11,13 @@ wall-clock domain.
 - :mod:`~repro.obs.tracer` — :class:`Tracer`, :func:`tracing` /
   :func:`active_tracer` (context-var scoped; a true no-op when
   disabled);
+- :mod:`~repro.obs.metrics` — :class:`MetricsRegistry` (labeled
+  counters/gauges/histograms), :func:`collecting` /
+  :func:`active_metrics` (same scoping and no-op guarantee as the
+  tracer), plus Prometheus-text and JSON exporters;
+- :mod:`~repro.obs.fidelity` — the paper-fidelity scorecard and drift
+  gate behind ``python -m repro fidelity`` / ``drift`` (imported
+  lazily by the CLI: it pulls in the harness layer);
 - :mod:`~repro.obs.export` — Chrome trace-event JSON
   (``chrome://tracing`` / Perfetto) and span-nesting validation;
 - :mod:`~repro.obs.breakdown` — per-kernel breakdown tables (text/CSV)
@@ -34,6 +41,13 @@ from .breakdown import (
     summary_dict,
 )
 from .export import check_nesting, chrome_trace, write_chrome_trace
+from .metrics import (
+    MetricsRegistry,
+    active_metrics,
+    collecting,
+    prometheus_text,
+    snapshot,
+)
 from .tracer import Span, TraceEvent, Tracer, active_tracer, tracing
 
 __all__ = [
@@ -42,6 +56,11 @@ __all__ = [
     "Tracer",
     "active_tracer",
     "tracing",
+    "MetricsRegistry",
+    "active_metrics",
+    "collecting",
+    "prometheus_text",
+    "snapshot",
     "chrome_trace",
     "write_chrome_trace",
     "check_nesting",

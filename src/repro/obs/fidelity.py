@@ -1,0 +1,563 @@
+"""Paper-fidelity scorecard: model vs every published reference value.
+
+The figure harnesses (:mod:`repro.harness.figures`) print the model's
+numbers next to the paper's; this module turns that side-by-side into a
+*scored* comparison.  Each figure's sweep runs through the engine, every
+reference value transcribed in :mod:`repro.harness.paperdata` is matched
+with the model value it corresponds to, and three statistics come out
+per figure:
+
+- **signed relative error** per entry — ``(model - paper) / paper`` for
+  point references; for range references (the paper often states
+  "0.75-0.85 of STREAM") the error is zero inside the range and the
+  signed relative distance to the nearest bound outside it;
+- **rank agreement** — the concordant-pair fraction between the model's
+  ordering and the paper's ordering of the figure's point entries (a
+  Kendall-style statistic: 1.0 means every pair ordered the same way);
+- a **verdict** — pass iff the figure's worst absolute relative error
+  and its rank agreement are within the thresholds stored in
+  ``baselines/fidelity.json``.
+
+``python -m repro fidelity`` renders the scorecard (markdown or JSON);
+``python -m repro drift --check`` compares the current scorecard against
+the recorded baseline and exits nonzero when any figure's error worsens
+beyond the drift margin — the CI gate against silent model regressions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .metrics import active_metrics
+
+__all__ = [
+    "FidelityEntry",
+    "FigureScore",
+    "Scorecard",
+    "FIGURE_ORDER",
+    "score_figure",
+    "scorecard",
+    "baseline_path",
+    "load_baseline",
+    "save_baseline",
+    "check_drift",
+]
+
+FIGURE_ORDER = (
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+)
+
+#: Fallback per-figure verdict thresholds, used when a figure has no
+#: entry in ``baselines/fidelity.json`` (e.g. before the first
+#: ``drift --update``).  The committed baseline overrides these.
+DEFAULT_THRESHOLDS = {
+    "max_abs_rel_err": 0.5,
+    "min_rank_agreement": 0.6,
+}
+
+#: Allowed worsening of a figure's statistics between the recorded
+#: baseline and the current scorecard before ``drift --check`` fails.
+DEFAULT_DRIFT_MARGIN = 0.02
+
+
+# ---------------------------------------------------------------------------
+# entries
+
+
+@dataclass(frozen=True)
+class FidelityEntry:
+    """One model value matched against one published reference."""
+
+    figure: str
+    label: str
+    model: float
+    paper: float | None = None  # point reference
+    paper_range: tuple[float, float] | None = None  # range reference
+
+    @property
+    def kind(self) -> str:
+        return "point" if self.paper is not None else "range"
+
+    @property
+    def rel_err(self) -> float:
+        """Signed relative error (0.0 means spot-on / inside the range)."""
+        if self.paper is not None:
+            return (self.model - self.paper) / self.paper
+        lo, hi = self.paper_range  # type: ignore[misc]
+        if lo <= self.model <= hi:
+            return 0.0
+        bound = lo if self.model < lo else hi
+        return (self.model - bound) / bound
+
+    def reference_str(self) -> str:
+        if self.paper is not None:
+            return f"{self.paper:g}"
+        lo, hi = self.paper_range  # type: ignore[misc]
+        return f"{lo:g}-{hi:g}"
+
+
+def _point(figure: str, label: str, model: float, paper: float) -> FidelityEntry:
+    return FidelityEntry(figure, label, float(model), paper=float(paper))
+
+
+def _range(
+    figure: str, label: str, model: float, bounds: tuple[float, float]
+) -> FidelityEntry:
+    return FidelityEntry(
+        figure, label, float(model),
+        paper_range=(float(bounds[0]), float(bounds[1])),
+    )
+
+
+def rank_agreement(entries: list[FidelityEntry]) -> float | None:
+    """Concordant-pair fraction between model and paper orderings.
+
+    Only point entries participate (ranges have no single rank); pairs
+    whose paper values tie are skipped.  ``None`` when fewer than two
+    comparable entries exist.
+    """
+    pts = [e for e in entries if e.paper is not None]
+    concordant = total = 0
+    for i in range(len(pts)):
+        for j in range(i + 1, len(pts)):
+            dp = pts[i].paper - pts[j].paper  # type: ignore[operator]
+            if dp == 0:
+                continue
+            dm = pts[i].model - pts[j].model
+            total += 1
+            if (dp > 0) == (dm > 0) and dm != 0:
+                concordant += 1
+    return concordant / total if total else None
+
+
+# ---------------------------------------------------------------------------
+# per-figure scores
+
+
+@dataclass
+class FigureScore:
+    """All scored entries of one figure plus the aggregate statistics."""
+
+    figure: str
+    title: str
+    entries: list[FidelityEntry] = field(default_factory=list)
+
+    @property
+    def max_abs_rel_err(self) -> float:
+        return max((abs(e.rel_err) for e in self.entries), default=0.0)
+
+    @property
+    def mean_abs_rel_err(self) -> float:
+        if not self.entries:
+            return 0.0
+        return sum(abs(e.rel_err) for e in self.entries) / len(self.entries)
+
+    @property
+    def rank_agreement(self) -> float | None:
+        return rank_agreement(self.entries)
+
+    def verdict(self, thresholds: dict | None = None) -> bool:
+        th = {**DEFAULT_THRESHOLDS, **(thresholds or {})}
+        if self.max_abs_rel_err > th["max_abs_rel_err"]:
+            return False
+        ra = self.rank_agreement
+        if ra is not None and ra < th["min_rank_agreement"]:
+            return False
+        return True
+
+    def as_dict(self, thresholds: dict | None = None) -> dict:
+        return {
+            "title": self.title,
+            "entries": [
+                {
+                    "label": e.label,
+                    "model": e.model,
+                    "paper": e.paper if e.paper is not None else list(e.paper_range),
+                    "kind": e.kind,
+                    "rel_err": e.rel_err,
+                }
+                for e in self.entries
+            ],
+            "max_abs_rel_err": self.max_abs_rel_err,
+            "mean_abs_rel_err": self.mean_abs_rel_err,
+            "rank_agreement": self.rank_agreement,
+            "verdict": "pass" if self.verdict(thresholds) else "fail",
+        }
+
+
+def _score_fig1() -> FigureScore:
+    from ..harness import figures, paperdata as paper
+    from ..machine import CPU_PLATFORMS
+    from ..mem.hierarchy import HierarchyModel
+
+    r = figures.fig1()
+    s = FigureScore("fig1", r.title)
+    for label, scope, model_gbs, paper_gbs in r.rows:
+        if paper_gbs is not None:
+            s.entries.append(
+                _point("fig1", f"{label} {scope} GB/s", model_gbs, paper_gbs)
+            )
+    for p in CPU_PLATFORMS:
+        s.entries.append(_point(
+            "fig1", f"{p.short_name} cache:memory ratio",
+            HierarchyModel(p).cache_to_memory_ratio(),
+            paper.FIG1_CACHE_RATIO[p.short_name],
+        ))
+    return s
+
+
+def _score_fig2() -> FigureScore:
+    from ..harness import figures, paperdata as paper
+
+    r = figures.fig2()
+    s = FigureScore("fig2", r.title)
+    lat = {(plat, pair): ns for plat, pair, ns in r.rows}
+    s.entries.append(_point(
+        "fig2", "epyc7v73x cross-socket : cross-numa latency",
+        lat[("epyc7v73x", "cross-socket")] / lat[("epyc7v73x", "cross-numa")],
+        paper.FIG2_EPYC_CROSS_SOCKET_FACTOR,
+    ))
+    return s
+
+
+def _score_fig3() -> FigureScore:
+    import numpy as np
+
+    from ..harness import figures, paperdata as paper
+
+    r = figures.fig3()
+    s = FigureScore("fig3", r.title)
+    vals = [v for row in r.rows for v in row[1:] if v is not None]
+    ref = paper.FIG3_MEAN_SLOWDOWN["max9480"]
+    s.entries.append(
+        _point("fig3", "mean slowdown vs best", float(np.mean(vals)), ref["mean"])
+    )
+    s.entries.append(
+        _point("fig3", "median slowdown vs best",
+               float(np.median(vals)), ref["median"])
+    )
+    return s
+
+
+def _score_fig4() -> FigureScore:
+    from ..harness import figures
+
+    r = figures.fig4()
+    s = FigureScore("fig4", r.title)
+    for config, mgcfd, volna, p_mgcfd, p_volna in r.rows:
+        if mgcfd is not None and p_mgcfd is not None:
+            s.entries.append(_point("fig4", f"mgcfd: {config}", mgcfd, p_mgcfd))
+        if volna is not None and p_volna is not None:
+            s.entries.append(_point("fig4", f"volna: {config}", volna, p_volna))
+    return s
+
+
+def _score_fig5() -> FigureScore:
+    from ..harness import figures, paperdata as paper
+
+    r = figures.fig5()
+    s = FigureScore("fig5", r.title)
+    vec_col = r.columns.index("MPI vec")
+    for row in r.rows:
+        if row[0] in paper.UNSTRUCTURED_APPS and row[vec_col] is not None:
+            s.entries.append(_range(
+                "fig5", f"{row[0]} MPI vec speedup vs MPI",
+                row[vec_col], paper.FIG5_MPI_VEC_UNSTRUCTURED_RANGE,
+            ))
+    return s
+
+
+def _score_fig6() -> FigureScore:
+    from ..harness import figures, paperdata as paper
+    from ..machine import XEON_MAX_9480, unstructured_config_sweep
+
+    r = figures.fig6()
+    s = FigureScore("fig6", r.title)
+    for row in r.rows:
+        app, vs_icx, p_icx, vs_epyc, p_epyc, a100_ratio = (
+            row[0], row[5], row[6], row[7], row[8], row[9]
+        )
+        if p_icx is not None:
+            s.entries.append(
+                _point("fig6", f"{app} speedup vs 8360Y", vs_icx, p_icx)
+            )
+        if p_epyc is not None:
+            s.entries.append(
+                _point("fig6", f"{app} speedup vs EPYC", vs_epyc, p_epyc)
+            )
+        if app in paper.STRUCTURED_APPS:
+            s.entries.append(_range(
+                "fig6", f"{app} A100 speedup over MAX",
+                a100_ratio, paper.FIG6_A100_SPEEDUP_RANGE,
+            ))
+    from ..harness.runner import best_run
+
+    _, est = best_run(
+        "minibude", XEON_MAX_9480, unstructured_config_sweep(XEON_MAX_9480)
+    )
+    s.entries.append(_point(
+        "fig6", "minibude achieved TFLOPS on MAX",
+        est.achieved_flops / 1e12, paper.MINIBUDE_TFLOPS,
+    ))
+    return s
+
+
+def _score_fig7() -> FigureScore:
+    from ..harness import figures, paperdata as paper
+
+    r = figures.fig7()
+    s = FigureScore("fig7", r.title)
+    mpi_pct = {(app, plat): mpi for app, plat, mpi, _omp in r.rows}
+    apps = sorted({app for app, _plat in mpi_pct})
+    for app in apps:
+        on_max = mpi_pct.get((app, "max9480"))
+        on_icx = mpi_pct.get((app, "icx8360y"))
+        if on_max and on_icx:
+            s.entries.append(_range(
+                "fig7", f"{app} MPI-fraction ratio MAX:8360Y",
+                on_max / on_icx, paper.FIG7_MPI_RATIO_RANGE,
+            ))
+    return s
+
+
+def _score_fig8() -> FigureScore:
+    from ..harness import figures, paperdata as paper
+
+    r = figures.fig8()
+    s = FigureScore("fig8", r.title)
+    for app, eff_max, p_max, eff_icx, eff_epyc in r.rows:
+        if p_max is not None:
+            s.entries.append(
+                _point("fig8", f"{app} efficiency on MAX", eff_max, p_max)
+            )
+        s.entries.append(_range(
+            "fig8", f"{app} efficiency on 8360Y",
+            eff_icx, paper.FIG8_EFFICIENCY_RANGES["icx8360y"],
+        ))
+        s.entries.append(_range(
+            "fig8", f"{app} efficiency on EPYC",
+            eff_epyc, paper.FIG8_EFFICIENCY_RANGES["epyc7v73x"],
+        ))
+    return s
+
+
+def _score_fig9() -> FigureScore:
+    from ..harness import figures, paperdata as paper
+
+    r = figures.fig9()
+    s = FigureScore("fig9", r.title)
+    tiled_max = a100_untiled = None
+    for plat, untiled, tiled, speedup, p_speedup in r.rows:
+        if p_speedup is not None:
+            s.entries.append(
+                _point("fig9", f"{plat} tiling speedup", speedup, p_speedup)
+            )
+        if plat == "max9480":
+            tiled_max = tiled
+        if plat.startswith("a100"):
+            a100_untiled = untiled
+    if tiled_max and a100_untiled:
+        s.entries.append(_point(
+            "fig9", "tiled MAX vs A100 factor",
+            a100_untiled / tiled_max, paper.FIG9_TILED_MAX_VS_A100,
+        ))
+    return s
+
+
+_SCORERS = {
+    "fig1": _score_fig1,
+    "fig2": _score_fig2,
+    "fig3": _score_fig3,
+    "fig4": _score_fig4,
+    "fig5": _score_fig5,
+    "fig6": _score_fig6,
+    "fig7": _score_fig7,
+    "fig8": _score_fig8,
+    "fig9": _score_fig9,
+}
+
+
+def score_figure(figure: str) -> FigureScore:
+    """Run one figure's sweep and score it against the paper."""
+    try:
+        scorer = _SCORERS[figure]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {figure!r}; valid: {', '.join(FIGURE_ORDER)}"
+        ) from None
+    score = scorer()
+    m = active_metrics()
+    if m is not None:
+        m.inc("fidelity_figures_total", figure=figure)
+        for e in score.entries:
+            m.inc("fidelity_entries_total", figure=figure, kind=e.kind)
+    return score
+
+
+# ---------------------------------------------------------------------------
+# the scorecard
+
+
+@dataclass
+class Scorecard:
+    """Scored figures plus the thresholds used for verdicts."""
+
+    scores: list[FigureScore]
+    thresholds: dict = field(default_factory=dict)
+
+    def _figure_thresholds(self, figure: str) -> dict:
+        return self.thresholds.get(figure, {})
+
+    @property
+    def passed(self) -> bool:
+        return all(s.verdict(self._figure_thresholds(s.figure)) for s in self.scores)
+
+    def as_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "figures": {
+                s.figure: s.as_dict(self._figure_thresholds(s.figure))
+                for s in self.scores
+            },
+        }
+
+    def to_markdown(self) -> str:
+        lines = ["# Paper-fidelity scorecard", ""]
+        n_pass = sum(
+            1 for s in self.scores if s.verdict(self._figure_thresholds(s.figure))
+        )
+        lines.append(
+            f"Overall: **{'PASS' if self.passed else 'FAIL'}** "
+            f"({n_pass}/{len(self.scores)} figures within thresholds)"
+        )
+        lines += [
+            "",
+            "| figure | entries | max \\|rel err\\| | mean \\|rel err\\| "
+            "| rank agreement | verdict |",
+            "|---|---|---|---|---|---|",
+        ]
+        for s in self.scores:
+            ra = s.rank_agreement
+            ok = s.verdict(self._figure_thresholds(s.figure))
+            lines.append(
+                f"| {s.figure} | {len(s.entries)} | {s.max_abs_rel_err:.3f} "
+                f"| {s.mean_abs_rel_err:.3f} "
+                f"| {'-' if ra is None else f'{ra:.2f}'} "
+                f"| {'pass' if ok else 'FAIL'} |"
+            )
+        for s in self.scores:
+            lines += ["", f"## {s.figure} — {s.title}", ""]
+            lines += [
+                "| entry | model | paper | rel err |",
+                "|---|---|---|---|",
+            ]
+            for e in s.entries:
+                lines.append(
+                    f"| {e.label} | {e.model:.3f} | {e.reference_str()} "
+                    f"| {e.rel_err:+.3f} |"
+                )
+        return "\n".join(lines) + "\n"
+
+
+def scorecard(figures: list[str] | None = None) -> Scorecard:
+    """Score the requested figures (default: all nine, paper order)."""
+    names = list(figures) if figures else list(FIGURE_ORDER)
+    baseline = load_baseline()
+    thresholds = {
+        fig: {
+            k: v for k, v in entry.items()
+            if k in ("max_abs_rel_err", "min_rank_agreement")
+        }
+        for fig, entry in (baseline or {}).get("figures", {}).items()
+    }
+    return Scorecard([score_figure(f) for f in names], thresholds)
+
+
+# ---------------------------------------------------------------------------
+# drift baseline
+
+
+def baseline_path() -> Path:
+    """``baselines/fidelity.json`` at the repository root (resolved
+    relative to the installed package so the CLI works from any cwd)."""
+    return Path(__file__).resolve().parents[3] / "baselines" / "fidelity.json"
+
+
+def load_baseline(path: Path | None = None) -> dict | None:
+    p = path or baseline_path()
+    if not p.exists():
+        return None
+    return json.loads(p.read_text())
+
+
+def save_baseline(card: Scorecard, path: Path | None = None) -> Path:
+    """Record the current scorecard as the drift baseline.
+
+    Verdict thresholds already present in the file are preserved; the
+    recorded statistics are refreshed from ``card``.
+    """
+    p = path or baseline_path()
+    old = load_baseline(p) or {}
+    old_figs = old.get("figures", {})
+    figures = {}
+    for s in card.scores:
+        prev = old_figs.get(s.figure, {})
+        figures[s.figure] = {
+            "max_abs_rel_err": prev.get(
+                "max_abs_rel_err", DEFAULT_THRESHOLDS["max_abs_rel_err"]
+            ),
+            "min_rank_agreement": prev.get(
+                "min_rank_agreement", DEFAULT_THRESHOLDS["min_rank_agreement"]
+            ),
+            "recorded_max_abs_rel_err": round(s.max_abs_rel_err, 6),
+            "recorded_rank_agreement": (
+                None if s.rank_agreement is None else round(s.rank_agreement, 6)
+            ),
+            "entries": len(s.entries),
+        }
+    data = {
+        "drift_margin": old.get("drift_margin", DEFAULT_DRIFT_MARGIN),
+        "figures": figures,
+    }
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return p
+
+
+def check_drift(card: Scorecard, baseline: dict) -> list[str]:
+    """Regression messages (empty = no drift beyond tolerance).
+
+    A figure drifts when its worst absolute relative error grows, or its
+    rank agreement shrinks, by more than the baseline's ``drift_margin``
+    — and entries disappearing from a figure is itself a regression.
+    """
+    margin = baseline.get("drift_margin", DEFAULT_DRIFT_MARGIN)
+    problems = []
+    figs = baseline.get("figures", {})
+    for s in card.scores:
+        ref = figs.get(s.figure)
+        if ref is None:
+            problems.append(f"{s.figure}: no baseline recorded (run drift --update)")
+            continue
+        rec_err = ref.get("recorded_max_abs_rel_err")
+        if rec_err is not None and s.max_abs_rel_err > rec_err + margin:
+            problems.append(
+                f"{s.figure}: max |rel err| {s.max_abs_rel_err:.3f} worsened "
+                f"past baseline {rec_err:.3f} (+{margin} margin)"
+            )
+        rec_ra = ref.get("recorded_rank_agreement")
+        ra = s.rank_agreement
+        if rec_ra is not None and ra is not None and ra < rec_ra - margin:
+            problems.append(
+                f"{s.figure}: rank agreement {ra:.2f} fell below "
+                f"baseline {rec_ra:.2f} (-{margin} margin)"
+            )
+        n_ref = ref.get("entries")
+        if n_ref is not None and len(s.entries) < n_ref:
+            problems.append(
+                f"{s.figure}: {len(s.entries)} entries scored, baseline "
+                f"recorded {n_ref}"
+            )
+    return problems

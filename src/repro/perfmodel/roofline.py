@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from ..machine.config import RunConfig
 from ..machine.spec import DeviceKind, PlatformSpec
 from ..mem.hierarchy import HierarchyModel, Scope
+from ..obs.metrics import active_metrics
 from ..obs.tracer import active_tracer
 from . import calibration as cal
 from .commmodel import CommEstimate, estimate_comm
@@ -178,6 +179,14 @@ def loop_time(
     lt = LoopTime(
         loop.name, core + ovh, t_bw, t_fl, t_lat, ovh, loop.bytes_total, flops
     )
+    m = active_metrics()
+    if m is not None:
+        # Winning-limb tally: which roofline term set each loop's time
+        # (the model-vs-measured sanity check Figure 8 rests on).
+        m.inc("perfmodel_loops_total",
+              limb=lt.bottleneck, platform=platform.short_name)
+        m.inc("perfmodel_loop_seconds_total", lt.time,
+              limb=lt.bottleneck, platform=platform.short_name)
     tracer = active_tracer()
     if tracer is not None:
         tracer.event(
@@ -212,6 +221,10 @@ def estimate_app(
     )
     mpi_per_iter = comm.time_per_iter + imbalance
     n = app.iterations
+    m = active_metrics()
+    if m is not None:
+        m.inc("perfmodel_estimates_total",
+              app=app.name, platform=platform.short_name)
     tracer = active_tracer()
     if tracer is not None:
         tracer.event(

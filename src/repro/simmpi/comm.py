@@ -421,6 +421,7 @@ class World:
         # Rank threads do not inherit the caller's ContextVar scope, so
         # hand an active tracer to each rank's clock for the duration of
         # the run (spans land on per-rank tracks).
+        from ..obs.metrics import active_metrics
         from ..obs.tracer import active_tracer
 
         tracer = active_tracer()
@@ -428,6 +429,18 @@ class World:
             for r, comm in enumerate(self.comms):
                 comm.clock.tracer = tracer
                 comm.clock.track = ("rank", r)
+
+        # Per-rank counters are published as deltas over the whole run
+        # (clocks and RankStats accumulate across runs of one World), so
+        # rank threads never touch the registry.
+        metrics = active_metrics()
+        if metrics is not None:
+            baseline = [
+                (c.clock.mpi_time, c.stats.messages_sent, c.stats.bytes_sent,
+                 c.stats.messages_received, c.stats.bytes_received,
+                 c.stats.collectives)
+                for c in self.comms
+            ]
 
         threads = [
             threading.Thread(
@@ -455,6 +468,26 @@ class World:
             if tracer is not None:
                 for comm in self.comms:
                     comm.clock.tracer = None
+            if metrics is not None:
+                for r, c in enumerate(self.comms):
+                    wait0, ms0, bs0, mr0, br0, coll0 = baseline[r]
+                    metrics.inc("simmpi_messages_total",
+                                c.stats.messages_sent - ms0,
+                                rank=r, direction="sent")
+                    metrics.inc("simmpi_messages_total",
+                                c.stats.messages_received - mr0,
+                                rank=r, direction="received")
+                    metrics.inc("simmpi_bytes_total",
+                                c.stats.bytes_sent - bs0,
+                                rank=r, direction="sent")
+                    metrics.inc("simmpi_bytes_total",
+                                c.stats.bytes_received - br0,
+                                rank=r, direction="received")
+                    metrics.inc("simmpi_collectives_total",
+                                c.stats.collectives - coll0, rank=r)
+                    metrics.inc("simmpi_wait_seconds_total",
+                                c.clock.mpi_time - wait0, rank=r)
+                metrics.inc("simmpi_runs_total", ranks=self.nranks)
         if self._failure is not None:
             raise self._failure
         return list(self._results)

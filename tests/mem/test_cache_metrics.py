@@ -1,0 +1,97 @@
+"""Per-level registry counters emitted by the cache simulator."""
+
+from repro.machine.spec import CacheLevel
+from repro.mem.cache import Cache, CacheHierarchy
+from repro.obs.metrics import collecting
+
+
+def _hierarchy():
+    # Two tiny levels with known geometry: 4 lines of L1, 16 of L2.
+    return CacheHierarchy([
+        Cache(capacity=256, line_size=64, associativity=4, name="L1"),
+        Cache(capacity=1024, line_size=64, associativity=4, name="L2"),
+    ])
+
+
+class TestKnownAccessPattern:
+    def test_per_level_hits_and_misses(self):
+        h = _hierarchy()
+        with collecting() as reg:
+            # First sweep over 8 lines: both levels miss every line.
+            for line in range(8):
+                h.access(line * 64)
+            # Second sweep: 8 lines exceed L1 (4 lines, cyclic LRU
+            # eviction -> zero L1 reuse) but fit L2 entirely.
+            for line in range(8):
+                h.access(line * 64)
+        # L1: 16 demand accesses, all misses, plus 8 inclusive-fill
+        # accesses on the way back from the second sweep's L2 hits —
+        # those hit, because the demand miss itself allocated the line.
+        assert reg.value("mem_cache_accesses_total", level="L1") == 24
+        assert reg.value("mem_cache_misses_total", level="L1") == 16
+        assert reg.value("mem_cache_hits_total", level="L1") == 8
+        # L2 sees only L1 misses: 8 cold misses, then 8 hits.
+        assert reg.value("mem_cache_accesses_total", level="L2") == 16
+        assert reg.value("mem_cache_misses_total", level="L2") == 8
+        assert reg.value("mem_cache_hits_total", level="L2") == 8
+        # Memory traffic: the 8 cold lines, once.
+        assert reg.value("mem_cache_memory_bytes_total") == 8 * 64
+        assert h.memory_traffic_bytes == 8 * 64
+
+    def test_registry_matches_simulator_stats(self):
+        h = _hierarchy()
+        with collecting() as reg:
+            for line in (0, 1, 0, 2, 0, 5, 9, 1):
+                h.access(line * 64)
+        for lvl in h.levels:
+            assert reg.value("mem_cache_hits_total",
+                             level=lvl.name) == lvl.stats.hits
+            assert reg.value("mem_cache_misses_total",
+                             level=lvl.name) == lvl.stats.misses
+
+    def test_fill_eviction_and_writeback_bytes(self):
+        c = Cache(capacity=128, line_size=64, associativity=1, name="L1")
+        with collecting() as reg:
+            c.access(0, write=True)  # miss, fill, dirty
+            c.access(128)  # same set -> evicts dirty line 0
+        assert reg.value("mem_cache_fill_bytes_total", level="L1") == 2 * 64
+        assert reg.value("mem_cache_evictions_total", level="L1") == 1
+        assert reg.value("mem_cache_writeback_bytes_total", level="L1") == 64
+
+    def test_non_allocating_write_miss_does_not_fill(self):
+        c = Cache(capacity=256, line_size=64, associativity=4,
+                  write_allocate=False, name="L1")
+        with collecting() as reg:
+            c.access(0, write=True)  # miss, no allocation
+        assert reg.value("mem_cache_misses_total", level="L1") == 1
+        assert reg.value("mem_cache_fill_bytes_total", level="L1") == 0
+
+    def test_flush_counts_dirty_writeback_bytes(self):
+        c = Cache(capacity=256, line_size=64, associativity=4, name="L1")
+        with collecting() as reg:
+            c.access(0, write=True)
+            c.access(64, write=True)
+            c.access(128)  # clean
+            assert c.flush() == 2
+        assert reg.value("mem_cache_writeback_bytes_total", level="L1") == 2 * 64
+
+    def test_level_name_comes_from_cache_level(self):
+        lvl = CacheLevel(name="L3", capacity=4096, bandwidth=1e9,
+                         latency=1e-8, scope="socket")
+        c = Cache.from_level(lvl)
+        with collecting() as reg:
+            c.access(0)
+        assert reg.value("mem_cache_accesses_total", level="L3") == 1
+
+    def test_simulator_results_unchanged_without_registry(self):
+        pattern = [0, 1, 2, 0, 7, 1, 3, 0]
+        plain = _hierarchy()
+        for line in pattern:
+            plain.access(line * 64)
+        metered = _hierarchy()
+        with collecting():
+            for line in pattern:
+                metered.access(line * 64)
+        for a, b in zip(plain.levels, metered.levels):
+            assert (a.stats.hits, a.stats.misses) == (b.stats.hits, b.stats.misses)
+        assert plain.memory_lines == metered.memory_lines

@@ -1,0 +1,106 @@
+"""End-to-end checks of ``python -m repro metrics / fidelity / drift``."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default_engine():
+    """CLI flags like --no-cache reconfigure the process-default engine;
+    real invocations get a fresh process, so give each test one too."""
+    from repro.engine import reset_engine
+
+    reset_engine()
+    yield
+    reset_engine()
+
+
+class TestMetricsCommand:
+    def test_prometheus_export(self, capsys):
+        # --no-cache forces evaluation, so the perfmodel families appear
+        # regardless of what earlier tests left in the session store.
+        assert main(["metrics", "miniweather", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE engine_jobs_executed_total counter" in out
+        assert "# TYPE engine_evaluations_total counter" in out
+        assert "perfmodel_loops_total{" in out
+
+    def test_json_export_to_file(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(["metrics", "miniweather", "--format", "json",
+                     "-o", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["engine_jobs_executed_total"]["type"] == "counter"
+        assert "samples" in doc["store_reads_total"]
+        assert "-> " in capsys.readouterr().err
+
+    def test_unknown_app_exits_2_listing_choices(self, capsys):
+        assert main(["metrics", "linpack"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown application" in err
+        assert "cloverleaf2d" in err
+
+    def test_unknown_platform_exits_2_listing_choices(self, capsys):
+        assert main(["metrics", "miniweather", "--platform", "cray1"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown platform" in err
+        assert "max9480" in err
+
+
+class TestFidelityCommand:
+    def test_markdown_scorecard_for_one_figure(self, capsys):
+        assert main(["fidelity", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Paper-fidelity scorecard")
+        assert "| fig2 |" in out
+
+    def test_json_output(self, capsys):
+        assert main(["fidelity", "fig2", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["figures"]["fig2"]["verdict"] in ("pass", "fail")
+
+    def test_output_file(self, tmp_path, capsys):
+        path = tmp_path / "scorecard.md"
+        assert main(["fidelity", "fig2", "-o", str(path)]) == 0
+        assert path.read_text().startswith("# Paper-fidelity scorecard")
+        assert "reference values" in capsys.readouterr().err
+
+    def test_unknown_figure_exits_2_listing_choices(self, capsys):
+        assert main(["fidelity", "fig42"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown figure" in err
+        assert "fig9" in err
+
+
+class TestDriftCommand:
+    def test_update_then_check(self, tmp_path, capsys):
+        path = tmp_path / "fidelity.json"
+        assert main(["drift", "--update", "--baseline", str(path)]) == 0
+        assert "recorded for 9 figures" in capsys.readouterr().out
+        assert json.loads(path.read_text())["figures"]["fig1"]["entries"] > 0
+        assert main(["drift", "--check", "--baseline", str(path)]) == 0
+        assert "drift check passed" in capsys.readouterr().out
+
+    def test_check_without_baseline_exits_2(self, tmp_path, capsys):
+        assert main(["drift", "--check",
+                     "--baseline", str(tmp_path / "none.json")]) == 2
+        assert "drift --update" in capsys.readouterr().err
+
+    def test_check_fails_on_regression(self, tmp_path, capsys):
+        path = tmp_path / "fidelity.json"
+        assert main(["drift", "--update", "--baseline", str(path)]) == 0
+        capsys.readouterr()
+        data = json.loads(path.read_text())
+        # Pretend the model used to be much better than it is.
+        for fig in data["figures"].values():
+            fig["recorded_max_abs_rel_err"] = 0.0
+        path.write_text(json.dumps(data))
+        assert main(["drift", "--check", "--baseline", str(path)]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_committed_baseline_passes(self):
+        """The baseline in the repo must gate green at head."""
+        assert main(["drift", "--check"]) == 0

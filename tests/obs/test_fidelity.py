@@ -1,0 +1,207 @@
+"""Scorecard arithmetic, drift gating, and the fig2 end-to-end path."""
+
+import json
+
+import pytest
+
+from repro.obs.fidelity import (
+    DEFAULT_THRESHOLDS,
+    FIGURE_ORDER,
+    FidelityEntry,
+    FigureScore,
+    Scorecard,
+    check_drift,
+    load_baseline,
+    rank_agreement,
+    save_baseline,
+    score_figure,
+    scorecard,
+)
+
+
+def _pt(label, model, paper, figure="figX"):
+    return FidelityEntry(figure, label, model, paper=paper)
+
+
+def _rg(label, model, lo, hi, figure="figX"):
+    return FidelityEntry(figure, label, model, paper_range=(lo, hi))
+
+
+class TestEntryArithmetic:
+    def test_point_rel_err_is_signed(self):
+        assert _pt("a", 110.0, 100.0).rel_err == pytest.approx(0.10)
+        assert _pt("a", 90.0, 100.0).rel_err == pytest.approx(-0.10)
+        assert _pt("a", 100.0, 100.0).rel_err == 0.0
+
+    def test_range_inside_is_zero(self):
+        assert _rg("a", 0.80, 0.75, 0.85).rel_err == 0.0
+        assert _rg("a", 0.75, 0.75, 0.85).rel_err == 0.0  # bounds inclusive
+
+    def test_range_outside_measures_nearest_bound(self):
+        assert _rg("a", 0.60, 0.75, 0.85).rel_err == pytest.approx(-0.2)
+        assert _rg("a", 1.02, 0.75, 0.85).rel_err == pytest.approx(0.2)
+
+    def test_kind_and_reference_str(self):
+        assert _pt("a", 1.0, 2.0).kind == "point"
+        assert _rg("a", 1.0, 2.0, 3.0).kind == "range"
+        assert _pt("a", 1.0, 2.0).reference_str() == "2"
+        assert _rg("a", 1.0, 2.0, 3.0).reference_str() == "2-3"
+
+
+class TestRankAgreement:
+    def test_perfect_agreement(self):
+        entries = [_pt("a", 1.0, 10.0), _pt("b", 2.0, 20.0), _pt("c", 3.0, 30.0)]
+        assert rank_agreement(entries) == 1.0
+
+    def test_one_inversion(self):
+        entries = [_pt("a", 2.0, 10.0), _pt("b", 1.0, 20.0), _pt("c", 3.0, 30.0)]
+        assert rank_agreement(entries) == pytest.approx(2 / 3)
+
+    def test_paper_ties_are_skipped(self):
+        entries = [_pt("a", 1.0, 10.0), _pt("b", 2.0, 10.0), _pt("c", 3.0, 30.0)]
+        assert rank_agreement(entries) == 1.0  # only the 2 untied pairs count
+
+    def test_ranges_do_not_participate(self):
+        entries = [_rg("a", 1.0, 0.0, 2.0), _rg("b", 2.0, 0.0, 3.0)]
+        assert rank_agreement(entries) is None
+
+    def test_fewer_than_two_points_is_none(self):
+        assert rank_agreement([_pt("a", 1.0, 2.0)]) is None
+
+
+class TestFigureScore:
+    def _score(self, *entries):
+        return FigureScore("figX", "synthetic", list(entries))
+
+    def test_aggregates(self):
+        s = self._score(_pt("a", 1.1, 1.0), _pt("b", 0.8, 1.0))
+        assert s.max_abs_rel_err == pytest.approx(0.2)
+        assert s.mean_abs_rel_err == pytest.approx(0.15)
+
+    def test_verdict_against_thresholds(self):
+        s = self._score(_pt("a", 1.4, 1.0))
+        assert s.verdict({"max_abs_rel_err": 0.5})
+        assert not s.verdict({"max_abs_rel_err": 0.3})
+
+    def test_verdict_uses_rank_agreement(self):
+        s = self._score(_pt("a", 2.0, 10.0), _pt("b", 1.0, 20.0))
+        assert s.rank_agreement == 0.0
+        assert not s.verdict({"max_abs_rel_err": 10.0, "min_rank_agreement": 0.5})
+
+    def test_empty_score_passes(self):
+        assert self._score().verdict(DEFAULT_THRESHOLDS)
+
+
+class TestScorecard:
+    def _card(self):
+        good = FigureScore("fig1", "good", [_pt("a", 1.0, 1.0, "fig1")])
+        bad = FigureScore("fig2", "bad", [_pt("a", 9.0, 1.0, "fig2")])
+        return Scorecard([good, bad], {"fig2": {"max_abs_rel_err": 0.5}})
+
+    def test_passed_reflects_per_figure_thresholds(self):
+        card = self._card()
+        assert not card.passed
+        assert card.as_dict()["figures"]["fig2"]["verdict"] == "fail"
+        assert card.as_dict()["figures"]["fig1"]["verdict"] == "pass"
+
+    def test_markdown_contains_summary_and_entries(self):
+        md = self._card().to_markdown()
+        assert md.startswith("# Paper-fidelity scorecard")
+        assert "**FAIL** (1/2 figures" in md
+        assert "## fig1 — good" in md
+        assert "| a | 9.000 | 1 | +8.000 |" in md
+
+    def test_as_dict_round_trips_through_json(self):
+        doc = json.loads(json.dumps(self._card().as_dict()))
+        assert doc["passed"] is False
+        assert len(doc["figures"]) == 2
+
+
+class TestDrift:
+    def _baseline(self, **over):
+        fig = {
+            "max_abs_rel_err": 0.5,
+            "min_rank_agreement": 0.6,
+            "recorded_max_abs_rel_err": 0.10,
+            "recorded_rank_agreement": 0.9,
+            "entries": 1,
+        }
+        fig.update(over)
+        return {"drift_margin": 0.02, "figures": {"figX": fig}}
+
+    def _card(self, model=1.1):
+        return Scorecard([
+            FigureScore("figX", "t", [_pt("a", model, 1.0)]),
+        ])
+
+    def test_within_margin_passes(self):
+        assert check_drift(self._card(1.1), self._baseline()) == []
+        assert check_drift(self._card(1.115), self._baseline()) == []
+
+    def test_worsened_error_is_flagged(self):
+        problems = check_drift(self._card(1.2), self._baseline())
+        assert len(problems) == 1
+        assert "worsened" in problems[0]
+
+    def test_missing_figure_baseline_is_flagged(self):
+        problems = check_drift(self._card(), {"drift_margin": 0.02, "figures": {}})
+        assert "no baseline recorded" in problems[0]
+
+    def test_lost_entries_are_flagged(self):
+        problems = check_drift(self._card(), self._baseline(entries=5))
+        assert any("entries scored" in p for p in problems)
+
+    def test_save_then_check_round_trips(self, tmp_path):
+        card = self._card()
+        path = tmp_path / "fidelity.json"
+        save_baseline(card, path)
+        baseline = load_baseline(path)
+        assert baseline["figures"]["figX"]["recorded_max_abs_rel_err"] \
+            == pytest.approx(0.1)
+        assert check_drift(card, baseline) == []
+
+    def test_save_preserves_existing_thresholds(self, tmp_path):
+        path = tmp_path / "fidelity.json"
+        path.write_text(json.dumps({
+            "drift_margin": 0.05,
+            "figures": {"figX": {"max_abs_rel_err": 0.25}},
+        }))
+        save_baseline(self._card(), path)
+        data = load_baseline(path)
+        assert data["drift_margin"] == 0.05
+        assert data["figures"]["figX"]["max_abs_rel_err"] == 0.25
+
+    def test_load_missing_baseline_is_none(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") is None
+
+
+class TestScoreFigureEndToEnd:
+    """fig2 is the cheapest figure (pure latency model, no engine sweep)."""
+
+    def test_fig2_scores_cross_socket_factor(self):
+        s = score_figure("fig2")
+        assert s.figure == "fig2"
+        (entry,) = s.entries
+        assert entry.paper == 1.6
+        assert entry.model > 1.0  # cross-socket must cost more
+
+    def test_unknown_figure_raises_with_choices(self):
+        with pytest.raises(KeyError, match="fig1, fig2"):
+            score_figure("fig42")
+
+    def test_scoring_feeds_the_metrics_registry(self):
+        from repro.obs.metrics import collecting
+
+        with collecting() as reg:
+            score_figure("fig2")
+        assert reg.value("fidelity_figures_total", figure="fig2") == 1
+        assert reg.total("fidelity_entries_total") == 1
+
+    def test_scorecard_defaults_to_paper_order(self):
+        # Only check the plumbing (figure list), not the expensive run.
+        assert FIGURE_ORDER == tuple(f"fig{i}" for i in range(1, 10))
+
+    def test_partial_scorecard(self):
+        card = scorecard(["fig2"])
+        assert [s.figure for s in card.scores] == ["fig2"]
+        assert card.as_dict()["figures"]["fig2"]["entries"]
