@@ -3,47 +3,22 @@
 
     python scripts/generate_report.py [output.md]
 
-The report embeds every regenerated table with the paper's published
-values alongside, plus the platform summary — the artifact to diff when
-iterating on the model.
+Thin wrapper over :func:`repro.obs.htmlreport.render_markdown` — the
+render stack behind ``python -m repro report`` — kept for script
+compatibility; the output is byte-identical to what this script wrote
+before the report layer existed.  For the richer self-contained HTML
+report (timelines, attribution trees, diffs) use
+``python -m repro report -o report.html``.
 """
 
 import sys
-from datetime import date
 
-from repro.harness import all_figures
-from repro.machine import ALL_PLATFORMS
-from repro.mem import HierarchyModel
+from repro.obs.htmlreport import render_markdown
 
 
 def main() -> int:
     out_path = sys.argv[1] if len(sys.argv) > 1 else "report.md"
-    lines = [
-        "# Reproduction report",
-        "",
-        "Paper: *Comparative evaluation of bandwidth-bound applications on "
-        "the Intel Xeon CPU MAX Series* (I. Z. Reguly, SC-W/PMBS 2023).",
-        "",
-        "## Platform models",
-        "",
-        "| platform | cores | STREAM GB/s | peak FP32 TFLOPS | cache:mem |",
-        "|---|---|---|---|---|",
-    ]
-    for p in ALL_PLATFORMS:
-        ratio = HierarchyModel(p).cache_to_memory_ratio()
-        lines.append(
-            f"| {p.name} | {p.total_cores} | {p.stream_bandwidth / 1e9:.0f} "
-            f"| {p.peak_flops(4) / 1e12:.1f} | {ratio:.1f}x |"
-        )
-    lines.append("")
-    for fig in all_figures():
-        lines.append(f"## {fig.figure}: {fig.title}")
-        lines.append("")
-        lines.append("```")
-        lines.append(fig.render())
-        lines.append("```")
-        lines.append("")
-    text = "\n".join(lines)
+    text = render_markdown()
     with open(out_path, "w") as fh:
         fh.write(text)
     print(f"wrote {out_path} ({len(text.splitlines())} lines)")

@@ -27,12 +27,22 @@ Commands
 ``drift --check|--update``
     Compare the fidelity scorecard against ``baselines/fidelity.json``
     (``--check``, exits 1 on regression) or re-record it (``--update``).
+``explain APP [--platform P] [--vs Q] [--what-if KNOB=FACTOR ...] [--json]``
+    Decompose an application's best-run estimate into its additive
+    attribution tree; with ``--vs`` diff two platforms and rank the
+    contributors to the delta; ``--what-if`` projects perturbed limbs
+    (e.g. ``dram_bw=2.0``, ``mpi_wait=inf``).
+``report [-o report.html] [--format html|md]``
+    Write the complete reproduction report — figures, fidelity
+    scorecard, per-app timelines, attribution and diffs — as one
+    self-contained HTML file (or the classic markdown).
 
 Application names may be abbreviated to any unambiguous prefix
 (``mgcfd``, ``volna``); an ambiguous prefix like ``cloverleaf`` resolves
 to the first match in the canonical order with a note on stderr.
-Unknown application or platform names exit with status 2 and a message
-listing the valid choices.
+Platform names accept any prefix or substring (``8360y`` →
+``icx8360y``) under the same rules.  Unknown application or platform
+names exit with status 2 and a message listing the valid choices.
 """
 
 from __future__ import annotations
@@ -73,15 +83,25 @@ def _resolve_app(name: str) -> str | None:
 
 
 def _get_platform(short_name: str):
-    """Platform spec for ``short_name``; None — with a stderr message
-    listing the choices — when unknown."""
+    """Platform spec for ``short_name`` (exact, prefix, or substring
+    match — ``8360y`` resolves to ``icx8360y``); None — with a stderr
+    message listing the choices — when unknown."""
+    names = [p.short_name for p in ALL_PLATFORMS]
     try:
         return get_platform(short_name)
     except KeyError:
-        print(f"unknown platform {short_name!r} (choose from: "
-              f"{', '.join(p.short_name for p in ALL_PLATFORMS)})",
-              file=sys.stderr)
+        pass
+    matches = [n for n in names if n.startswith(short_name)]
+    if not matches:
+        matches = [n for n in names if short_name in n]
+    if not matches:
+        print(f"unknown platform {short_name!r} "
+              f"(choose from: {', '.join(names)})", file=sys.stderr)
         return None
+    if len(matches) > 1:
+        print(f"note: {short_name!r} is ambiguous ({', '.join(matches)}); "
+              f"using {matches[0]!r}", file=sys.stderr)
+    return get_platform(matches[0])
 
 
 def cmd_list(_args) -> int:
@@ -93,6 +113,12 @@ def cmd_list(_args) -> int:
     for p in ALL_PLATFORMS:
         print(f"  {p.short_name:10s} {p.name} — "
               f"{p.total_cores} cores, {p.stream_bandwidth / 1e9:.0f} GB/s STREAM")
+    from .obs.fidelity import FIGURE_ORDER
+
+    print("\nfigures (accepted by figures/fidelity/drift):")
+    for fig in FIGURE_ORDER:
+        doc = (getattr(figmod, fig).__doc__ or "").strip().splitlines()[0]
+        print(f"  {fig:10s} {doc}")
     return 0
 
 
@@ -322,6 +348,119 @@ def cmd_drift(args) -> int:
     return 0
 
 
+def _parse_what_if(specs: list[str]) -> dict[str, float] | None:
+    """``KNOB=FACTOR`` pairs → dict; None — with a stderr message
+    listing knobs — on an unknown knob or malformed factor."""
+    from .obs.attribution import WHAT_IF_KNOBS
+
+    knobs: dict[str, float] = {}
+    for spec in specs:
+        key, sep, val = spec.partition("=")
+        if not sep:
+            print(f"bad --what-if {spec!r} (expected KNOB=FACTOR)",
+                  file=sys.stderr)
+            return None
+        if key not in WHAT_IF_KNOBS:
+            print(f"unknown what-if knob {key!r} "
+                  f"(choose from: {', '.join(WHAT_IF_KNOBS)})", file=sys.stderr)
+            return None
+        try:
+            factor = float(val)
+        except ValueError:
+            print(f"bad --what-if factor {val!r} for {key!r} "
+                  f"(a float, or 'inf' to zero the leaves)", file=sys.stderr)
+            return None
+        if not factor > 0:
+            print(f"--what-if factor for {key!r} must be > 0 (got {val})",
+                  file=sys.stderr)
+            return None
+        knobs[key] = factor
+    return knobs
+
+
+def _print_tree(tree) -> None:
+    root = tree.seconds or 1.0
+    for depth, node in tree.walk():
+        pct = node.seconds / root * 100
+        extra = ""
+        if node.kind == "loop":
+            extra = f"  [{node.meta.get('bottleneck')}-bound]"
+        print(f"  {'  ' * depth}{node.name:<{max(28 - 2 * depth, 8)}} "
+              f"{node.seconds:12.4g} s  {pct:5.1f}%{extra}")
+
+
+def cmd_explain(args) -> int:
+    _configure_engine(args)
+    name = _resolve_app(args.app)
+    if name is None:
+        return 2
+    platform = _get_platform(args.platform)
+    if platform is None:
+        return 2
+    knobs = _parse_what_if(args.what_if or [])
+    if knobs is None:
+        return 2
+    other = None
+    if args.vs:
+        other = _get_platform(args.vs)
+        if other is None:
+            return 2
+
+    from .harness import best_attribution
+    from .obs.diff import diff_trees, project
+
+    cfg, est, tree = best_attribution(name, platform)
+    diff = None
+    if other is not None:
+        _cfg_b, _est_b, tree_b = best_attribution(name, other)
+        diff = diff_trees(tree, tree_b)
+    projection = project(tree, knobs) if knobs else None
+
+    if args.json:
+        import json as _json
+
+        payload = {"tree": tree.as_dict()}
+        if diff is not None:
+            payload["diff"] = diff.as_dict()
+        if projection is not None:
+            payload["what_if"] = {
+                k: v for k, v in projection.items() if k != "tree"
+            }
+            payload["what_if"]["tree"] = projection["tree"].as_dict()
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    print(f"{name} on {platform.short_name} [{cfg.label()}] — "
+          f"{tree.seconds:.4g} s attributed:")
+    _print_tree(tree)
+    if diff is not None:
+        print(f"\nvs {other.short_name}: {diff.total_a:.4g} s vs "
+              f"{diff.total_b:.4g} s — {platform.short_name} is "
+              f"{diff.speedup:.2f}x faster (delta {diff.delta:+.4g} s)")
+        print("by kind:")
+        for kind, delta in diff.by_kind():
+            print(f"  {kind:16s} {delta:+12.4g} s")
+        print("top contributors:")
+        for c in diff.contributors[:8]:
+            print(f"  {c.delta:+12.4g} s  {'/'.join(c.key):32s} {c.label}")
+    if projection is not None:
+        pretty = ", ".join(f"{k}={v:g}" for k, v in knobs.items())
+        print(f"\nwhat-if [{pretty}]: {projection['baseline_seconds']:.4g} s "
+              f"-> {projection['projected_seconds']:.4g} s "
+              f"({projection['speedup']:.2f}x)")
+    return 0
+
+
+def cmd_report(args) -> int:
+    _configure_engine(args)
+    from .obs.htmlreport import write_report
+
+    path = write_report(args.output, fmt=args.format)
+    print(f"report: wrote {path} ({path.stat().st_size:,} bytes, "
+          f"self-contained)", file=sys.stderr)
+    return 0
+
+
 def cmd_validate(args) -> int:
     name = _resolve_app(args.app)
     if name is None:
@@ -426,6 +565,38 @@ def main(argv=None) -> int:
     p_fid.add_argument("--no-cache", action="store_true",
                        help="bypass the persistent result store")
 
+    p_exp = sub.add_parser(
+        "explain", help="attribute an estimate's seconds and diff platforms")
+    p_exp.add_argument("app", help="application name (any unambiguous prefix)")
+    p_exp.add_argument("--platform", default="max9480",
+                       help="platform short name, prefix or substring "
+                            "(default max9480)")
+    p_exp.add_argument("--vs", default=None, metavar="PLATFORM",
+                       help="second platform to diff against "
+                            "(ranked contributors to the delta)")
+    p_exp.add_argument("--what-if", action="append", default=None,
+                       metavar="KNOB=FACTOR",
+                       help="project a perturbed limb, e.g. dram_bw=2.0 or "
+                            "mpi_wait=inf (repeatable)")
+    p_exp.add_argument("--json", action="store_true",
+                       help="emit the tree/diff/projection as JSON")
+    p_exp.add_argument("--jobs", type=int, default=None,
+                       help="parallel sweep workers (default serial)")
+    p_exp.add_argument("--no-cache", action="store_true",
+                       help="bypass the persistent result store")
+
+    p_rep = sub.add_parser(
+        "report", help="write the self-contained HTML (or markdown) report")
+    p_rep.add_argument("-o", "--output", default="report.html",
+                       help="output path (default report.html; a .md suffix "
+                            "selects markdown)")
+    p_rep.add_argument("--format", choices=("html", "md"), default=None,
+                       help="force the format (default: from the suffix)")
+    p_rep.add_argument("--jobs", type=int, default=None,
+                       help="parallel sweep workers (default serial)")
+    p_rep.add_argument("--no-cache", action="store_true",
+                       help="bypass the persistent result store")
+
     p_drift = sub.add_parser(
         "drift", help="gate the fidelity scorecard against its baseline")
     mode = p_drift.add_mutually_exclusive_group(required=True)
@@ -444,7 +615,8 @@ def main(argv=None) -> int:
     return {"list": cmd_list, "run": cmd_run, "trace": cmd_trace,
             "figures": cmd_figures, "sweep": cmd_sweep,
             "validate": cmd_validate, "metrics": cmd_metrics,
-            "fidelity": cmd_fidelity, "drift": cmd_drift}[args.command](args)
+            "fidelity": cmd_fidelity, "drift": cmd_drift,
+            "explain": cmd_explain, "report": cmd_report}[args.command](args)
 
 
 if __name__ == "__main__":

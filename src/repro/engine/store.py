@@ -221,6 +221,32 @@ class ResultStore:
                 with self._path.open("a") as f:
                     f.write(line + "\n")
 
+    def estimates(
+        self, app: str | None = None, platform: str | None = None
+    ) -> list[AppEstimate]:
+        """Stored estimates, optionally filtered by app name and/or
+        platform short name.
+
+        The store is content-addressed — keys are opaque — but every
+        record carries the estimate's own ``app``/``platform``/
+        ``config_label`` fields, so stored history remains queryable.
+        This is what lets ``repro.obs.diff`` compare a current run
+        against a previously persisted result (e.g. from before a
+        calibration change; superseded model versions keep their
+        entries until the next :meth:`clear`).  Deterministic order:
+        sorted by (app, platform, config label).
+        """
+        with self._lock:
+            recs = list(self._loaded().values())
+        out = [
+            estimate_from_dict(rec)
+            for rec in recs
+            if (app is None or rec.get("app") == app)
+            and (platform is None or rec.get("platform") == platform)
+        ]
+        out.sort(key=lambda e: (e.app, e.platform, e.config_label))
+        return out
+
     def clear(self) -> None:
         """Drop every entry, in memory and on disk."""
         with self._lock:

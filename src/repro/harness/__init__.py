@@ -25,8 +25,10 @@ from .figures import (
 from .report import FigureResult, format_table, render_breakdown
 from .runner import (
     app_spec,
+    best_attribution,
     best_run,
     clear_cache,
+    default_sweep_configs,
     run_application,
     sweep,
     trace_application,
@@ -37,6 +39,8 @@ __all__ = [
     "trace_application",
     "sweep",
     "best_run",
+    "best_attribution",
+    "default_sweep_configs",
     "app_spec",
     "clear_cache",
     "FigureResult",

@@ -26,6 +26,8 @@ __all__ = [
     "trace_application",
     "sweep",
     "best_run",
+    "best_attribution",
+    "default_sweep_configs",
     "clear_cache",
 ]
 
@@ -95,3 +97,34 @@ def best_run(
 ) -> tuple[RunConfig, AppEstimate]:
     """The fastest feasible configuration of a sweep."""
     return default_engine().best_run(name, platform, configs)
+
+
+def default_sweep_configs(name: str, platform: PlatformSpec) -> list[RunConfig]:
+    """The configuration sweep an application gets by default on a
+    platform: CUDA on GPUs, the structured or unstructured CPU sweep
+    otherwise — the same resolution the CLI's ``run``/``explain`` verbs
+    and the figure harnesses use."""
+    from ..apps import get_app
+    from ..machine import (
+        Compiler,
+        Parallelization,
+        structured_config_sweep,
+        unstructured_config_sweep,
+    )
+    from ..machine.spec import DeviceKind
+
+    if platform.kind is DeviceKind.GPU:
+        return [RunConfig(Compiler.NVCC, Parallelization.CUDA)]
+    defn = get_app(name)
+    return (structured_config_sweep(platform) if defn.structured
+            else unstructured_config_sweep(platform))
+
+
+def best_attribution(name: str, platform: PlatformSpec):
+    """``(config, estimate, attribution tree)`` of an application's best
+    feasible run on a platform — the unit ``python -m repro explain``
+    and the HTML report build their views from."""
+    from ..obs.attribution import attribute_estimate
+
+    cfg, est = best_run(name, platform, default_sweep_configs(name, platform))
+    return cfg, est, attribute_estimate(est)

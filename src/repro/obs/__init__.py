@@ -24,7 +24,16 @@ wall-clock domain.
   and the summary dict :mod:`repro.harness.report` renders;
 - :mod:`~repro.obs.apptrace` — model-level timeline of one estimated
   run (one span per kernel loop and per halo exchange), behind
-  ``python -m repro trace``.
+  ``python -m repro trace``;
+- :mod:`~repro.obs.attribution` — additive attribution trees over
+  estimates (every leaf's seconds sum back to the total) and what-if
+  projections;
+- :mod:`~repro.obs.diff` — differential analysis of two attribution
+  trees (``python -m repro explain``): ranked contributors to a
+  cross-platform or cross-run delta;
+- :mod:`~repro.obs.htmlreport` — the self-contained HTML / markdown
+  report behind ``python -m repro report`` (imported lazily by the
+  CLI: it pulls in the harness layer).
 
 See ``docs/TRACING.md`` for the span taxonomy and overhead guarantees.
 
@@ -33,6 +42,13 @@ in it — every execution layer records into it, nothing reads back.
 """
 
 from .apptrace import build_timeline
+from .attribution import (
+    WHAT_IF_KNOBS,
+    AttrNode,
+    attribute_estimate,
+    leaf_index,
+    what_if,
+)
 from .breakdown import (
     BREAKDOWN_COLUMNS,
     breakdown_csv,
@@ -40,6 +56,7 @@ from .breakdown import (
     kernel_breakdown,
     summary_dict,
 )
+from .diff import AttrDiff, Contributor, diff_trees, project
 from .export import check_nesting, chrome_trace, write_chrome_trace
 from .metrics import (
     MetricsRegistry,
@@ -70,4 +87,13 @@ __all__ = [
     "breakdown_table",
     "summary_dict",
     "build_timeline",
+    "AttrNode",
+    "attribute_estimate",
+    "leaf_index",
+    "WHAT_IF_KNOBS",
+    "what_if",
+    "AttrDiff",
+    "Contributor",
+    "diff_trees",
+    "project",
 ]

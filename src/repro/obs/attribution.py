@@ -1,0 +1,325 @@
+"""Differential performance attribution: additive trees over estimates.
+
+An :class:`~repro.perfmodel.roofline.AppEstimate` states *how long* a
+run takes; the paper's analysis is about *why* — which limb (HBM
+bandwidth, cache plateau, vector ISA, MPI wait) each second belongs to,
+and which limb a cross-platform delta comes from.  This module
+decomposes an estimate into an **attribution tree**:
+
+.. code-block:: text
+
+    app (total seconds)
+    ├── kernels                        (AppEstimate.compute_time)
+    │   └── <loop> x iterations
+    │       ├── memory[<level>]        bandwidth-limb seconds, labeled
+    │       │                          with the hierarchy level that
+    │       │                          served the working set
+    │       ├── compute                vector/flop-limb seconds
+    │       ├── latency                gather/irregular-access seconds
+    │       └── overhead               per-invocation launch cost
+    └── mpi                            (AppEstimate.mpi_time)
+        ├── halo-wire                  serialization at link bandwidth
+        ├── message-overhead           handshakes + software cost
+        ├── collectives                reductions
+        └── imbalance-wait             rank imbalance charged as MPI_Wait
+
+Leaves are **additive**: per loop they come from
+:meth:`~repro.perfmodel.roofline.LoopTime.limb_seconds` (the p-norm
+blend projected back onto the clock, remainder-exact), per run the MPI
+split comes from the simmpi cost accounting carried on
+:class:`~repro.perfmodel.commmodel.CommEstimate`.  The tree invariant —
+every leaf's seconds sum back to ``AppEstimate.total_time`` within
+float epsilon — is what makes differential analysis
+(:mod:`repro.obs.diff`) meaningful: a delta between two trees is a sum
+of per-leaf deltas, nothing hides in a blend.
+
+Trees build from any estimate — freshly computed or loaded back from
+the engine's result store (:meth:`repro.engine.store.ResultStore.
+estimates`) — so ``python -m repro explain`` can diff against history
+as well as across platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AttrNode",
+    "attribute_estimate",
+    "leaf_index",
+    "WHAT_IF_KNOBS",
+    "what_if",
+]
+
+
+@dataclass(frozen=True)
+class AttrNode:
+    """One node of an attribution tree.
+
+    ``kind`` classifies the node: ``"app"``/``"group"``/``"loop"`` for
+    interior nodes; ``"memory"``, ``"compute"``, ``"latency"``,
+    ``"overhead"``, ``"mpi-wire"``, ``"mpi-overhead"``,
+    ``"mpi-collective"``, ``"mpi-wait"`` for leaves.  ``meta`` carries
+    display-only context (hierarchy level, memory technology, config
+    label) that never participates in structural matching.
+    """
+
+    name: str
+    kind: str
+    seconds: float
+    children: tuple["AttrNode", ...] = ()
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def leaves(self) -> list["AttrNode"]:
+        if self.is_leaf:
+            return [self]
+        return [leaf for c in self.children for leaf in c.leaves()]
+
+    def leaf_total(self) -> float:
+        return sum(leaf.seconds for leaf in self.leaves())
+
+    def walk(self, depth: int = 0):
+        """Yield ``(depth, node)`` in pre-order."""
+        yield depth, self
+        for c in self.children:
+            yield from c.walk(depth + 1)
+
+    def max_additivity_error(self) -> float:
+        """Worst relative |sum(children) - seconds| over interior nodes
+        (and the root vs its leaf total) — the tree invariant, asserted
+        to stay below 1e-9 for every app x platform pair."""
+        worst = 0.0
+        for _, node in self.walk():
+            if node.is_leaf:
+                continue
+            child_sum = sum(c.seconds for c in node.children)
+            scale = abs(node.seconds) or 1.0
+            worst = max(worst, abs(child_sum - node.seconds) / scale)
+        scale = abs(self.seconds) or 1.0
+        worst = max(worst, abs(self.leaf_total() - self.seconds) / scale)
+        return worst
+
+    def as_dict(self) -> dict:
+        d = {"name": self.name, "kind": self.kind, "seconds": self.seconds}
+        if self.meta:
+            d["meta"] = dict(self.meta)
+        if self.children:
+            d["children"] = [c.as_dict() for c in self.children]
+        return d
+
+
+# ---------------------------------------------------------------------------
+# building trees from estimates
+
+
+def _memory_kind(platform_short_name: str) -> str | None:
+    """Main-memory technology label (``"hbm2e"``/``"ddr4"``) for a
+    platform short name; None when the platform is unknown (e.g. a
+    synthetic spec in tests)."""
+    from ..machine import get_platform  # lazy: obs stays light
+
+    try:
+        return get_platform(platform_short_name).memory.kind.value
+    except KeyError:
+        return None
+
+
+def _iterations(est) -> int:
+    """Recover the iteration count an estimate was scaled by (the
+    estimate stores totals; per-loop times are per invocation)."""
+    per_iter = sum(lt.time for lt in est.per_loop)
+    if per_iter <= 0:
+        return 1
+    return max(int(round(est.compute_time / per_iter)), 1)
+
+
+def _loop_node(lt, n: int, mem_kind: str | None) -> AttrNode:
+    limbs = lt.limb_seconds()
+    children = []
+    if limbs["bandwidth"] > 0:
+        meta = {"level": lt.mem_level}
+        if lt.mem_level == "memory" and mem_kind:
+            meta["memory"] = mem_kind
+        label = mem_kind if (lt.mem_level == "memory" and mem_kind) else lt.mem_level
+        children.append(AttrNode(
+            f"memory[{label}]", "memory", limbs["bandwidth"] * n, meta=meta,
+        ))
+    if limbs["compute"] > 0:
+        children.append(AttrNode("compute", "compute", limbs["compute"] * n))
+    if limbs["latency"] > 0:
+        children.append(AttrNode("latency", "latency", limbs["latency"] * n))
+    if lt.overhead > 0:
+        children.append(AttrNode("overhead", "overhead", lt.overhead * n))
+    return AttrNode(
+        lt.name, "loop", lt.time * n, tuple(children),
+        meta={"bottleneck": lt.bottleneck, "invocations": n},
+    )
+
+
+def attribute_estimate(est) -> AttrNode:
+    """Decompose an :class:`~repro.perfmodel.roofline.AppEstimate` into
+    its attribution tree (see the module docstring for the taxonomy).
+
+    Works on any estimate object with the ``AppEstimate`` shape,
+    including ones deserialized from the engine's result store; no model
+    re-evaluation happens — every number is a projection of what the
+    estimate already carries.
+    """
+    n = _iterations(est)
+    mem_kind = _memory_kind(est.platform)
+
+    loops = tuple(_loop_node(lt, n, mem_kind) for lt in est.per_loop)
+    kernels = AttrNode("kernels", "group", est.compute_time, loops)
+
+    children: list[AttrNode] = [kernels]
+    if est.mpi_time > 0:
+        comm = est.comm
+        comm_total = comm.time_per_iter * n
+        ovh = comm.overhead_per_iter * n
+        coll = comm.collective_per_iter * n
+        wire = comm_total - ovh - coll
+        imbalance = est.mpi_time - comm_total
+        mpi_children = []
+        if wire > 0:
+            mpi_children.append(AttrNode(
+                "halo-wire", "mpi-wire", wire,
+                meta={"bytes_per_iter": comm.volume_per_iter,
+                      "messages_per_iter": comm.messages_per_iter},
+            ))
+        if ovh > 0:
+            mpi_children.append(AttrNode("message-overhead", "mpi-overhead", ovh))
+        if coll > 0:
+            mpi_children.append(AttrNode("collectives", "mpi-collective", coll))
+        if imbalance != 0:
+            mpi_children.append(AttrNode(
+                "imbalance-wait", "mpi-wait", imbalance,
+                meta={"note": "rank imbalance charged as MPI_Wait"},
+            ))
+        # Remainder-exactness: make the mpi children sum to mpi_time by
+        # construction (imbalance is already mpi_time - comm_total; fold
+        # any residual of the wire/ovh/coll split into the wire leaf).
+        child_sum = sum(c.seconds for c in mpi_children)
+        residual = est.mpi_time - child_sum
+        if mpi_children and residual != 0.0:
+            first = mpi_children[0]
+            mpi_children[0] = AttrNode(
+                first.name, first.kind, first.seconds + residual,
+                first.children, first.meta,
+            )
+        children.append(AttrNode("mpi", "group", est.mpi_time,
+                                 tuple(mpi_children)))
+
+    return AttrNode(
+        est.app, "app", est.total_time, tuple(children),
+        meta={"platform": est.platform, "config": est.config_label,
+              "iterations": n},
+    )
+
+
+def leaf_index(tree: AttrNode) -> dict[tuple[str, ...], AttrNode]:
+    """Structural leaf index: ``("kernels", loop, kind)`` for kernel
+    leaves, ``("mpi", kind)`` for MPI leaves.
+
+    Keys are platform-independent (the memory level/technology lives in
+    ``meta``, not the key), so two platforms' trees for the same app
+    align leaf-for-leaf — the matching :func:`repro.obs.diff.diff_trees`
+    ranks contributors over.
+    """
+    index: dict[tuple[str, ...], AttrNode] = {}
+    for section in tree.children:
+        if section.name == "kernels":
+            for loop in section.children:
+                for leaf in loop.children:
+                    index[("kernels", loop.name, leaf.kind)] = leaf
+        else:
+            for leaf in section.children:
+                index[(section.name, leaf.kind)] = leaf
+    return index
+
+
+# ---------------------------------------------------------------------------
+# what-if projections
+
+
+#: What-if knobs: each scales the *speed* of one resource by the given
+#: factor, so the matching leaves' seconds divide by it (``inf`` zeroes
+#: them — "what if MPI wait vanished").  Values map knob -> predicate
+#: over leaves.
+WHAT_IF_KNOBS: dict[str, str] = {
+    "dram_bw": "memory leaves served from main memory (HBM or DDR)",
+    "cache_bw": "memory leaves served from a cache level",
+    "mem_bw": "every memory leaf regardless of serving level",
+    "compute": "compute/vector leaves",
+    "gather": "latency (irregular access) leaves",
+    "loop_overhead": "per-invocation kernel overhead leaves",
+    "net_bw": "MPI wire-serialization leaves",
+    "mpi": "every MPI leaf (wire, overhead, collectives, wait)",
+    "mpi_wait": "rank-imbalance MPI_Wait leaves",
+}
+
+
+def _knob_matches(knob: str, leaf: AttrNode) -> bool:
+    if knob == "dram_bw":
+        return leaf.kind == "memory" and leaf.meta.get("level") == "memory"
+    if knob == "cache_bw":
+        return leaf.kind == "memory" and leaf.meta.get("level") != "memory"
+    if knob == "mem_bw":
+        return leaf.kind == "memory"
+    if knob == "compute":
+        return leaf.kind == "compute"
+    if knob == "gather":
+        return leaf.kind == "latency"
+    if knob == "loop_overhead":
+        return leaf.kind == "overhead"
+    if knob == "net_bw":
+        return leaf.kind == "mpi-wire"
+    if knob == "mpi":
+        return leaf.kind.startswith("mpi-")
+    if knob == "mpi_wait":
+        return leaf.kind == "mpi-wait"
+    raise KeyError(
+        f"unknown what-if knob {knob!r}; valid: {', '.join(WHAT_IF_KNOBS)}"
+    )
+
+
+def what_if(tree: AttrNode, knobs: dict[str, float]) -> AttrNode:
+    """Re-evaluate a tree with perturbed limbs.
+
+    Each knob scales its resource's speed by the factor: the matching
+    leaves' seconds divide by it, and every interior node becomes the
+    sum of its (new) children — so the projected root is exactly the
+    sum of the projected leaves.  A factor of 1.0 is an exact no-op
+    (``x / 1.0 == x`` in IEEE arithmetic); ``float("inf")`` zeroes the
+    leaves.
+
+    This is a *first-order* projection: the p-norm limb blend, the
+    config choice, and cache residency are not re-derived — see
+    "what-if limits" in docs/OBSERVABILITY.md.
+    """
+    for knob, factor in knobs.items():
+        if knob not in WHAT_IF_KNOBS:
+            raise KeyError(
+                f"unknown what-if knob {knob!r}; valid: "
+                f"{', '.join(WHAT_IF_KNOBS)}"
+            )
+        if not factor > 0:
+            raise ValueError(f"what-if factor for {knob!r} must be > 0")
+
+    def rebuild(node: AttrNode) -> AttrNode:
+        if node.is_leaf:
+            seconds = node.seconds
+            for knob, factor in knobs.items():
+                if _knob_matches(knob, node):
+                    seconds = seconds / factor
+            return AttrNode(node.name, node.kind, seconds, (), node.meta)
+        children = tuple(rebuild(c) for c in node.children)
+        return AttrNode(
+            node.name, node.kind, sum(c.seconds for c in children),
+            children, node.meta,
+        )
+
+    return rebuild(tree)

@@ -1,0 +1,156 @@
+"""Differential analysis of attribution trees: rank what explains a delta.
+
+Given two attribution trees for the same application —
+platform A vs platform B, or a current run vs a stored result loaded
+back from the engine's store — :func:`diff_trees` aligns their leaves
+by structural key (:func:`repro.obs.attribution.leaf_index`) and emits
+one :class:`Contributor` per leaf with the signed seconds it adds to
+the delta ``total(B) - total(A)``.  Because both trees are additive,
+the contributors sum to the total delta: the ranking is a complete,
+non-overlapping explanation, the model-diffing analysis of Alappat et
+al. applied to our own estimates.
+
+Sign convention: positive means *B is slower there* (the leaf costs B
+more seconds than A).  The analyzer is antisymmetric by construction —
+``diff_trees(a, b)`` and ``diff_trees(b, a)`` carry negated
+contributions leaf for leaf — and the tests pin that.
+
+:func:`project` layers what-if projections
+(:func:`repro.obs.attribution.what_if`) on top: perturb a tree's limbs
+(scale DRAM bandwidth x2, zero the MPI wait) and report the projected
+total and speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .attribution import AttrNode, leaf_index, what_if
+
+__all__ = ["Contributor", "AttrDiff", "diff_trees", "project"]
+
+
+@dataclass(frozen=True)
+class Contributor:
+    """One leaf's share of the delta between two trees."""
+
+    key: tuple[str, ...]  # structural path, e.g. ("kernels", "flux", "memory")
+    kind: str
+    seconds_a: float
+    seconds_b: float
+    label_a: str
+    label_b: str
+
+    @property
+    def delta(self) -> float:
+        """Seconds this leaf adds to ``total(B) - total(A)``."""
+        return self.seconds_b - self.seconds_a
+
+    @property
+    def label(self) -> str:
+        """Display label; names both sides when they differ (e.g.
+        ``memory[hbm2e] vs memory[ddr4]``)."""
+        if self.label_a == self.label_b:
+            return self.label_a
+        return f"{self.label_a} vs {self.label_b}"
+
+    def as_dict(self) -> dict:
+        return {
+            "key": list(self.key),
+            "kind": self.kind,
+            "label": self.label,
+            "seconds_a": self.seconds_a,
+            "seconds_b": self.seconds_b,
+            "delta": self.delta,
+        }
+
+
+@dataclass(frozen=True)
+class AttrDiff:
+    """The aligned comparison of two attribution trees."""
+
+    a: AttrNode
+    b: AttrNode
+    contributors: tuple[Contributor, ...]  # ranked by |delta|, largest first
+
+    @property
+    def total_a(self) -> float:
+        return self.a.seconds
+
+    @property
+    def total_b(self) -> float:
+        return self.b.seconds
+
+    @property
+    def delta(self) -> float:
+        return self.total_b - self.total_a
+
+    @property
+    def speedup(self) -> float:
+        """How much faster A is than B (> 1 means A wins)."""
+        return self.total_b / self.total_a if self.total_a else float("inf")
+
+    def by_kind(self) -> list[tuple[str, float]]:
+        """Contributions aggregated per leaf kind, ranked by |delta| —
+        the headline view (*the* memory limb, *the* MPI wait), summing
+        to :attr:`delta` like the full ranking does."""
+        agg: dict[str, float] = {}
+        for c in self.contributors:
+            agg[c.kind] = agg.get(c.kind, 0.0) + c.delta
+        return sorted(agg.items(), key=lambda kv: abs(kv[1]), reverse=True)
+
+    def as_dict(self) -> dict:
+        return {
+            "a": {"platform": self.a.meta.get("platform"),
+                  "config": self.a.meta.get("config"),
+                  "total_seconds": self.total_a},
+            "b": {"platform": self.b.meta.get("platform"),
+                  "config": self.b.meta.get("config"),
+                  "total_seconds": self.total_b},
+            "delta_seconds": self.delta,
+            "speedup_a_over_b": self.speedup,
+            "by_kind": [{"kind": k, "delta": d} for k, d in self.by_kind()],
+            "contributors": [c.as_dict() for c in self.contributors],
+        }
+
+
+def diff_trees(a: AttrNode, b: AttrNode) -> AttrDiff:
+    """Align two trees' leaves and rank the contributors to the delta.
+
+    Trees should describe the same application (same loop names); a leaf
+    present on only one side contributes its full seconds, matched
+    against zero.  Ranking is by absolute contribution, ties broken by
+    key so the order is deterministic.
+    """
+    ia, ib = leaf_index(a), leaf_index(b)
+    contributors = []
+    for key in sorted(set(ia) | set(ib)):
+        la, lb = ia.get(key), ib.get(key)
+        contributors.append(Contributor(
+            key=key,
+            kind=(la or lb).kind,
+            seconds_a=la.seconds if la else 0.0,
+            seconds_b=lb.seconds if lb else 0.0,
+            label_a=la.name if la else "-",
+            label_b=lb.name if lb else "-",
+        ))
+    contributors.sort(key=lambda c: (-abs(c.delta), c.key))
+    return AttrDiff(a, b, tuple(contributors))
+
+
+def project(tree: AttrNode, knobs: dict[str, float]) -> dict:
+    """What-if projection summary for one tree under perturbed limbs.
+
+    Returns baseline/projected totals computed the same way (sum of
+    leaves), so an all-ones knob set projects exactly the baseline.
+    """
+    baseline = what_if(tree, {})
+    projected = what_if(tree, knobs)
+    return {
+        "knobs": dict(knobs),
+        "baseline_seconds": baseline.seconds,
+        "projected_seconds": projected.seconds,
+        "speedup": (baseline.seconds / projected.seconds
+                    if projected.seconds else float("inf")),
+        "tree": projected,
+    }

@@ -32,11 +32,31 @@ __all__ = ["CommEstimate", "estimate_comm", "structured_comm", "unstructured_com
 
 @dataclass(frozen=True)
 class CommEstimate:
-    """Per-iteration, per-rank (critical path) communication profile."""
+    """Per-iteration, per-rank (critical path) communication profile.
+
+    ``overhead_per_iter`` is the latency-bound share of the time —
+    rendezvous handshakes plus per-message software cost, from the
+    simmpi :meth:`~repro.simmpi.clock.CostModel.transfer_breakdown`
+    accounting; ``collective_per_iter`` the reduction/collective share.
+    The wire (serialization) share is the remainder
+    ``time_per_iter - overhead_per_iter - collective_per_iter`` — the
+    split ``repro.obs.attribution`` turns into MPI leaf nodes.
+    """
 
     time_per_iter: float
     messages_per_iter: float
     volume_per_iter: float  # bytes sent by the busiest rank per iteration
+    overhead_per_iter: float = 0.0
+    collective_per_iter: float = 0.0
+
+    @property
+    def wire_per_iter(self) -> float:
+        """Size-dependent serialization seconds per iteration."""
+        return max(
+            self.time_per_iter - self.overhead_per_iter
+            - self.collective_per_iter,
+            0.0,
+        )
 
     @staticmethod
     def zero() -> "CommEstimate":
@@ -77,6 +97,7 @@ def structured_comm(app: AppSpec, platform: PlatformSpec, config: RunConfig) -> 
     t = 0.0
     msgs = 0.0
     vol = 0.0
+    ovh = 0.0
     for dim in range(app.ndims):
         if dims[dim] == 1:
             continue
@@ -91,14 +112,19 @@ def structured_comm(app: AppSpec, platform: PlatformSpec, config: RunConfig) -> 
             if nbr is None:
                 continue
             t += cm.transfer_time(mid, nbr, int(nbytes)) + 2 * cm.message_overhead(mid, nbr)
+            ovh += (cm.transfer_breakdown(mid, nbr, int(nbytes))[0]
+                    + 2 * cm.message_overhead(mid, nbr))
             msgs += 1
             vol += nbytes
     t *= app.exchanges_per_iter
     msgs *= app.exchanges_per_iter
     vol *= app.exchanges_per_iter
+    ovh *= app.exchanges_per_iter
+    coll = 0.0
     if app.reductions_per_iter:
-        t += app.reductions_per_iter * cm.collective_time(nranks, app.dtype_bytes)
-    return CommEstimate(t, msgs, vol)
+        coll = app.reductions_per_iter * cm.collective_time(nranks, app.dtype_bytes)
+        t += coll
+    return CommEstimate(t, msgs, vol, ovh, coll)
 
 
 def unstructured_comm(app: AppSpec, platform: PlatformSpec, config: RunConfig) -> CommEstimate:
@@ -125,16 +151,24 @@ def unstructured_comm(app: AppSpec, platform: PlatformSpec, config: RunConfig) -
     # in proportion to machine shape.
     mid = nranks // 2
     t = 0.0
+    ovh = 0.0
     for k in range(int(round(neighbors))):
         other = (mid + 1 + k * max(1, nranks // max(int(neighbors), 1))) % nranks
         if other == mid:
             other = (mid + 1) % nranks
         t += cm.transfer_time(mid, other, int(per_msg)) + 2 * cm.message_overhead(mid, other)
+        ovh += (cm.transfer_breakdown(mid, other, int(per_msg))[0]
+                + 2 * cm.message_overhead(mid, other))
     t *= app.exchanges_per_iter
+    ovh *= app.exchanges_per_iter
+    coll = 0.0
     if app.reductions_per_iter:
-        t += app.reductions_per_iter * cm.collective_time(nranks, app.dtype_bytes)
+        coll = app.reductions_per_iter * cm.collective_time(nranks, app.dtype_bytes)
+        t += coll
     return CommEstimate(
         t,
         neighbors * app.exchanges_per_iter,
         nbytes_total * app.exchanges_per_iter,
+        ovh,
+        coll,
     )

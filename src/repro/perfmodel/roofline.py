@@ -43,7 +43,15 @@ __all__ = ["LoopTime", "AppEstimate", "loop_time", "estimate_app"]
 
 @dataclass(frozen=True)
 class LoopTime:
-    """Timing breakdown of one parallel loop (one invocation, node-wide)."""
+    """Timing breakdown of one parallel loop (one invocation, node-wide).
+
+    ``t_bandwidth``/``t_compute``/``t_latency`` are the raw roofline
+    limb terms *before* the p-norm blend; :meth:`limb_seconds` projects
+    them back onto the clock so they sum (with ``overhead``) exactly to
+    ``time`` — the additive view ``repro.obs.attribution`` builds on.
+    ``mem_level`` records which hierarchy level served the working set
+    in the bandwidth lookup (``"memory"`` or a cache level name).
+    """
 
     name: str
     time: float
@@ -53,6 +61,7 @@ class LoopTime:
     overhead: float
     counted_bytes: float
     flops: float
+    mem_level: str = "memory"
 
     @property
     def bottleneck(self) -> str:
@@ -62,6 +71,37 @@ class LoopTime:
             "latency": self.t_latency,
         }
         return max(terms, key=terms.get)
+
+    def limb_seconds(self) -> dict[str, float]:
+        """Additive attribution of ``time`` to the three roofline limbs.
+
+        The core time (``time - overhead``) is distributed over the
+        limbs in proportion to their p-norm weights ``t_i**p`` — the
+        share each term contributed to the blended bottleneck.  The last
+        nonzero share is computed as the remainder, so the dict's values
+        plus ``overhead`` sum to ``time`` exactly (float identity, not
+        just within epsilon).
+        """
+        core = self.time - self.overhead
+        terms = {
+            "bandwidth": self.t_bandwidth,
+            "compute": self.t_compute,
+            "latency": self.t_latency,
+        }
+        p = cal.BOTTLENECK_PNORM
+        weights = {k: v**p for k, v in terms.items() if v > 0}
+        total_w = sum(weights.values())
+        out = {k: 0.0 for k in terms}
+        if core <= 0 or total_w <= 0:
+            return out
+        keys = list(weights)
+        assigned = 0.0
+        for k in keys[:-1]:
+            share = core * (weights[k] / total_w)
+            out[k] = share
+            assigned += share
+        out[keys[-1]] = core - assigned
+        return out
 
 
 @dataclass(frozen=True)
@@ -143,6 +183,9 @@ def loop_time(
     bw = app_memory_bandwidth(
         platform, config, app, loop, hm.effective_bandwidth(ws)
     )
+    # Which level served the lookup — carried on the LoopTime so the
+    # attribution tree can split memory seconds per hierarchy level.
+    mem_level = hm.serving_level(ws)[0]
     t_bw = traffic / bw if traffic > 0 else 0.0
     if (
         loop.indirect_bytes_per_point > 0
@@ -177,7 +220,8 @@ def loop_time(
     core = _pnorm(t_bw, t_fl, t_lat) * sycl_time_multiplier(config) / affinity
     ovh = loop_overhead(platform, config) * max(loop.invocations, 1.0)
     lt = LoopTime(
-        loop.name, core + ovh, t_bw, t_fl, t_lat, ovh, loop.bytes_total, flops
+        loop.name, core + ovh, t_bw, t_fl, t_lat, ovh, loop.bytes_total, flops,
+        mem_level=mem_level,
     )
     m = active_metrics()
     if m is not None:

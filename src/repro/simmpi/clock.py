@@ -90,6 +90,21 @@ class CostModel:
         """Wire time: handshake latency + serialization."""
         raise NotImplementedError
 
+    def transfer_breakdown(
+        self, src: int, dst: int, nbytes: int
+    ) -> tuple[float, float]:
+        """``(handshake_seconds, wire_seconds)`` of one transfer.
+
+        The handshake term is the zero-byte cost (rendezvous latency +
+        software overhead); the wire term is the size-dependent
+        serialization remainder, so the two recompose
+        :meth:`transfer_time` to float epsilon.  The attribution layer
+        (``repro.obs.attribution``) uses this split to separate
+        latency-bound from bandwidth-bound MPI seconds.
+        """
+        handshake = self.transfer_time(src, dst, 0)
+        return handshake, self.transfer_time(src, dst, nbytes) - handshake
+
     def collective_time(self, nranks: int, nbytes: int) -> float:
         """Cost of a reduction/broadcast style collective."""
         raise NotImplementedError

@@ -1,0 +1,85 @@
+"""End-to-end tests for ``python -m repro explain`` and ``report``."""
+
+import json
+
+from repro.__main__ import main
+
+
+class TestExplain:
+    def test_basic_tree(self, capsys):
+        assert main(["explain", "volna", "--platform", "max9480"]) == 0
+        out = capsys.readouterr().out
+        assert "attributed" in out
+        assert "kernels" in out
+        assert "memory[hbm2e]" in out
+
+    def test_vs_substring_platform_names_hbm_top_contributor(self, capsys):
+        """Acceptance: the MAX-vs-8360Y CloverLeaf diff leads with the
+        HBM memory limb, and '8360y' resolves by substring."""
+        assert main(["explain", "cloverleaf2d", "--platform", "max9480",
+                     "--vs", "8360y"]) == 0
+        out = capsys.readouterr().out
+        assert "vs icx8360y" in out
+        assert "by kind:" in out
+        first_kind = out.split("by kind:")[1].strip().splitlines()[0]
+        assert first_kind.split()[0] == "memory"
+        assert "memory[hbm2e] vs memory[ddr4]" in out
+
+    def test_what_if_projection(self, capsys):
+        assert main(["explain", "miniweather", "--platform", "max9480",
+                     "--what-if", "dram_bw=2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "what-if [dram_bw=2]" in out
+
+    def test_json_output(self, capsys):
+        assert main(["explain", "mgcfd", "--platform", "max9480",
+                     "--vs", "epyc", "--what-if", "mpi=inf", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tree"]["kind"] == "app"
+        assert payload["diff"]["b"]["platform"] == "epyc7v73x"
+        assert payload["what_if"]["knobs"] == {"mpi": float("inf")}
+
+    def test_unknown_vs_platform_exits_2(self, capsys):
+        assert main(["explain", "volna", "--platform", "max9480",
+                     "--vs", "cray1"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown platform" in err
+        assert "max9480" in err  # lists the valid choices
+
+    def test_unknown_app_exits_2(self, capsys):
+        assert main(["explain", "linpack"]) == 2
+        assert "unknown application" in capsys.readouterr().err
+
+    def test_bad_what_if_exits_2(self, capsys):
+        assert main(["explain", "volna", "--what-if", "warp=2"]) == 2
+        assert "unknown what-if knob" in capsys.readouterr().err
+        assert main(["explain", "volna", "--what-if", "dram_bw"]) == 2
+        assert "KNOB=FACTOR" in capsys.readouterr().err
+        assert main(["explain", "volna", "--what-if", "dram_bw=-1"]) == 2
+        assert "must be > 0" in capsys.readouterr().err
+
+
+class TestReportCli:
+    def test_writes_self_contained_html(self, tmp_path, capsys):
+        out = tmp_path / "report.html"
+        assert main(["report", "-o", str(out)]) == 0
+        assert "self-contained" in capsys.readouterr().err
+        text = out.read_text()
+        assert text.startswith("<!doctype html>")
+        assert "http://" not in text and "https://" not in text
+
+    def test_markdown_by_suffix(self, tmp_path):
+        from repro.obs.htmlreport import render_markdown
+
+        out = tmp_path / "report.md"
+        assert main(["report", "-o", str(out)]) == 0
+        assert out.read_text() == render_markdown()
+
+
+class TestListFigures:
+    def test_list_prints_figure_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figures" in out
+        for fig in ("fig1", "fig5", "fig9"):
+            assert fig in out

@@ -1,0 +1,90 @@
+"""Differential analyzer: antisymmetry, completeness, projections."""
+
+import math
+
+import pytest
+
+from repro.harness import best_attribution
+from repro.machine import ALL_PLATFORMS, get_platform
+from repro.obs.diff import diff_trees, project
+
+MAX = get_platform("max9480")
+ICX = get_platform("icx8360y")
+
+
+def _tree(app, platform):
+    return best_attribution(app, platform)[2]
+
+
+class TestDiff:
+    @pytest.mark.parametrize("app", ["cloverleaf2d", "mgcfd", "miniweather"])
+    def test_antisymmetry(self, app):
+        """diff(A, B) == -diff(B, A), contributor for contributor."""
+        a, b = _tree(app, MAX), _tree(app, ICX)
+        fwd = {c.key: c.delta for c in diff_trees(a, b).contributors}
+        rev = {c.key: c.delta for c in diff_trees(b, a).contributors}
+        assert set(fwd) == set(rev)
+        for key, delta in fwd.items():
+            assert rev[key] == -delta
+
+    def test_contributors_sum_to_delta(self):
+        d = diff_trees(_tree("cloverleaf2d", MAX), _tree("cloverleaf2d", ICX))
+        total = sum(c.delta for c in d.contributors)
+        assert math.isclose(total, d.delta, rel_tol=1e-9)
+        by_kind_total = sum(delta for _k, delta in d.by_kind())
+        assert math.isclose(by_kind_total, d.delta, rel_tol=1e-9)
+
+    def test_hbm_memory_limb_is_top_contributor(self):
+        """The paper's headline, recovered from our own numbers: the
+        MAX's advantage over the 8360Y on CloverLeaf is the HBM memory
+        limb (acceptance criterion)."""
+        d = diff_trees(_tree("cloverleaf2d", MAX), _tree("cloverleaf2d", ICX))
+        assert d.by_kind()[0][0] == "memory"
+        top = d.contributors[0]
+        assert top.kind == "memory"
+        assert "hbm2e" in top.label and "ddr4" in top.label
+
+    def test_ranked_by_absolute_delta(self):
+        d = diff_trees(_tree("volna", MAX), _tree("volna", ICX))
+        mags = [abs(c.delta) for c in d.contributors]
+        assert mags == sorted(mags, reverse=True)
+
+    def test_missing_leaf_matches_zero(self):
+        """A GPU tree has no MPI section; diffing CPU vs GPU still
+        explains the full delta, with MPI leaves matched against 0."""
+        a100 = next(p for p in ALL_PLATFORMS if p.short_name == "a100")
+        d = diff_trees(_tree("cloverleaf2d", MAX), _tree("cloverleaf2d", a100))
+        mpi = [c for c in d.contributors if c.key[0] == "mpi"]
+        assert mpi and all(c.seconds_b == 0.0 for c in mpi)
+        assert all(c.label_b == "-" for c in mpi)
+        total = sum(c.delta for c in d.contributors)
+        assert math.isclose(total, d.delta, rel_tol=1e-9)
+
+    def test_as_dict_shape(self):
+        d = diff_trees(_tree("mgcfd", MAX), _tree("mgcfd", ICX))
+        dd = d.as_dict()
+        assert dd["a"]["platform"] == "max9480"
+        assert dd["b"]["platform"] == "icx8360y"
+        assert dd["speedup_a_over_b"] == d.speedup
+        assert len(dd["contributors"]) == len(d.contributors)
+
+
+class TestProject:
+    def test_empty_knobs_project_baseline(self):
+        tree = _tree("miniweather", MAX)
+        p = project(tree, {})
+        assert p["projected_seconds"] == p["baseline_seconds"]
+        assert p["speedup"] == 1.0
+
+    def test_double_dram_speeds_up_bandwidth_bound_app(self):
+        tree = _tree("cloverleaf2d", MAX)
+        p = project(tree, {"dram_bw": 2.0})
+        assert 1.0 < p["speedup"] < 2.0
+        assert p["projected_seconds"] < p["baseline_seconds"]
+
+    def test_zero_mpi_wait_projection(self):
+        tree = _tree("cloverleaf2d", MAX)
+        p = project(tree, {"mpi_wait": float("inf")})
+        assert all(l.seconds == 0.0 for l in p["tree"].leaves()
+                   if l.kind == "mpi-wait")
+        assert p["speedup"] >= 1.0
