@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""Capture the golden-equivalence baseline for the IR refactor.
+
+Records, for every application and every app x platform pair, the
+externally observable numbers the kernel-IR consolidation must leave
+byte/float-identical:
+
+- ``AppSpec.fingerprint()`` per application (the application part of the
+  sweep store's content address);
+- best-run ``AppEstimate.total_time`` and every attribution-tree leaf
+  for all app x platform pairs;
+- the exported trace span taxonomy (category/name pairs) of a traced
+  model run per pair;
+- the execution-layer span taxonomy, per-kernel span attribute keys and
+  access-mode strings from a test-scale run of each application under
+  tracing;
+- the simulated clock accumulated by each application's test-scale run
+  under a timing model (the DSL -> LoopSpec -> roofline charge path);
+- per-rank virtual clocks of small distributed OPS and OP2 programs
+  (the communicator-clock charge path);
+- the metric family names emitted by a metrics-collected sweep plus a
+  distributed run.
+
+``python scripts/capture_goldens.py`` rewrites
+``baselines/golden_equivalence.json``; ``tests/ir/test_golden_equivalence.py``
+recomputes the same quantities and compares them for exact equality.
+Run it only to (re)record a deliberate behaviour change.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+BASELINE = ROOT / "baselines" / "golden_equivalence.json"
+
+
+def _span_taxonomy(tracer) -> list[list[str]]:
+    names = {(s.cat, s.name) for s in tracer.spans}
+    names |= {(e.cat, e.name) for e in tracer.events}
+    return [list(t) for t in sorted(names)]
+
+
+def app_goldens() -> dict:
+    """Fingerprint + exec-layer tracing + timed-clock goldens per app."""
+    from repro.apps import APP_ORDER, get_app
+    from repro.harness import app_spec
+    from repro.machine import XEON_MAX_9480, best_practice_config
+    from repro.obs import tracing
+    from repro.op2 import Op2Context
+    from repro.ops import OpsContext, TimingModel
+
+    out: dict[str, dict] = {}
+    platform = XEON_MAX_9480
+    timing = TimingModel(platform, best_practice_config(platform))
+    for name in APP_ORDER:
+        defn = get_app(name)
+        entry: dict = {"fingerprint": app_spec(name).fingerprint()}
+
+        with tracing() as tr:
+            ctx = defn.make_context()
+            defn.run(ctx, defn.test_domain, defn.test_iterations)
+        entry["exec_spans"] = _span_taxonomy(tr)
+        attrs: dict[str, list[str]] = {}
+        access: dict[str, list[str]] = {}
+        for s in tr.spans:
+            if s.cat != "kernel" or s.name in attrs:
+                continue
+            attrs[s.name] = sorted(s.attrs)
+            access[s.name] = list(s.attrs.get("access", ()))
+        entry["kernel_attr_keys"] = {k: attrs[k] for k in sorted(attrs)}
+        entry["kernel_access"] = {k: access[k] for k in sorted(access)}
+
+        tctx = (OpsContext(timing=timing) if defn.structured
+                else Op2Context(timing=timing))
+        defn.run(tctx, defn.test_domain, defn.test_iterations)
+        entry["timed_seconds"] = tctx.simulated_time
+        out[name] = entry
+    return out
+
+
+def estimate_goldens() -> dict:
+    """Best-run config/total/attribution leaves + trace taxonomy, all pairs."""
+    from repro.apps import APP_ORDER
+    from repro.harness import best_attribution, trace_application
+    from repro.machine import ALL_PLATFORMS
+    from repro.obs.attribution import leaf_index
+
+    out: dict[str, dict] = {}
+    for name in APP_ORDER:
+        out[name] = {}
+        for platform in ALL_PLATFORMS:
+            cfg, est, tree = best_attribution(name, platform)
+            _est, tracer = trace_application(name, platform)
+            out[name][platform.short_name] = {
+                "config": cfg.label(),
+                "total_time": est.total_time,
+                "leaves": {
+                    "/".join(key): node.seconds
+                    for key, node in sorted(leaf_index(tree).items())
+                },
+                "trace_spans": _span_taxonomy(tracer),
+            }
+    return out
+
+
+def distributed_goldens() -> dict:
+    """Per-rank virtual clocks of small timed distributed programs."""
+    import numpy as np
+
+    from repro.machine import XEON_MAX_9480, best_practice_config
+    from repro.op2 import Access as Op2Access
+    from repro.op2 import DistOp2Context, Global, arg, arg_direct, arg_global
+    from repro.ops import Access, OpsContext, S2D_00, TimingModel, arg_dat, star_stencil
+    from repro.simmpi import CartGrid, World
+
+    platform = XEON_MAX_9480
+    timing = TimingModel(platform, best_practice_config(platform))
+
+    def ops_program(comm):
+        ctx = OpsContext(comm=comm, grid=CartGrid((2, 2)), timing=timing)
+        grid = ctx.block("grid", (12, 12))
+        u = grid.dat("u", halo=1)
+        un = grid.dat("un", halo=1)
+        u.set_from_global(np.arange(144, dtype=float).reshape(12, 12))
+        s5 = star_stencil(2, 1)
+
+        def step(out, inp):
+            out[0, 0] = inp[0, 0] + 0.1 * (
+                inp[1, 0] + inp[-1, 0] + inp[0, 1] + inp[0, -1] - 4.0 * inp[0, 0]
+            )
+
+        for _ in range(3):
+            ctx.par_loop(step, "step", grid, grid.interior,
+                         arg_dat(un, S2D_00, Access.WRITE),
+                         arg_dat(u, s5, Access.READ), flops_per_point=7)
+            u, un = un, u
+        return comm.clock.now
+
+    def op2_program(comm):
+        ctx = DistOp2Context(comm, timing=timing)
+        idx = np.arange(24).reshape(4, 6)
+        conn = np.asarray(
+            list(zip(idx[:, :-1].ravel(), idx[:, 1:].ravel()))
+            + list(zip(idx[:-1, :].ravel(), idx[1:, :].ravel()))
+        )
+        cells = ctx.set("cells", 24)
+        edges = ctx.set("edges", len(conn))
+        e2c = ctx.map("e2c", edges, cells, conn)
+        q = ctx.dat(cells, 1, "q", data=np.sin(np.arange(24.0)))
+        res = ctx.dat(cells, 1, "res")
+        mass = Global(0.0, "mass")
+
+        def zero(r):
+            r[...] = 0.0
+
+        def flux(ql, qr, rl, rr):
+            f = 0.2 * (qr - ql)
+            rl[...] = f
+            rr[...] = -f
+
+        def update(qd, rd, m):
+            qd[...] = qd + rd
+            m[0] += float(np.sum(qd))
+
+        for _ in range(2):
+            ctx.par_loop(zero, "zero", cells, arg_direct(res, Op2Access.WRITE))
+            ctx.par_loop(flux, "flux", edges,
+                         arg(q, e2c, 0, Op2Access.READ),
+                         arg(q, e2c, 1, Op2Access.READ),
+                         arg(res, e2c, 0, Op2Access.INC),
+                         arg(res, e2c, 1, Op2Access.INC), flops_per_elem=3)
+            ctx.par_loop(update, "update", cells,
+                         arg_direct(q, Op2Access.RW),
+                         arg_direct(res, Op2Access.READ),
+                         arg_global(mass, Op2Access.INC), flops_per_elem=2)
+        return comm.clock.now
+
+    return {
+        "ops_rank_clocks": World(4).run(ops_program),
+        "op2_rank_clocks": World(3).run(op2_program),
+    }
+
+
+def metrics_goldens() -> dict:
+    """Metric family names from a collected sweep + a distributed run."""
+    from repro.engine import SweepEngine, build_plan
+    from repro.machine import XEON_MAX_9480
+    from repro.obs.metrics import collecting
+    from repro.simmpi import World
+
+    # A private cold engine: cache hits would skip the instrumented model
+    # code, making the captured family list depend on store warmth.
+    engine = SweepEngine(use_cache=False)
+    with collecting() as registry:
+        plan = build_plan(["miniweather", "mgcfd"], [XEON_MAX_9480])
+        engine.run_plan(plan)
+        World(2).run(lambda comm: comm.allreduce(float(comm.rank)))
+        names = registry.names()
+    return {"families": names}
+
+
+def collect_goldens() -> dict:
+    return {
+        "apps": app_goldens(),
+        "estimates": estimate_goldens(),
+        "distributed": distributed_goldens(),
+        "metrics": metrics_goldens(),
+    }
+
+
+def main() -> int:
+    goldens = collect_goldens()
+    BASELINE.parent.mkdir(parents=True, exist_ok=True)
+    BASELINE.write_text(json.dumps(goldens, indent=2, sort_keys=True) + "\n")
+    napps = len(goldens["apps"])
+    npairs = sum(len(v) for v in goldens["estimates"].values())
+    print(f"golden baseline: {napps} apps, {npairs} app x platform pairs "
+          f"-> {BASELINE.relative_to(ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

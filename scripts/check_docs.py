@@ -126,8 +126,12 @@ def commands_in(lang: str, lines: list[str]) -> list[str]:
 
 def cli_subcommands() -> list[str]:
     """Every ``python -m repro`` subcommand, parsed from the CLI source."""
-    src = (ROOT / "src" / "repro" / "__main__.py").read_text()
-    return re.findall(r'sub\.add_parser\(\s*"(\w+)"', src)
+    src = (ROOT / "src" / "repro" / "cli" / "__init__.py").read_text()
+    verbs = re.findall(r'sub\.add_parser\(\s*"(\w+)"', src)
+    if not verbs:
+        raise SystemExit("check_docs: found no subcommands in repro/cli — "
+                         "did the argparse tree move?")
+    return verbs
 
 
 def check_cli_coverage(files: list[Path]) -> list[str]:

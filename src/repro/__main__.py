@@ -1,623 +1,17 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line entry point: ``python -m repro <command>``.
 
-Commands
---------
-``list``
-    Show the applications and platforms.
-``run APP [--platform P] [--config auto|best] [--compare]``
-    Model one application (best configuration by default).
-``trace APP [--platform P] [-o trace.json] [--iterations N] [--csv]``
-    Trace one modeled run and export a Chrome trace-event JSON
-    (``chrome://tracing`` / Perfetto) plus the per-kernel breakdown.
-``figures [figN ...] [--jobs N] [--no-cache]``
-    Regenerate the paper's figures (all by default) through the sweep
-    engine.
-``sweep [APP ...] [--platform P[,P...]|all] [--jobs N] [--no-cache]``
-    Evaluate full configuration sweeps through the engine and print the
-    per-configuration table plus cache/executor metrics.
-``validate APP``
-    Execute the application's numerics at test scale and print its
-    invariant diagnostics.
-``metrics [APP ...] [--platform P] [--format prometheus|json] [-o FILE]``
-    Run configuration sweeps with the metrics registry installed and
-    export every counter/gauge/histogram (Prometheus text or JSON).
-``fidelity [figN ...] [-o scorecard.md] [--json]``
-    Score the model against every published reference value per figure
-    (signed relative error, rank agreement, pass/fail verdicts).
-``drift --check|--update``
-    Compare the fidelity scorecard against ``baselines/fidelity.json``
-    (``--check``, exits 1 on regression) or re-record it (``--update``).
-``explain APP [--platform P] [--vs Q] [--what-if KNOB=FACTOR ...] [--json]``
-    Decompose an application's best-run estimate into its additive
-    attribution tree; with ``--vs`` diff two platforms and rank the
-    contributors to the delta; ``--what-if`` projects perturbed limbs
-    (e.g. ``dram_bw=2.0``, ``mpi_wait=inf``).
-``report [-o report.html] [--format html|md]``
-    Write the complete reproduction report — figures, fidelity
-    scorecard, per-app timelines, attribution and diffs — as one
-    self-contained HTML file (or the classic markdown).
-
-Application names may be abbreviated to any unambiguous prefix
-(``mgcfd``, ``volna``); an ambiguous prefix like ``cloverleaf`` resolves
-to the first match in the canonical order with a note on stderr.
-Platform names accept any prefix or substring (``8360y`` →
-``icx8360y``) under the same rules.  Unknown application or platform
-names exit with status 2 and a message listing the valid choices.
+The implementation lives in :mod:`repro.cli` (one module per verb
+group); this module remains the executable entry and the import site of
+the ``repro`` console script.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
 
-from .apps import APP_ORDER, get_app
-from .engine import build_plan, configure_engine, default_engine
-from .harness import all_figures, best_run, run_application
-from .harness import figures as figmod
-from .machine import (
-    A100_40GB,
-    ALL_PLATFORMS,
-    Compiler,
-    Parallelization,
-    RunConfig,
-    get_platform,
-    structured_config_sweep,
-    unstructured_config_sweep,
-)
+from .cli import main
 
-
-def _resolve_app(name: str) -> str | None:
-    """Canonical application name for ``name`` (exact or prefix match);
-    None — with a stderr message listing the choices — when unknown."""
-    if name in APP_ORDER:
-        return name
-    matches = [a for a in APP_ORDER if a.startswith(name)]
-    if not matches:
-        print(f"unknown application {name!r} "
-              f"(choose from: {', '.join(APP_ORDER)})", file=sys.stderr)
-        return None
-    if len(matches) > 1:
-        print(f"note: {name!r} is ambiguous ({', '.join(matches)}); "
-              f"using {matches[0]!r}", file=sys.stderr)
-    return matches[0]
-
-
-def _get_platform(short_name: str):
-    """Platform spec for ``short_name`` (exact, prefix, or substring
-    match — ``8360y`` resolves to ``icx8360y``); None — with a stderr
-    message listing the choices — when unknown."""
-    names = [p.short_name for p in ALL_PLATFORMS]
-    try:
-        return get_platform(short_name)
-    except KeyError:
-        pass
-    matches = [n for n in names if n.startswith(short_name)]
-    if not matches:
-        matches = [n for n in names if short_name in n]
-    if not matches:
-        print(f"unknown platform {short_name!r} "
-              f"(choose from: {', '.join(names)})", file=sys.stderr)
-        return None
-    if len(matches) > 1:
-        print(f"note: {short_name!r} is ambiguous ({', '.join(matches)}); "
-              f"using {matches[0]!r}", file=sys.stderr)
-    return get_platform(matches[0])
-
-
-def cmd_list(_args) -> int:
-    print("applications:")
-    for name in APP_ORDER:
-        d = get_app(name)
-        print(f"  {name:14s} {d.description}")
-    print("\nplatforms:")
-    for p in ALL_PLATFORMS:
-        print(f"  {p.short_name:10s} {p.name} — "
-              f"{p.total_cores} cores, {p.stream_bandwidth / 1e9:.0f} GB/s STREAM")
-    from .obs.fidelity import FIGURE_ORDER
-
-    print("\nfigures (accepted by figures/fidelity/drift):")
-    for fig in FIGURE_ORDER:
-        doc = (getattr(figmod, fig).__doc__ or "").strip().splitlines()[0]
-        print(f"  {fig:10s} {doc}")
-    return 0
-
-
-def _sweep(defn, platform):
-    if platform.kind.value == "gpu":
-        return [RunConfig(Compiler.NVCC, Parallelization.CUDA)]
-    return (structured_config_sweep(platform) if defn.structured
-            else unstructured_config_sweep(platform))
-
-
-def cmd_run(args) -> int:
-    name = _resolve_app(args.app)
-    if name is None:
-        return 2
-    defn = get_app(name)
-    if args.compare:
-        platforms = list(ALL_PLATFORMS)
-    else:
-        platform = _get_platform(args.platform)
-        if platform is None:
-            return 2
-        platforms = [platform]
-    print(f"{defn.name}: {defn.description}")
-    print(f"paper scale: {defn.paper_domain} x {defn.paper_iterations} iterations\n")
-    for platform in platforms:
-        cfg, est = best_run(name, platform, _sweep(defn, platform))
-        print(f"{platform.short_name:10s} {est.total_time:9.3f} s  "
-              f"effBW {est.effective_bandwidth / 1e9:6.0f} GB/s  "
-              f"MPI {est.mpi_fraction * 100:4.1f}%  [{cfg.label()}]")
-    return 0
-
-
-def cmd_trace(args) -> int:
-    name = _resolve_app(args.app)
-    if name is None:
-        return 2
-    platform = _get_platform(args.platform)
-    if platform is None:
-        return 2
-    from .harness import render_breakdown, trace_application
-    from .obs import breakdown_csv, check_nesting, summary_dict, write_chrome_trace
-
-    est, tracer = trace_application(name, platform, iterations=args.iterations)
-    check_nesting(tracer)
-    path = write_chrome_trace(tracer, args.output)
-    if args.csv:
-        print(breakdown_csv(est), end="")
-    else:
-        print(render_breakdown(summary_dict(est)))
-    print(f"trace: {len(tracer.spans)} spans, {len(tracer.events)} events "
-          f"-> {path} (load in chrome://tracing or https://ui.perfetto.dev)",
-          file=sys.stderr)
-    return 0
-
-
-def _configure_engine(args):
-    """Apply --jobs/--no-cache to the process-default engine."""
-    kwargs = {}
-    if getattr(args, "jobs", None) is not None:
-        kwargs["workers"] = args.jobs
-    if getattr(args, "no_cache", False):
-        kwargs["use_cache"] = False
-    if kwargs:
-        return configure_engine(**kwargs)
-    return default_engine()
-
-
-def cmd_figures(args) -> int:
-    _configure_engine(args)
-    wanted = args.figures or [f"fig{i}" for i in range(1, 10)]
-    for name in wanted:
-        fn = getattr(figmod, name, None)
-        if fn is None:
-            print(f"unknown figure {name!r} (fig1..fig9)", file=sys.stderr)
-            return 2
-        print(fn().render())
-        print()
-    return 0
-
-
-def cmd_sweep(args) -> int:
-    engine = _configure_engine(args)
-    apps = []
-    for a in args.apps or APP_ORDER:
-        resolved = _resolve_app(a)
-        if resolved is None:
-            return 2
-        apps.append(resolved)
-    if args.platform == "all":
-        platforms = list(ALL_PLATFORMS)
-    else:
-        platforms = []
-        for p in args.platform.split(","):
-            platform = _get_platform(p)
-            if platform is None:
-                return 2
-            platforms.append(platform)
-    plan = build_plan(apps, platforms)
-    print(f"sweep: {len(apps)} apps x {len(platforms)} platforms -> "
-          f"{len(plan)} jobs ({len(plan.skipped)} planned-infeasible)")
-    results = engine.run_plan(plan)
-    rows = [r for r in results if r.status != "skipped"]
-    rows.sort(key=lambda r: (r.job.app, r.job.platform.short_name,
-                             r.estimate.total_time if r.estimate else float("inf")))
-    print(f"{'app':14s} {'platform':10s} {'time s':>9s} {'effBW GB/s':>10s} "
-          f"{'source':>6s}  configuration")
-    for r in rows:
-        if r.estimate is None:
-            print(f"{r.job.app:14s} {r.job.platform.short_name:10s} "
-                  f"{'-':>9s} {'-':>10s} {r.status:>6s}  "
-                  f"{r.job.config.label()}  ({r.reason})")
-            continue
-        print(f"{r.job.app:14s} {r.job.platform.short_name:10s} "
-              f"{r.estimate.total_time:9.3f} "
-              f"{r.estimate.effective_bandwidth / 1e9:10.0f} "
-              f"{r.status:>6s}  {r.job.config.label()}")
-    print()
-    print(engine.metrics.summary())
-    if engine.store.persistent:
-        print(f"store: {len(engine.store)} results at {engine.store.path}")
-    return 0
-
-
-def cmd_metrics(args) -> int:
-    from .obs.metrics import collecting, prometheus_text, snapshot
-
-    engine = _configure_engine(args)
-    apps = []
-    for a in args.apps or APP_ORDER:
-        resolved = _resolve_app(a)
-        if resolved is None:
-            return 2
-        apps.append(resolved)
-    platform = _get_platform(args.platform)
-    if platform is None:
-        return 2
-    with collecting() as registry:
-        plan = build_plan(apps, [platform])
-        engine.run_plan(plan)
-        if args.format == "prometheus":
-            text = prometheus_text(registry)
-        else:
-            import json as _json
-
-            text = _json.dumps(snapshot(registry), indent=2, sort_keys=True) + "\n"
-    if args.output:
-        from pathlib import Path
-
-        Path(args.output).write_text(text)
-        print(f"metrics: {len(registry)} samples across "
-              f"{len(registry.names())} families -> {args.output}",
-              file=sys.stderr)
-    else:
-        print(text, end="")
-    return 0
-
-
-def _resolve_figures(names: list[str]) -> list[str] | None:
-    """Validate figure names; None — with a stderr message listing the
-    choices — when any is unknown (same contract as ``_resolve_app``)."""
-    from .obs.fidelity import FIGURE_ORDER
-
-    out = []
-    for name in names:
-        if name not in FIGURE_ORDER:
-            print(f"unknown figure {name!r} "
-                  f"(choose from: {', '.join(FIGURE_ORDER)})", file=sys.stderr)
-            return None
-        out.append(name)
-    return out
-
-
-def cmd_fidelity(args) -> int:
-    from .obs.fidelity import scorecard
-
-    _configure_engine(args)
-    figures = _resolve_figures(args.figures)
-    if figures is None:
-        return 2
-    card = scorecard(figures or None)
-    if args.json:
-        import json as _json
-
-        text = _json.dumps(card.as_dict(), indent=2, sort_keys=True) + "\n"
-    else:
-        text = card.to_markdown()
-    if args.output:
-        from pathlib import Path
-
-        Path(args.output).write_text(text)
-        n = sum(len(s.entries) for s in card.scores)
-        print(f"fidelity: {len(card.scores)} figures, {n} reference values "
-              f"-> {args.output}", file=sys.stderr)
-    else:
-        print(text, end="")
-    return 0 if card.passed else 1
-
-
-def cmd_drift(args) -> int:
-    from pathlib import Path
-
-    from .obs.fidelity import (
-        baseline_path, check_drift, load_baseline, save_baseline, scorecard,
-    )
-
-    _configure_engine(args)
-    path = Path(args.baseline) if args.baseline else baseline_path()
-    card = scorecard()
-    if args.update:
-        out = save_baseline(card, path)
-        print(f"drift baseline recorded for {len(card.scores)} figures -> {out}")
-        return 0
-    baseline = load_baseline(path)
-    if baseline is None:
-        print(f"no drift baseline at {path}; run "
-              "'python -m repro drift --update' first", file=sys.stderr)
-        return 2
-    problems = check_drift(card, baseline)
-    if problems:
-        print(f"drift check FAILED ({len(problems)} regressions):")
-        for p in problems:
-            print(f"  - {p}")
-        return 1
-    worst = max(s.max_abs_rel_err for s in card.scores)
-    print(f"drift check passed: {len(card.scores)} figures within baseline "
-          f"(worst |rel err| {worst:.3f})")
-    return 0
-
-
-def _parse_what_if(specs: list[str]) -> dict[str, float] | None:
-    """``KNOB=FACTOR`` pairs → dict; None — with a stderr message
-    listing knobs — on an unknown knob or malformed factor."""
-    from .obs.attribution import WHAT_IF_KNOBS
-
-    knobs: dict[str, float] = {}
-    for spec in specs:
-        key, sep, val = spec.partition("=")
-        if not sep:
-            print(f"bad --what-if {spec!r} (expected KNOB=FACTOR)",
-                  file=sys.stderr)
-            return None
-        if key not in WHAT_IF_KNOBS:
-            print(f"unknown what-if knob {key!r} "
-                  f"(choose from: {', '.join(WHAT_IF_KNOBS)})", file=sys.stderr)
-            return None
-        try:
-            factor = float(val)
-        except ValueError:
-            print(f"bad --what-if factor {val!r} for {key!r} "
-                  f"(a float, or 'inf' to zero the leaves)", file=sys.stderr)
-            return None
-        if not factor > 0:
-            print(f"--what-if factor for {key!r} must be > 0 (got {val})",
-                  file=sys.stderr)
-            return None
-        knobs[key] = factor
-    return knobs
-
-
-def _print_tree(tree) -> None:
-    root = tree.seconds or 1.0
-    for depth, node in tree.walk():
-        pct = node.seconds / root * 100
-        extra = ""
-        if node.kind == "loop":
-            extra = f"  [{node.meta.get('bottleneck')}-bound]"
-        print(f"  {'  ' * depth}{node.name:<{max(28 - 2 * depth, 8)}} "
-              f"{node.seconds:12.4g} s  {pct:5.1f}%{extra}")
-
-
-def cmd_explain(args) -> int:
-    _configure_engine(args)
-    name = _resolve_app(args.app)
-    if name is None:
-        return 2
-    platform = _get_platform(args.platform)
-    if platform is None:
-        return 2
-    knobs = _parse_what_if(args.what_if or [])
-    if knobs is None:
-        return 2
-    other = None
-    if args.vs:
-        other = _get_platform(args.vs)
-        if other is None:
-            return 2
-
-    from .harness import best_attribution
-    from .obs.diff import diff_trees, project
-
-    cfg, est, tree = best_attribution(name, platform)
-    diff = None
-    if other is not None:
-        _cfg_b, _est_b, tree_b = best_attribution(name, other)
-        diff = diff_trees(tree, tree_b)
-    projection = project(tree, knobs) if knobs else None
-
-    if args.json:
-        import json as _json
-
-        payload = {"tree": tree.as_dict()}
-        if diff is not None:
-            payload["diff"] = diff.as_dict()
-        if projection is not None:
-            payload["what_if"] = {
-                k: v for k, v in projection.items() if k != "tree"
-            }
-            payload["what_if"]["tree"] = projection["tree"].as_dict()
-        print(_json.dumps(payload, indent=2, sort_keys=True))
-        return 0
-
-    print(f"{name} on {platform.short_name} [{cfg.label()}] — "
-          f"{tree.seconds:.4g} s attributed:")
-    _print_tree(tree)
-    if diff is not None:
-        print(f"\nvs {other.short_name}: {diff.total_a:.4g} s vs "
-              f"{diff.total_b:.4g} s — {platform.short_name} is "
-              f"{diff.speedup:.2f}x faster (delta {diff.delta:+.4g} s)")
-        print("by kind:")
-        for kind, delta in diff.by_kind():
-            print(f"  {kind:16s} {delta:+12.4g} s")
-        print("top contributors:")
-        for c in diff.contributors[:8]:
-            print(f"  {c.delta:+12.4g} s  {'/'.join(c.key):32s} {c.label}")
-    if projection is not None:
-        pretty = ", ".join(f"{k}={v:g}" for k, v in knobs.items())
-        print(f"\nwhat-if [{pretty}]: {projection['baseline_seconds']:.4g} s "
-              f"-> {projection['projected_seconds']:.4g} s "
-              f"({projection['speedup']:.2f}x)")
-    return 0
-
-
-def cmd_report(args) -> int:
-    _configure_engine(args)
-    from .obs.htmlreport import write_report
-
-    path = write_report(args.output, fmt=args.format)
-    print(f"report: wrote {path} ({path.stat().st_size:,} bytes, "
-          f"self-contained)", file=sys.stderr)
-    return 0
-
-
-def cmd_validate(args) -> int:
-    name = _resolve_app(args.app)
-    if name is None:
-        return 2
-    defn = get_app(name)
-    ctx = defn.make_context()
-    diag = defn.run(ctx, defn.test_domain, defn.test_iterations)
-    print(f"{defn.name} at {defn.test_domain} x {defn.test_iterations}:")
-    for key, val in diag.items():
-        if hasattr(val, "shape"):
-            print(f"  {key}: array{tuple(val.shape)}")
-        elif isinstance(val, list) and len(val) > 6:
-            print(f"  {key}: [{val[0]:.4g} ... {val[-1]:.4g}] ({len(val)} entries)")
-        elif isinstance(val, dict):
-            print(f"  {key}: {{{', '.join(val)}}}")
-        else:
-            print(f"  {key}: {val}")
-    recs = getattr(ctx, "records", {})
-    print(f"  loops: {len(recs)} distinct, "
-          f"{sum(r.calls for r in recs.values())} launches")
-    return 0
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Xeon CPU MAX bandwidth-bound application study, reproduced",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    sub.add_parser("list", help="list applications and platforms")
-
-    p_run = sub.add_parser("run", help="model one application")
-    p_run.add_argument("app", help="application name (any unambiguous prefix)")
-    p_run.add_argument("--platform", default="max9480",
-                       help="platform short name (default max9480)")
-    p_run.add_argument("--compare", action="store_true",
-                       help="run on every platform")
-
-    p_trace = sub.add_parser(
-        "trace", help="trace one modeled run and export a Chrome trace")
-    p_trace.add_argument("app", help="application name (any unambiguous prefix)")
-    p_trace.add_argument("--platform", default="max9480",
-                         help="platform short name (default max9480)")
-    p_trace.add_argument("-o", "--output", default="trace.json",
-                         help="Chrome trace-event JSON path (default trace.json)")
-    p_trace.add_argument("--iterations", type=int, default=1,
-                         help="timeline iterations to lay out (default 1)")
-    p_trace.add_argument("--csv", action="store_true",
-                         help="print the per-kernel breakdown as CSV "
-                              "instead of a table")
-
-    p_fig = sub.add_parser("figures", help="regenerate paper figures")
-    p_fig.add_argument("figures", nargs="*", help="fig1 .. fig9 (default: all)")
-    p_fig.add_argument("--jobs", type=int, default=None,
-                       help="parallel sweep workers (default serial)")
-    p_fig.add_argument("--no-cache", action="store_true",
-                       help="bypass the persistent result store")
-
-    p_sweep = sub.add_parser(
-        "sweep", help="evaluate configuration sweeps through the engine")
-    # No argparse `choices` here: with nargs="*" Python <3.12 validates
-    # the empty default against them and rejects it; cmd_sweep validates.
-    p_sweep.add_argument("apps", nargs="*", metavar="APP",
-                         help=f"applications (default: all of {', '.join(APP_ORDER)})")
-    p_sweep.add_argument("--platform", default="max9480",
-                         help="comma-separated platform short names, or 'all'")
-    p_sweep.add_argument("--jobs", type=int, default=None,
-                         help="parallel sweep workers (default serial)")
-    p_sweep.add_argument("--no-cache", action="store_true",
-                         help="bypass the persistent result store")
-
-    p_val = sub.add_parser("validate", help="run an app's numerics at test scale")
-    p_val.add_argument("app", help="application name (any unambiguous prefix)")
-
-    p_met = sub.add_parser(
-        "metrics", help="run sweeps with the metrics registry and export it")
-    p_met.add_argument("apps", nargs="*", metavar="APP",
-                       help=f"applications (default: all of {', '.join(APP_ORDER)})")
-    p_met.add_argument("--platform", default="max9480",
-                       help="platform short name (default max9480)")
-    p_met.add_argument("--format", choices=("prometheus", "json"),
-                       default="prometheus",
-                       help="export format (default prometheus text)")
-    p_met.add_argument("-o", "--output", default=None,
-                       help="write the export to a file instead of stdout")
-    p_met.add_argument("--jobs", type=int, default=None,
-                       help="parallel sweep workers (default serial)")
-    p_met.add_argument("--no-cache", action="store_true",
-                       help="bypass the persistent result store")
-
-    p_fid = sub.add_parser(
-        "fidelity", help="score the model against the paper's values")
-    p_fid.add_argument("figures", nargs="*", metavar="FIG",
-                       help="fig1 .. fig9 (default: all)")
-    p_fid.add_argument("-o", "--output", default=None,
-                       help="write the scorecard to a file instead of stdout")
-    p_fid.add_argument("--json", action="store_true",
-                       help="emit JSON instead of markdown")
-    p_fid.add_argument("--jobs", type=int, default=None,
-                       help="parallel sweep workers (default serial)")
-    p_fid.add_argument("--no-cache", action="store_true",
-                       help="bypass the persistent result store")
-
-    p_exp = sub.add_parser(
-        "explain", help="attribute an estimate's seconds and diff platforms")
-    p_exp.add_argument("app", help="application name (any unambiguous prefix)")
-    p_exp.add_argument("--platform", default="max9480",
-                       help="platform short name, prefix or substring "
-                            "(default max9480)")
-    p_exp.add_argument("--vs", default=None, metavar="PLATFORM",
-                       help="second platform to diff against "
-                            "(ranked contributors to the delta)")
-    p_exp.add_argument("--what-if", action="append", default=None,
-                       metavar="KNOB=FACTOR",
-                       help="project a perturbed limb, e.g. dram_bw=2.0 or "
-                            "mpi_wait=inf (repeatable)")
-    p_exp.add_argument("--json", action="store_true",
-                       help="emit the tree/diff/projection as JSON")
-    p_exp.add_argument("--jobs", type=int, default=None,
-                       help="parallel sweep workers (default serial)")
-    p_exp.add_argument("--no-cache", action="store_true",
-                       help="bypass the persistent result store")
-
-    p_rep = sub.add_parser(
-        "report", help="write the self-contained HTML (or markdown) report")
-    p_rep.add_argument("-o", "--output", default="report.html",
-                       help="output path (default report.html; a .md suffix "
-                            "selects markdown)")
-    p_rep.add_argument("--format", choices=("html", "md"), default=None,
-                       help="force the format (default: from the suffix)")
-    p_rep.add_argument("--jobs", type=int, default=None,
-                       help="parallel sweep workers (default serial)")
-    p_rep.add_argument("--no-cache", action="store_true",
-                       help="bypass the persistent result store")
-
-    p_drift = sub.add_parser(
-        "drift", help="gate the fidelity scorecard against its baseline")
-    mode = p_drift.add_mutually_exclusive_group(required=True)
-    mode.add_argument("--check", action="store_true",
-                      help="fail (exit 1) if any figure drifted past baseline")
-    mode.add_argument("--update", action="store_true",
-                      help="re-record baselines/fidelity.json from this run")
-    p_drift.add_argument("--baseline", default=None,
-                         help="baseline JSON path (default baselines/fidelity.json)")
-    p_drift.add_argument("--jobs", type=int, default=None,
-                         help="parallel sweep workers (default serial)")
-    p_drift.add_argument("--no-cache", action="store_true",
-                         help="bypass the persistent result store")
-
-    args = parser.parse_args(argv)
-    return {"list": cmd_list, "run": cmd_run, "trace": cmd_trace,
-            "figures": cmd_figures, "sweep": cmd_sweep,
-            "validate": cmd_validate, "metrics": cmd_metrics,
-            "fidelity": cmd_fidelity, "drift": cmd_drift,
-            "explain": cmd_explain, "report": cmd_report}[args.command](args)
-
+__all__ = ["main"]
 
 if __name__ == "__main__":
     sys.exit(main())

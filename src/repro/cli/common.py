@@ -1,0 +1,103 @@
+"""Shared CLI plumbing: name resolution and engine configuration.
+
+Every verb module resolves user-typed application/platform/figure names
+through these helpers so the whole CLI has one matching contract:
+exact names win, unambiguous prefixes (and, for platforms, substrings)
+resolve with no fuss, ambiguous ones resolve to the first match with a
+note on stderr, and unknown names return ``None`` after printing the
+valid choices — the caller then exits with status 2.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..apps import APP_ORDER
+from ..engine import configure_engine, default_engine
+from ..machine import (
+    ALL_PLATFORMS,
+    Compiler,
+    Parallelization,
+    RunConfig,
+    get_platform,
+    structured_config_sweep,
+    unstructured_config_sweep,
+)
+
+__all__ = [
+    "resolve_app", "resolve_platform", "resolve_figures",
+    "config_sweep", "configure_engine_from_args",
+]
+
+
+def resolve_app(name: str) -> str | None:
+    """Canonical application name for ``name`` (exact or prefix match);
+    None — with a stderr message listing the choices — when unknown."""
+    if name in APP_ORDER:
+        return name
+    matches = [a for a in APP_ORDER if a.startswith(name)]
+    if not matches:
+        print(f"unknown application {name!r} "
+              f"(choose from: {', '.join(APP_ORDER)})", file=sys.stderr)
+        return None
+    if len(matches) > 1:
+        print(f"note: {name!r} is ambiguous ({', '.join(matches)}); "
+              f"using {matches[0]!r}", file=sys.stderr)
+    return matches[0]
+
+
+def resolve_platform(short_name: str):
+    """Platform spec for ``short_name`` (exact, prefix, or substring
+    match — ``8360y`` resolves to ``icx8360y``); None — with a stderr
+    message listing the choices — when unknown."""
+    names = [p.short_name for p in ALL_PLATFORMS]
+    try:
+        return get_platform(short_name)
+    except KeyError:
+        pass
+    matches = [n for n in names if n.startswith(short_name)]
+    if not matches:
+        matches = [n for n in names if short_name in n]
+    if not matches:
+        print(f"unknown platform {short_name!r} "
+              f"(choose from: {', '.join(names)})", file=sys.stderr)
+        return None
+    if len(matches) > 1:
+        print(f"note: {short_name!r} is ambiguous ({', '.join(matches)}); "
+              f"using {matches[0]!r}", file=sys.stderr)
+    return get_platform(matches[0])
+
+
+def resolve_figures(names: list[str]) -> list[str] | None:
+    """Validate figure names; None — with a stderr message listing the
+    choices — when any is unknown (same contract as ``resolve_app``)."""
+    from ..obs.fidelity import FIGURE_ORDER
+
+    out = []
+    for name in names:
+        if name not in FIGURE_ORDER:
+            print(f"unknown figure {name!r} "
+                  f"(choose from: {', '.join(FIGURE_ORDER)})", file=sys.stderr)
+            return None
+        out.append(name)
+    return out
+
+
+def config_sweep(defn, platform):
+    """The configuration sweep modeled for one app on one platform."""
+    if platform.kind.value == "gpu":
+        return [RunConfig(Compiler.NVCC, Parallelization.CUDA)]
+    return (structured_config_sweep(platform) if defn.structured
+            else unstructured_config_sweep(platform))
+
+
+def configure_engine_from_args(args):
+    """Apply --jobs/--no-cache to the process-default engine."""
+    kwargs = {}
+    if getattr(args, "jobs", None) is not None:
+        kwargs["workers"] = args.jobs
+    if getattr(args, "no_cache", False):
+        kwargs["use_cache"] = False
+    if kwargs:
+        return configure_engine(**kwargs)
+    return default_engine()

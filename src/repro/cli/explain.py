@@ -1,0 +1,123 @@
+"""The explain/report verb group: attribution trees, platform diffs,
+what-if projections, and the self-contained reproduction report."""
+
+from __future__ import annotations
+
+import sys
+
+from .common import configure_engine_from_args, resolve_app, resolve_platform
+
+__all__ = ["cmd_explain", "cmd_report"]
+
+
+def _parse_what_if(specs: list[str]) -> dict[str, float] | None:
+    """``KNOB=FACTOR`` pairs → dict; None — with a stderr message
+    listing knobs — on an unknown knob or malformed factor."""
+    from ..obs.attribution import WHAT_IF_KNOBS
+
+    knobs: dict[str, float] = {}
+    for spec in specs:
+        key, sep, val = spec.partition("=")
+        if not sep:
+            print(f"bad --what-if {spec!r} (expected KNOB=FACTOR)",
+                  file=sys.stderr)
+            return None
+        if key not in WHAT_IF_KNOBS:
+            print(f"unknown what-if knob {key!r} "
+                  f"(choose from: {', '.join(WHAT_IF_KNOBS)})", file=sys.stderr)
+            return None
+        try:
+            factor = float(val)
+        except ValueError:
+            print(f"bad --what-if factor {val!r} for {key!r} "
+                  f"(a float, or 'inf' to zero the leaves)", file=sys.stderr)
+            return None
+        if not factor > 0:
+            print(f"--what-if factor for {key!r} must be > 0 (got {val})",
+                  file=sys.stderr)
+            return None
+        knobs[key] = factor
+    return knobs
+
+
+def _print_tree(tree) -> None:
+    root = tree.seconds or 1.0
+    for depth, node in tree.walk():
+        pct = node.seconds / root * 100
+        extra = ""
+        if node.kind == "loop":
+            extra = f"  [{node.meta.get('bottleneck')}-bound]"
+        print(f"  {'  ' * depth}{node.name:<{max(28 - 2 * depth, 8)}} "
+              f"{node.seconds:12.4g} s  {pct:5.1f}%{extra}")
+
+
+def cmd_explain(args) -> int:
+    configure_engine_from_args(args)
+    name = resolve_app(args.app)
+    if name is None:
+        return 2
+    platform = resolve_platform(args.platform)
+    if platform is None:
+        return 2
+    knobs = _parse_what_if(args.what_if or [])
+    if knobs is None:
+        return 2
+    other = None
+    if args.vs:
+        other = resolve_platform(args.vs)
+        if other is None:
+            return 2
+
+    from ..harness import best_attribution
+    from ..obs.diff import diff_trees, project
+
+    cfg, est, tree = best_attribution(name, platform)
+    diff = None
+    if other is not None:
+        _cfg_b, _est_b, tree_b = best_attribution(name, other)
+        diff = diff_trees(tree, tree_b)
+    projection = project(tree, knobs) if knobs else None
+
+    if args.json:
+        import json as _json
+
+        payload = {"tree": tree.as_dict()}
+        if diff is not None:
+            payload["diff"] = diff.as_dict()
+        if projection is not None:
+            payload["what_if"] = {
+                k: v for k, v in projection.items() if k != "tree"
+            }
+            payload["what_if"]["tree"] = projection["tree"].as_dict()
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    print(f"{name} on {platform.short_name} [{cfg.label()}] — "
+          f"{tree.seconds:.4g} s attributed:")
+    _print_tree(tree)
+    if diff is not None:
+        print(f"\nvs {other.short_name}: {diff.total_a:.4g} s vs "
+              f"{diff.total_b:.4g} s — {platform.short_name} is "
+              f"{diff.speedup:.2f}x faster (delta {diff.delta:+.4g} s)")
+        print("by kind:")
+        for kind, delta in diff.by_kind():
+            print(f"  {kind:16s} {delta:+12.4g} s")
+        print("top contributors:")
+        for c in diff.contributors[:8]:
+            print(f"  {c.delta:+12.4g} s  {'/'.join(c.key):32s} {c.label}")
+    if projection is not None:
+        pretty = ", ".join(f"{k}={v:g}" for k, v in knobs.items())
+        print(f"\nwhat-if [{pretty}]: {projection['baseline_seconds']:.4g} s "
+              f"-> {projection['projected_seconds']:.4g} s "
+              f"({projection['speedup']:.2f}x)")
+    return 0
+
+
+def cmd_report(args) -> int:
+    configure_engine_from_args(args)
+    from ..obs.htmlreport import write_report
+
+    path = write_report(args.output, fmt=args.format)
+    print(f"report: wrote {path} ({path.stat().st_size:,} bytes, "
+          f"self-contained)", file=sys.stderr)
+    return 0

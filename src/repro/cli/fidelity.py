@@ -1,0 +1,67 @@
+"""The fidelity/drift verb group: scoring the model against the paper's
+published values and gating the scorecard against its recorded baseline."""
+
+from __future__ import annotations
+
+import sys
+
+from .common import configure_engine_from_args, resolve_figures
+
+__all__ = ["cmd_fidelity", "cmd_drift"]
+
+
+def cmd_fidelity(args) -> int:
+    from ..obs.fidelity import scorecard
+
+    configure_engine_from_args(args)
+    figures = resolve_figures(args.figures)
+    if figures is None:
+        return 2
+    card = scorecard(figures or None)
+    if args.json:
+        import json as _json
+
+        text = _json.dumps(card.as_dict(), indent=2, sort_keys=True) + "\n"
+    else:
+        text = card.to_markdown()
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        n = sum(len(s.entries) for s in card.scores)
+        print(f"fidelity: {len(card.scores)} figures, {n} reference values "
+              f"-> {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0 if card.passed else 1
+
+
+def cmd_drift(args) -> int:
+    from pathlib import Path
+
+    from ..obs.fidelity import (
+        baseline_path, check_drift, load_baseline, save_baseline, scorecard,
+    )
+
+    configure_engine_from_args(args)
+    path = Path(args.baseline) if args.baseline else baseline_path()
+    card = scorecard()
+    if args.update:
+        out = save_baseline(card, path)
+        print(f"drift baseline recorded for {len(card.scores)} figures -> {out}")
+        return 0
+    baseline = load_baseline(path)
+    if baseline is None:
+        print(f"no drift baseline at {path}; run "
+              "'python -m repro drift --update' first", file=sys.stderr)
+        return 2
+    problems = check_drift(card, baseline)
+    if problems:
+        print(f"drift check FAILED ({len(problems)} regressions):")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    worst = max(s.max_abs_rel_err for s in card.scores)
+    print(f"drift check passed: {len(card.scores)} figures within baseline "
+          f"(worst |rel err| {worst:.3f})")
+    return 0

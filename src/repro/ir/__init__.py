@@ -1,0 +1,41 @@
+"""Kernel IR: the DSL-neutral loop-description and execution-plan layer.
+
+The paper's central method is one accounting scheme — per-loop bytes and
+flops measured from DSL access descriptors — applied uniformly across
+structured (OPS) and unstructured (OP2) applications.  This package is
+that scheme, stated once:
+
+- :class:`~repro.ir.access.AccessDescriptor` — one kernel argument's
+  access profile (mode, width, stencil radius, gather map), with the
+  canonical :class:`~repro.ir.access.Access` enum both DSLs re-export;
+- :class:`~repro.ir.plan.KernelPlan` — one lowered par_loop invocation
+  and all of its derived traffic arithmetic;
+- :class:`~repro.ir.ledger.TrafficLedger` /
+  :class:`~repro.ir.ledger.LoopTraffic` — the accumulated per-loop
+  profile and its conversion to perfmodel ``LoopSpec`` inputs;
+- :class:`~repro.ir.executor.InstrumentedExecutor` /
+  :class:`~repro.ir.executor.ExecutionRecord` — the single instrumented
+  execution path (traffic accounting, timing-model charge, tracer span
+  emission) both parloop engines delegate to.
+
+Layer role (docs/ARCHITECTURE.md): sits between the DSL execution
+layers and the performance model/observability — the DSLs lower into
+it, the perfmodel and tracer consume from it.  See docs/IR.md for the
+lowering rules of each dialect.
+"""
+
+from .access import Access, AccessDescriptor, describe
+from .executor import ExecutionRecord, InstrumentedExecutor
+from .ledger import LoopTraffic, TrafficLedger
+from .plan import KernelPlan
+
+__all__ = [
+    "Access",
+    "AccessDescriptor",
+    "describe",
+    "KernelPlan",
+    "LoopTraffic",
+    "TrafficLedger",
+    "ExecutionRecord",
+    "InstrumentedExecutor",
+]

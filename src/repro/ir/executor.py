@@ -1,0 +1,203 @@
+"""The shared instrumented executor both parloop engines delegate to.
+
+Each DSL context owns one :class:`InstrumentedExecutor`.  The context
+keeps what is genuinely dialect-specific — argument validation, halo
+coherence, gather/scatter and the kernel call itself — and hands every
+completed invocation to :meth:`InstrumentedExecutor.finish` as a lowered
+:class:`~repro.ir.plan.KernelPlan`.  The executor then performs, in one
+place for both DSLs:
+
+1. **traffic accounting** — fold the plan into the context's
+   :class:`~repro.ir.ledger.TrafficLedger`;
+2. **timing-model charge** — build the invocation's
+   :class:`~repro.perfmodel.kernelmodel.LoopSpec` and advance the
+   simulated clock (the communicator's virtual clock in distributed
+   mode, the serial accumulator otherwise);
+3. **tracer emission** — the kernel span with the dialect's attribute
+   vocabulary (``points``/``rank`` structured, ``elements``/``mode``
+   unstructured) and the per-argument access strings.
+
+Tracer resolution honours both scoping schemes: distributed contexts run
+inside simmpi rank threads, which do not inherit the installing thread's
+ContextVar scope — the world wires the tracer onto each rank's virtual
+clock instead, and the executor prefers that wiring.  When no tracer is
+installed anywhere the whole path stays allocation-free (the
+``active_tracer`` module-global guard), preserving the zero-overhead
+guarantee the engine tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..obs.tracer import Tracer, active_tracer
+from .ledger import TrafficLedger
+from .plan import KernelPlan
+
+__all__ = ["ExecutionRecord", "InstrumentedExecutor"]
+
+#: Dimensionality the unstructured dialect charges kernel time at (the
+#: paper's meshes are 3D volumes regardless of the index arithmetic).
+_OP2_CHARGE_NDIMS = 3
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """Outcome of one instrumented invocation.
+
+    ``nbytes`` is the invocation's traffic (what the kernel span
+    carries); ``seconds`` the simulated kernel time charged to the clock
+    (0.0 when the context has no timing model).
+    """
+
+    plan: KernelPlan
+    nbytes: float
+    seconds: float = 0.0
+
+
+class InstrumentedExecutor:
+    """Traffic accounting, timing charge and span emission for one context.
+
+    ``host`` is the owning DSL context; the executor reads its ``comm``
+    (None in serial mode) and ``timing`` attributes at call time, so
+    contexts may wire those up after construction.
+    """
+
+    def __init__(self, host, dialect: str) -> None:
+        self.host = host
+        self.dialect = dialect
+        self.ledger = TrafficLedger(dialect)
+        #: Serial simulated clock (distributed contexts use the
+        #: communicator's virtual clock instead).
+        self.simulated_time = 0.0
+
+    # ---- clocks and tracks -------------------------------------------
+
+    @property
+    def _comm(self):
+        return getattr(self.host, "comm", None)
+
+    def tracer(self) -> Tracer | None:
+        """The active tracer, or None (the common, zero-overhead case).
+
+        Distributed contexts execute in simmpi rank threads, where the
+        tracer arrives wired onto the rank's virtual clock rather than
+        through the ContextVar.
+        """
+        comm = self._comm
+        if comm is not None:
+            wired = getattr(comm.clock, "tracer", None)
+            if wired is not None:
+                return wired
+        return active_tracer()
+
+    def now(self) -> float:
+        """The context's simulated clock reading."""
+        comm = self._comm
+        return comm.clock.now if comm is not None else self.simulated_time
+
+    def track(self) -> tuple[str, int]:
+        """The trace track: dialect domain, rank lane."""
+        comm = self._comm
+        return (self.dialect, comm.rank if comm is not None else 0)
+
+    def begin(self) -> tuple[Tracer | None, float]:
+        """Open an instrumentation window: the active tracer (or None)
+        and the clock reading a span will start at."""
+        tracer = self.tracer()
+        return tracer, self.now() if tracer is not None else 0.0
+
+    # ---- the shared instrumented path --------------------------------
+
+    def finish(self, plan: KernelPlan, token: tuple[Tracer | None, float]) -> ExecutionRecord:
+        """Account, charge and trace one completed invocation.
+
+        ``token`` is the :meth:`begin` result captured when the engine
+        started the invocation, so the kernel span covers everything the
+        dialect puts inside it (the structured engine opens the window
+        before the kernel body and collective reductions; the
+        unstructured one after them).
+        """
+        tracer, t0 = token
+        nbytes = self.ledger.record(plan)
+        seconds = 0.0
+        if self.host.timing is not None and plan.points > 0:
+            seconds = self._charge(plan, nbytes)
+        if tracer is not None:
+            attrs = self._span_attrs(plan, nbytes)
+            tracer.span(
+                "kernel", plan.name, t0, self.now(), track=self.track(), **attrs
+            )
+        return ExecutionRecord(plan, nbytes, seconds)
+
+    def halo_span(
+        self,
+        token: tuple[Tracer | None, float],
+        fields: int,
+        dats: tuple[str, ...],
+        bulk: bool,
+    ) -> None:
+        """Record a halo-exchange span over the window since ``token``."""
+        tracer, t0 = token
+        if tracer is not None and fields:
+            tracer.span(
+                "mpi", "halo-exchange", t0, self.now(),
+                track=self.track(), fields=fields, dats=dats, bulk=bulk,
+            )
+
+    # ---- internals ----------------------------------------------------
+
+    def _span_attrs(self, plan: KernelPlan, nbytes: float) -> dict:
+        access = plan.access_summary()
+        if self.dialect == "ops":
+            return dict(
+                points=plan.points, bytes=nbytes, flops=plan.flops,
+                access=access, rank=plan.rank,
+            )
+        return dict(
+            elements=plan.points, bytes=nbytes, flops=plan.flops,
+            access=access, mode=plan.mode,
+        )
+
+    def _charge(self, plan: KernelPlan, nbytes: float) -> float:
+        """Accumulate the modeled kernel time of this invocation.
+
+        The structured dialect prices the invocation itself (its local
+        points and bytes); the unstructured one prices the loop's
+        accumulated average profile — both verbatim from the pre-IR
+        engines, so modeled clocks stay float-identical.
+        """
+        from ..perfmodel.kernelmodel import LoopSpec
+
+        rec = self.ledger.records[plan.name]
+        if self.dialect == "ops":
+            spec = LoopSpec(
+                plan.name, plan.points,
+                nbytes / plan.points,
+                plan.flops_per_point,
+                plan.read_radius,
+                dtype_bytes=rec.dtype_bytes,
+                streams=max(rec.streams, 1),
+            )
+            ndims = plan.ndims
+        else:
+            spec = LoopSpec(
+                plan.name, plan.points,
+                rec.bytes_per_elem,
+                plan.flops_per_point,
+                0,
+                indirect_per_point=rec.indirect_per_elem,
+                indirect_bytes_per_point=rec.indirect_bytes / max(rec.elements, 1),
+                vectorizable=not rec.has_indirect_inc,
+                dtype_bytes=rec.dtype_bytes,
+                streams=max(rec.streams, 1),
+            )
+            ndims = _OP2_CHARGE_NDIMS
+        comm = self._comm
+        nranks = comm.size if comm is not None else 1
+        dt = self.host.timing.rank_time(spec, ndims, nranks)
+        if comm is not None:
+            comm.compute(dt)
+        else:
+            self.simulated_time += dt
+        return dt

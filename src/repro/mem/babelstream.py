@@ -19,14 +19,42 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..ir import Access, AccessDescriptor, KernelPlan
 from ..machine.spec import PlatformSpec
 from .hierarchy import HierarchyModel, Scope
 from .stream import STREAM_SCALAR, StreamArrays, add, copy, dot, mul, triad
 
 __all__ = ["KernelResult", "BabelStream"]
 
-#: Bytes each kernel moves per element (loads + stores, as BabelStream counts).
-KERNEL_BYTES = {"copy": 2, "mul": 2, "add": 3, "triad": 3, "dot": 2}
+
+def _stream_plan(name: str, reads: str, writes: str = "") -> KernelPlan:
+    """One BabelStream kernel as an IR plan over unit-width arrays.
+
+    Descriptors use ``width_bytes=1`` so ``nbytes`` counts *transfers*
+    per element — the BabelStream loads+stores tally, multiplied by the
+    element size at measurement time.
+    """
+    args = tuple(
+        AccessDescriptor(a, Access.READ, width_bytes=1, dtype_bytes=1)
+        for a in reads
+    ) + tuple(
+        AccessDescriptor(a, Access.WRITE, width_bytes=1, dtype_bytes=1)
+        for a in writes
+    )
+    return KernelPlan(name, "mem", 1, args)
+
+
+_KERNEL_PLANS = {
+    "copy": _stream_plan("copy", reads="a", writes="c"),     # c[i] = a[i]
+    "mul": _stream_plan("mul", reads="c", writes="b"),       # b[i] = s*c[i]
+    "add": _stream_plan("add", reads="ab", writes="c"),      # c[i] = a[i]+b[i]
+    "triad": _stream_plan("triad", reads="bc", writes="a"),  # a[i] = b[i]+s*c[i]
+    "dot": _stream_plan("dot", reads="ab"),                  # sum += a[i]*b[i]
+}
+
+#: Bytes each kernel moves per element (loads + stores, as BabelStream
+#: counts) — derived from the kernels' IR access plans.
+KERNEL_BYTES = {name: plan.nbytes for name, plan in _KERNEL_PLANS.items()}
 
 
 @dataclass(frozen=True)

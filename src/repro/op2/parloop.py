@@ -31,31 +31,66 @@ from typing import Callable
 
 import numpy as np
 
-from ..obs.tracer import active_tracer
+from ..ir.access import AccessDescriptor, describe
+from ..ir.executor import InstrumentedExecutor
+from ..ir.ledger import LoopTraffic
+from ..ir.plan import KernelPlan
 from ..ops.access import Access
 from .coloring import color_iterset
 from .mesh import Dat, Global, Map, Set
 
 __all__ = [
     "Arg", "arg", "arg_direct", "arg_global", "Op2LoopRecord", "Op2Context",
-    "describe_args",
+    "lower_args", "describe_args",
 ]
+
+
+def lower_args(args) -> tuple[AccessDescriptor, ...]:
+    """Lower unstructured-loop arguments to DSL-neutral IR descriptors.
+
+    One :class:`~repro.ir.access.AccessDescriptor` per argument: dats
+    carry their transfer width (``dim * dtype_bytes``) and, when
+    indirect, the gather map's name/arity/slot; globals lower to
+    traffic-exempt ``"gbl"`` entries.  Everything downstream of the
+    engine — byte accounting, spec construction, trace access strings —
+    consumes these, never the :class:`Arg` objects.
+    """
+    out = []
+    for a in args:
+        if a.is_global:
+            out.append(AccessDescriptor(name="gbl", access=a.access, is_global=True))
+            continue
+        width = a.dat.dim * a.dat.dtype_bytes
+        if a.is_indirect:
+            out.append(
+                AccessDescriptor(
+                    name=a.dat.name,
+                    access=a.access,
+                    width_bytes=width,
+                    dtype_bytes=a.dat.dtype_bytes,
+                    map_name=a.map.name,
+                    map_arity=a.map.arity,
+                    map_index=a.index,
+                )
+            )
+        else:
+            out.append(
+                AccessDescriptor(
+                    name=a.dat.name,
+                    access=a.access,
+                    width_bytes=width,
+                    dtype_bytes=a.dat.dtype_bytes,
+                )
+            )
+    return tuple(out)
 
 
 def describe_args(args) -> tuple[str, ...]:
     """Compact per-argument access summary for tracing/diagnostics:
     ``"q@e2c[0]:read"`` (indirect), ``"res:inc"`` (direct),
-    ``"gbl:inc"`` (global)."""
-    out = []
-    for a in args:
-        if a.is_global:
-            out.append(f"gbl:{a.access.value}")
-        elif a.is_indirect:
-            slot = "*" if a.index is None else str(a.index)
-            out.append(f"{a.dat.name}@{a.map.name}[{slot}]:{a.access.value}")
-        else:
-            out.append(f"{a.dat.name}:{a.access.value}")
-    return tuple(out)
+    ``"gbl:inc"`` (global).  Kept as the DSL-facing name for
+    :func:`repro.ir.access.describe` over the lowered arguments."""
+    return describe(lower_args(args))
 
 
 @dataclass(frozen=True)
@@ -108,32 +143,11 @@ def arg_global(glob: Global, access: Access) -> Arg:
     return Arg(None, None, None, access, glob=glob)
 
 
-@dataclass
-class Op2LoopRecord:
-    """Accumulated execution profile of one unstructured loop."""
-
-    name: str
-    calls: int = 0
-    elements: float = 0.0
-    bytes: float = 0.0
-    flops: float = 0.0
-    indirect_accesses: float = 0.0
-    indirect_bytes: float = 0.0
-    streams: int = 0
-    dtype_bytes: int = 8
-    has_indirect_inc: bool = False
-
-    @property
-    def bytes_per_elem(self) -> float:
-        return self.bytes / self.elements if self.elements else 0.0
-
-    @property
-    def flops_per_elem(self) -> float:
-        return self.flops / self.elements if self.elements else 0.0
-
-    @property
-    def indirect_per_elem(self) -> float:
-        return self.indirect_accesses / self.elements if self.elements else 0.0
+#: Accumulated execution profile of one unstructured loop — absorbed
+#: into the DSL-neutral :class:`~repro.ir.ledger.LoopTraffic` (which
+#: keeps the ``elements``/``*_per_elem`` vocabulary as aliases); the
+#: name remains for the DSL-facing API.
+Op2LoopRecord = LoopTraffic
 
 
 class Op2Context:
@@ -156,34 +170,28 @@ class Op2Context:
         #: executions then accumulate simulated seconds (serial) or
         #: advance the communicator clock (distributed contexts).
         self.timing = timing
-        self.simulated_time = 0.0
-        self.records: dict[str, Op2LoopRecord] = {}
-        self.loop_order: list[str] = []
+        #: The shared instrumented execution path (traffic ledger, timing
+        #: charge, span emission) — see :mod:`repro.ir.executor`.
+        self._exec = InstrumentedExecutor(self, "op2")
         self.reduction_count = 0
         #: Total bytes of allocated dats (the loop chain's reuse footprint).
         self.state_bytes = 0
         self._color_cache: dict[tuple, np.ndarray] = {}
 
-    # ---- observability hooks -----------------------------------------
+    @property
+    def records(self) -> dict[str, Op2LoopRecord]:
+        """Accumulated per-loop profiles (the executor's traffic ledger)."""
+        return self._exec.ledger.records
 
-    def _tracer(self):
-        """The active tracer, or None.  Distributed contexts execute in
-        simmpi rank threads, where the tracer arrives wired onto the
-        rank's virtual clock rather than through the ContextVar."""
-        comm = getattr(self, "comm", None)
-        if comm is not None:
-            wired = getattr(comm.clock, "tracer", None)
-            if wired is not None:
-                return wired
-        return active_tracer()
+    @property
+    def loop_order(self) -> list[str]:
+        """Loop names in first-execution order."""
+        return self._exec.ledger.loop_order
 
-    def _sim_now(self) -> float:
-        comm = getattr(self, "comm", None)
-        return comm.clock.now if comm is not None else self.simulated_time
-
-    def _trace_track(self) -> tuple[str, int]:
-        comm = getattr(self, "comm", None)
-        return ("op2", comm.rank if comm is not None else 0)
+    @property
+    def simulated_time(self) -> float:
+        """Accumulated modeled kernel seconds (serial timed runs)."""
+        return self._exec.simulated_time
 
     # ---- declaration factories ---------------------------------------
     # (Overridden by the distributed context, which localizes each
@@ -252,18 +260,16 @@ class Op2Context:
         for i, a in enumerate(args):
             if a.is_global and a.access is not Access.READ:
                 self._finish_global(a, gbl_bufs[i])
-        tracer = self._tracer()
-        t0 = self._sim_now() if tracer is not None else 0.0
-        nbytes = self._record(name, iterset, args, flops_per_elem)
-        if self.timing is not None and n > 0:
-            self._charge_time(name, iterset, args, flops_per_elem)
-        if tracer is not None:
-            tracer.span(
-                "kernel", name, t0, self._sim_now(),
-                track=self._trace_track(),
-                elements=n, bytes=nbytes, flops=n * flops_per_elem,
-                access=describe_args(args), mode=self.mode,
-            )
+        # Lower to the IR and hand off: the shared executor accounts the
+        # traffic, charges the timing model and emits the kernel span
+        # (opened here, after the collective reduction finish — the span
+        # covers accounting only, matching the historical taxonomy).
+        token = self._exec.begin()
+        plan = KernelPlan(
+            name, "op2", n, lower_args(args),
+            flops_per_point=flops_per_elem, mode=self.mode,
+        )
+        self._exec.finish(plan, token)
 
     # ------------------------------------------------------------------
 
@@ -359,92 +365,11 @@ class Op2Context:
 
     # ------------------------------------------------------------------
 
-    def _record(self, name, iterset, args, flops_per_elem) -> float:
-        """Accumulate the loop's profile; returns this call's byte count
-        (consumed by the kernel span the tracer records)."""
-        rec = self.records.get(name)
-        if rec is None:
-            rec = Op2LoopRecord(name)
-            self.records[name] = rec
-            self.loop_order.append(name)
-        n = iterset.size
-        nbytes = 0.0
-        indirect = 0.0
-        indirect_bytes = 0.0
-        for a in args:
-            if a.is_global:
-                continue
-            width = a.dat.dim * a.dat.dtype_bytes
-            mult = a.map.arity if (a.is_indirect and a.index is None) else 1
-            nbytes += n * width * a.access.transfers * mult
-            if a.is_indirect:
-                indirect += n * mult
-                indirect_bytes += n * width * a.access.transfers * mult
-            rec.dtype_bytes = a.dat.dtype_bytes
-        rec.calls += 1
-        rec.elements += n
-        rec.bytes += nbytes
-        rec.flops += n * flops_per_elem
-        rec.indirect_accesses += indirect
-        rec.indirect_bytes += indirect_bytes
-        rec.streams = max(rec.streams, sum(1 for a in args if not a.is_global))
-        rec.has_indirect_inc = rec.has_indirect_inc or any(
-            a.is_indirect and a.access is Access.INC for a in args
-        )
-        return nbytes
-
-    def _charge_time(self, name, iterset, args, flops_per_elem) -> None:
-        """Accumulate the modeled kernel time of this invocation."""
-        from ..perfmodel.kernelmodel import LoopSpec
-
-        r = self.records[name]
-        n = iterset.size
-        spec = LoopSpec(
-            name, n,
-            r.bytes_per_elem,
-            flops_per_elem,
-            0,
-            indirect_per_point=r.indirect_per_elem,
-            indirect_bytes_per_point=r.indirect_bytes / max(r.elements, 1),
-            vectorizable=not r.has_indirect_inc,
-            dtype_bytes=r.dtype_bytes,
-            streams=max(r.streams, 1),
-        )
-        nranks = getattr(getattr(self, "comm", None), "size", 1)
-        dt = self.timing.rank_time(spec, 3, nranks)
-        comm = getattr(self, "comm", None)
-        if comm is not None:
-            comm.compute(dt)
-        else:
-            self.simulated_time += dt
-
     def loop_specs(self, iterations: int = 1, point_scale: float = 1.0):
         """Per-iteration :class:`~repro.perfmodel.kernelmodel.LoopSpec`
         inputs (unstructured loops carry indirect access counts and are
         non-vectorizable when they have racing increments)."""
-        from ..perfmodel.kernelmodel import LoopSpec
-
-        out = []
-        for name in self.loop_order:
-            r = self.records[name]
-            if r.elements == 0:
-                continue
-            out.append(
-                LoopSpec(
-                    name=name,
-                    points=r.elements / iterations * point_scale,
-                    bytes_per_point=r.bytes_per_elem,
-                    flops_per_point=r.flops_per_elem,
-                    radius=0,
-                    indirect_per_point=r.indirect_per_elem,
-                    indirect_bytes_per_point=r.indirect_bytes / r.elements,
-                    vectorizable=not r.has_indirect_inc,
-                    dtype_bytes=r.dtype_bytes,
-                    streams=max(r.streams, 1),
-                    invocations=r.calls / iterations,
-                )
-            )
-        return out
+        return self._exec.ledger.loop_specs(iterations, point_scale)
 
 
 def _global_buffer(a: Arg) -> np.ndarray:

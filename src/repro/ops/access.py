@@ -15,38 +15,17 @@ touches its dataset.  The DSL uses the descriptors for three things:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from enum import Enum
 from typing import TYPE_CHECKING
 
 import numpy as np
+
+from ..ir.access import Access
 
 if TYPE_CHECKING:  # pragma: no cover
     from .block import Dat
     from .stencil import Stencil
 
 __all__ = ["Access", "ArgDat", "ArgGbl", "arg_dat", "arg_gbl"]
-
-
-class Access(Enum):
-    READ = "read"
-    WRITE = "write"
-    RW = "rw"
-    INC = "inc"
-    MIN = "min"  # global reductions only
-    MAX = "max"  # global reductions only
-
-    @property
-    def reads(self) -> bool:
-        return self in (Access.READ, Access.RW, Access.INC)
-
-    @property
-    def writes(self) -> bool:
-        return self in (Access.WRITE, Access.RW, Access.INC)
-
-    @property
-    def transfers(self) -> int:
-        """Memory transfers charged per point (OPS's Fig-8 accounting)."""
-        return {"read": 1, "write": 1, "rw": 2, "inc": 2}.get(self.value, 0)
 
 
 @dataclass(frozen=True)

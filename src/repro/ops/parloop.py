@@ -20,10 +20,41 @@ from typing import Sequence
 
 import numpy as np
 
+from ..ir.access import AccessDescriptor, describe
 from .access import Access, ArgDat, ArgGbl
 from .block import Dat
 
-__all__ = ["DatAccessor", "GblAccessor", "execution_view", "describe_access"]
+__all__ = [
+    "DatAccessor", "GblAccessor", "execution_view", "lower_access",
+    "describe_access",
+]
+
+
+def lower_access(args) -> tuple[AccessDescriptor, ...]:
+    """Lower structured-loop arguments to DSL-neutral IR descriptors.
+
+    One :class:`~repro.ir.access.AccessDescriptor` per argument: dats
+    carry their name, scalar element width and the stencil radius they
+    are accessed through; globals lower to traffic-exempt ``"gbl"``
+    entries.  Everything downstream of the engine — byte accounting,
+    spec construction, trace access strings — consumes these, never the
+    ``ArgDat``/``ArgGbl`` objects.
+    """
+    out = []
+    for a in args:
+        if isinstance(a, ArgDat):
+            out.append(
+                AccessDescriptor(
+                    name=a.dat.name,
+                    access=a.access,
+                    width_bytes=a.dat.dtype_bytes,
+                    dtype_bytes=a.dat.dtype_bytes,
+                    radius=a.stencil.radius,
+                )
+            )
+        else:
+            out.append(AccessDescriptor(name="gbl", access=a.access, is_global=True))
+    return tuple(out)
 
 
 def describe_access(args) -> tuple[str, ...]:
@@ -32,17 +63,10 @@ def describe_access(args) -> tuple[str, ...]:
     One entry per loop argument: ``"u:read/r1"`` (dat ``u``, READ through
     a radius-1 stencil) or ``"gbl:inc"`` for globals — the access-mode
     attribute the observability layer attaches to every kernel span.
+    Kept as the DSL-facing name for :func:`repro.ir.access.describe`
+    over the lowered arguments.
     """
-    out = []
-    for a in args:
-        if isinstance(a, ArgDat):
-            desc = f"{a.dat.name}:{a.access.value}"
-            if a.stencil.radius > 0:
-                desc += f"/r{a.stencil.radius}"
-        else:
-            desc = f"gbl:{a.access.value}"
-        out.append(desc)
-    return tuple(out)
+    return describe(lower_access(args))
 
 
 def _normalize_offset(offset, ndim: int) -> tuple[int, ...]:

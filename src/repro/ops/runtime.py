@@ -26,42 +26,24 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..ir.executor import InstrumentedExecutor
+from ..ir.ledger import LoopTraffic
+from ..ir.plan import KernelPlan
 from ..machine.config import RunConfig
 from ..machine.spec import PlatformSpec
-from ..obs.tracer import active_tracer
 from ..perfmodel.kernelmodel import AppClass, AppSpec, LoopSpec
 from ..simmpi.cart import CartGrid, exchange_halos
 from ..simmpi.comm import Communicator
 from .access import Access, ArgDat, ArgGbl
 from .block import Block, Dat
-from .parloop import DatAccessor, GblAccessor, describe_access, execution_view
+from .parloop import DatAccessor, GblAccessor, execution_view, lower_access
 
 __all__ = ["LoopRecord", "TimingModel", "OpsContext"]
 
-
-@dataclass
-class LoopRecord:
-    """Accumulated execution profile of one named loop."""
-
-    name: str
-    calls: int = 0
-    points: float = 0.0
-    bytes: float = 0.0
-    flops: float = 0.0
-    radius: int = 0
-    streams: int = 0
-    dtype_bytes: int = 8
-    #: Largest iteration-range extent seen per dimension — lets the spec
-    #: builder scale boundary strips by area and bulk loops by volume.
-    extents: tuple = ()
-
-    @property
-    def bytes_per_point(self) -> float:
-        return self.bytes / self.points if self.points else 0.0
-
-    @property
-    def flops_per_point(self) -> float:
-        return self.flops / self.points if self.points else 0.0
+#: Accumulated execution profile of one named loop — absorbed into the
+#: DSL-neutral :class:`~repro.ir.ledger.LoopTraffic`; the name remains
+#: for the DSL-facing API.
+LoopRecord = LoopTraffic
 
 
 @dataclass(frozen=True)
@@ -128,12 +110,12 @@ class OpsContext:
         self.grid = grid
         self.timing = timing
         self.tile = tile
-        self.records: dict[str, LoopRecord] = {}
-        self.loop_order: list[str] = []
+        #: The shared instrumented execution path (traffic ledger, timing
+        #: charge, span emission) — see :mod:`repro.ir.executor`.
+        self._exec = InstrumentedExecutor(self, "ops")
         self.halo_exchange_count = 0
         self.halo_fields_exchanged = 0
         self.reduction_count = 0
-        self.simulated_time = 0.0
         #: Total bytes of allocated field (dat) interiors — the reuse
         #: footprint of one pass over the loop chain.
         self.state_bytes = 0
@@ -145,26 +127,20 @@ class OpsContext:
     def nranks(self) -> int:
         return self.comm.size if self.comm is not None else 1
 
-    # ---- observability hooks -----------------------------------------
+    @property
+    def records(self) -> dict[str, LoopRecord]:
+        """Accumulated per-loop profiles (the executor's traffic ledger)."""
+        return self._exec.ledger.records
 
-    def _tracer(self):
-        """The active tracer for this context, or None (the common case).
+    @property
+    def loop_order(self) -> list[str]:
+        """Loop names in first-execution order."""
+        return self._exec.ledger.loop_order
 
-        Distributed contexts run inside simmpi rank threads, which do not
-        inherit the installing thread's ContextVar scope — the world
-        wires the tracer onto each rank's virtual clock instead.
-        """
-        if self.comm is not None:
-            wired = getattr(self.comm.clock, "tracer", None)
-            if wired is not None:
-                return wired
-        return active_tracer()
-
-    def _sim_now(self) -> float:
-        return self.comm.clock.now if self.comm is not None else self.simulated_time
-
-    def _trace_track(self) -> tuple[str, int]:
-        return ("ops", self.comm.rank if self.comm is not None else 0)
+    @property
+    def simulated_time(self) -> float:
+        """Accumulated modeled kernel seconds (serial timed runs)."""
+        return self._exec.simulated_time
 
     def block(self, name: str, shape: tuple[int, ...]) -> Block:
         """Declare a global structured block."""
@@ -241,8 +217,7 @@ class OpsContext:
         consumes — tiny boundary-strip loops exchange for correctness but
         piggyback on the bulk exchanges in real OPS.
         """
-        tracer = self._tracer()
-        t0 = self._sim_now() if tracer is not None else 0.0
+        token = self._exec.begin()
         seen: set[int] = set()
         fields = 0
         exchanged: list[str] = []
@@ -262,12 +237,7 @@ class OpsContext:
         if fields and bulk:
             self.halo_exchange_count += 1
             self.halo_fields_exchanged += fields
-        if tracer is not None and fields:
-            tracer.span(
-                "mpi", "halo-exchange", t0, self._sim_now(),
-                track=self._trace_track(), fields=fields,
-                dats=tuple(exchanged), bulk=bulk,
-            )
+        self._exec.halo_span(token, fields, tuple(exchanged), bulk)
 
     def _local_range(
         self, block: Block, rng: Sequence[tuple[int, int]], halo_needed: int
@@ -295,8 +265,7 @@ class OpsContext:
         for d in block.shape:
             interior_points *= d
         self._sync_halos(args, bulk=rng_points >= 0.5 * interior_points)
-        tracer = self._tracer()
-        t0 = self._sim_now() if tracer is not None else 0.0
+        token = self._exec.begin()
 
         # Halo reach of writes determines how far into physical ghosts the
         # range may extend on this rank.
@@ -333,16 +302,18 @@ class OpsContext:
                 a.dat.halo_dirty = True
 
         self._finish_reductions(gbls)
-        nbytes = self._record(job, npoints, args)
-        if tracer is not None:
-            tracer.span(
-                "kernel", job["name"], t0, self._sim_now(),
-                track=self._trace_track(),
-                points=npoints, bytes=nbytes,
-                flops=npoints * job["flops"],
-                access=describe_access(args),
-                rank=self.comm.rank if self.comm is not None else 0,
-            )
+        # Lower to the IR and hand off: the shared executor accounts the
+        # traffic, charges the timing model and emits the kernel span.
+        # Extents come from the *global* range, so tiled sub-ranges still
+        # report the loop's true span to the spec builder.
+        plan = KernelPlan(
+            job["name"], "ops", npoints, lower_access(args),
+            flops_per_point=job["flops"],
+            ndims=block.ndim,
+            extents=tuple(hi - lo for lo, hi in job["rng"]),
+            rank=self.comm.rank if self.comm is not None else 0,
+        )
+        self._exec.finish(plan, token)
 
     def _finish_reductions(self, gbls: list[tuple[ArgGbl, GblAccessor]]) -> None:
         for arg, acc in gbls:
@@ -357,54 +328,6 @@ class OpsContext:
             else:
                 np.maximum(arg.value, contribution, out=arg.value)
             self.reduction_count += 1
-
-    # ------------------------------------------------------------------
-
-    def _record(self, job: dict, npoints: int, args) -> float:
-        """Accumulate the loop's profile; returns this call's byte count
-        (consumed by the kernel span the tracer records)."""
-        name = job["name"]
-        rec = self.records.get(name)
-        if rec is None:
-            rec = LoopRecord(name)
-            self.records[name] = rec
-            self.loop_order.append(name)
-        dat_args = [a for a in args if isinstance(a, ArgDat)]
-        nbytes = sum(
-            npoints * a.dat.dtype_bytes * a.access.transfers for a in dat_args
-        )
-        read_radius = max(
-            (a.stencil.radius for a in dat_args if a.access.reads), default=0
-        )
-        rec.calls += 1
-        rec.points += npoints
-        rec.bytes += nbytes
-        rec.flops += npoints * job["flops"]
-        rec.radius = max(rec.radius, read_radius)
-        rec.streams = max(rec.streams, len(dat_args))
-        ext = tuple(hi - lo for lo, hi in job["rng"])
-        if not rec.extents:
-            rec.extents = ext
-        else:
-            rec.extents = tuple(max(a, b) for a, b in zip(rec.extents, ext))
-        if dat_args:
-            rec.dtype_bytes = dat_args[0].dat.dtype_bytes
-
-        if self.timing is not None and npoints > 0:
-            spec = LoopSpec(
-                name, npoints,
-                nbytes / npoints,
-                job["flops"],
-                read_radius,
-                dtype_bytes=rec.dtype_bytes,
-                streams=max(rec.streams, 1),
-            )
-            dt = self.timing.rank_time(spec, job["block"].ndim, self.nranks)
-            if self.comm is not None:
-                self.comm.compute(dt)
-            else:
-                self.simulated_time += dt
-        return nbytes
 
     # ------------------------------------------------------------------
 
@@ -425,30 +348,4 @@ class OpsContext:
         grow with the surface while bulk loops grow with the volume.
         """
         self.flush()
-        out = []
-        for name in self.loop_order:
-            r = self.records[name]
-            if r.points == 0:
-                continue
-            if isinstance(point_scale, tuple):
-                if run_domain is None or not r.extents:
-                    raise ValueError("per-dimension scaling needs run_domain and extents")
-                scale = 1.0
-                for d, ratio in enumerate(point_scale):
-                    if d < len(r.extents) and r.extents[d] >= 0.5 * run_domain[d]:
-                        scale *= ratio
-            else:
-                scale = point_scale
-            out.append(
-                LoopSpec(
-                    name=name,
-                    points=r.points / iterations * scale,
-                    bytes_per_point=r.bytes_per_point,
-                    flops_per_point=r.flops_per_point,
-                    radius=r.radius,
-                    dtype_bytes=r.dtype_bytes,
-                    streams=max(r.streams, 1),
-                    invocations=r.calls / iterations,
-                )
-            )
-        return out
+        return self._exec.ledger.loop_specs(iterations, point_scale, run_domain)

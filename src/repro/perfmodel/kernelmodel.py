@@ -131,6 +131,33 @@ class LoopSpec:
             "vectorizable": self.vectorizable,
         }
 
+    @classmethod
+    def from_traffic(cls, rec, iterations: int = 1, scale: float = 1.0) -> "LoopSpec":
+        """Build the per-iteration spec of one accumulated loop profile.
+
+        ``rec`` is a :class:`~repro.ir.ledger.LoopTraffic` record (duck-
+        typed — anything with the same counters works): whole-run totals
+        divided by ``iterations`` and extrapolated by ``scale``.
+        Structured records carry their stencil radius; unstructured ones
+        their indirect-access profile and the non-vectorizable flag for
+        racing increments.
+        """
+        return cls(
+            name=rec.name,
+            points=rec.points / iterations * scale,
+            bytes_per_point=rec.bytes_per_point,
+            flops_per_point=rec.flops_per_point,
+            radius=rec.radius,
+            indirect_per_point=rec.indirect_per_elem,
+            indirect_bytes_per_point=(
+                rec.indirect_bytes / rec.points if rec.points else 0.0
+            ),
+            vectorizable=not rec.has_indirect_inc,
+            dtype_bytes=rec.dtype_bytes,
+            streams=max(rec.streams, 1),
+            invocations=rec.calls / iterations,
+        )
+
     def scaled(self, factor: float) -> "LoopSpec":
         """Same loop with ``points`` scaled by ``factor`` (used to
         extrapolate a scaled-down run to the paper's problem size)."""

@@ -1,0 +1,67 @@
+"""Engine purity: the parloop engines carry no instrumentation code.
+
+The IR refactor's structural claim is that both DSL runtimes only lower
+loops to :class:`~repro.ir.plan.KernelPlan` and hand off to the shared
+:class:`~repro.ir.executor.InstrumentedExecutor` — traffic accounting,
+timing charge and span/tracer emission live in ``repro.ir`` alone.
+These tests read the engine sources and fail if any of that machinery
+leaks back in.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+ENGINES = {
+    "ops/runtime.py": SRC / "ops" / "runtime.py",
+    "op2/parloop.py": SRC / "op2" / "parloop.py",
+}
+
+# Instrumentation machinery that must only exist in repro/ir: tracer
+# resolution, metrics emission, span construction, transfer-count
+# arithmetic, and the pre-refactor private accounting helpers.
+FORBIDDEN = [
+    "active_tracer",
+    "active_metrics",
+    ".span(",
+    ".transfers",
+    "def _record",
+    "def _charge_time",
+    "def _tracer",
+    "def _sim_now",
+]
+
+
+def _without_comments(text: str) -> str:
+    """Source with comments and docstrings stripped — prose may mention
+    the old machinery, code may not."""
+    text = re.sub(r'"""(?:[^"\\]|\\.|"(?!""))*"""', "", text, flags=re.S)
+    return "\n".join(line.split("#")[0] for line in text.splitlines())
+
+
+@pytest.mark.parametrize("rel", sorted(ENGINES))
+@pytest.mark.parametrize("needle", FORBIDDEN)
+def test_engine_has_no_instrumentation(rel, needle):
+    code = _without_comments(ENGINES[rel].read_text())
+    assert needle not in code, (
+        f"{rel} contains {needle!r}: instrumentation belongs to "
+        f"repro.ir.executor, not the parloop engines"
+    )
+
+
+@pytest.mark.parametrize("rel", sorted(ENGINES))
+def test_engine_delegates_to_shared_executor(rel):
+    code = ENGINES[rel].read_text()
+    assert "InstrumentedExecutor" in code
+    assert "KernelPlan(" in code
+    assert "._exec.finish(" in code.replace("self._exec.finish(", "._exec.finish(")
+
+
+def test_instrumentation_lives_in_ir():
+    executor = (SRC / "ir" / "executor.py").read_text()
+    assert "def span" in executor or ".span(" in executor
+    assert "active_tracer" in executor
+    assert ".transfers" in (SRC / "ir" / "plan.py").read_text()

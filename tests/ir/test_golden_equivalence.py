@@ -1,0 +1,145 @@
+"""Golden equivalence: the IR refactor is observably invisible.
+
+``scripts/capture_goldens.py`` recorded — on the pre-refactor engines —
+every externally observable number the kernel-IR consolidation must
+preserve: application fingerprints (the sweep store's content address),
+best-run totals and attribution leaves for all app x platform pairs,
+trace span taxonomies, kernel span attribute keys and access strings,
+simulated clocks (serial and per-rank distributed), and the metric
+family list.  This suite recomputes the same quantities through the
+refactored engines and compares them for *exact* equality — floats
+bit-for-bit, and int-vs-float type identity preserved (the structured
+dialect reports integral byte counts, the unstructured one floats).
+
+A legitimate behavioural change must re-record the baseline with
+``python scripts/capture_goldens.py`` and say so in the commit.
+"""
+
+import importlib.util
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+BASELINE = ROOT / "baselines" / "golden_equivalence.json"
+
+
+def _load_capture_module():
+    spec = importlib.util.spec_from_file_location(
+        "capture_goldens", ROOT / "scripts" / "capture_goldens.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="module")
+def capture():
+    return _load_capture_module()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(BASELINE.read_text())
+
+
+def _normalize(obj):
+    """JSON round-trip: tuples -> lists, dict keys -> str, preserving
+    the int/float distinction (json keeps 2 and 2.0 apart)."""
+    return json.loads(json.dumps(obj))
+
+
+def assert_identical(new, old, path=""):
+    """Recursive equality with number-type identity: 2 == 2.0 is a
+    FAILURE here — the dialects' int-vs-float reporting is part of the
+    observable surface."""
+    if isinstance(old, dict):
+        assert isinstance(new, dict), f"{path}: {type(new).__name__} != dict"
+        assert sorted(new) == sorted(old), (
+            f"{path}: keys {sorted(new)} != {sorted(old)}"
+        )
+        for k in old:
+            assert_identical(new[k], old[k], f"{path}/{k}")
+    elif isinstance(old, list):
+        assert isinstance(new, list), f"{path}: {type(new).__name__} != list"
+        assert len(new) == len(old), f"{path}: len {len(new)} != {len(old)}"
+        for i, (a, b) in enumerate(zip(new, old)):
+            assert_identical(a, b, f"{path}[{i}]")
+    elif isinstance(old, bool) or old is None or isinstance(old, str):
+        assert new == old and type(new) is type(old), f"{path}: {new!r} != {old!r}"
+    else:
+        assert isinstance(old, (int, float))
+        assert type(new) is type(old), (
+            f"{path}: {type(new).__name__}({new!r}) != "
+            f"{type(old).__name__}({old!r}) — int/float identity is pinned"
+        )
+        if isinstance(old, float) and math.isnan(old):
+            assert math.isnan(new), f"{path}: {new!r} != nan"
+        else:
+            assert new == old, f"{path}: {new!r} != {old!r} (must be exact)"
+
+
+def test_baseline_exists_and_is_complete(golden):
+    assert sorted(golden) == ["apps", "distributed", "estimates", "metrics"]
+    assert len(golden["apps"]) == 9
+    assert sum(len(v) for v in golden["estimates"].values()) == 36
+
+
+class TestAppGoldens:
+    """Fingerprints, exec-layer span taxonomy and timed clocks per app."""
+
+    @pytest.fixture(scope="class")
+    def recomputed(self, capture):
+        return _normalize(capture.app_goldens())
+
+    def test_every_app_covered(self, recomputed, golden):
+        assert sorted(recomputed) == sorted(golden["apps"])
+
+    @pytest.mark.parametrize("section", [
+        "fingerprint", "exec_spans", "kernel_attr_keys", "kernel_access",
+        "timed_seconds",
+    ])
+    def test_section_identical(self, recomputed, golden, section):
+        for app, entry in golden["apps"].items():
+            assert_identical(
+                recomputed[app][section], entry[section], f"{app}/{section}"
+            )
+
+
+class TestEstimateGoldens:
+    """Best-run config/total/attribution leaves + trace taxonomy, all
+    36 app x platform pairs."""
+
+    @pytest.fixture(scope="class")
+    def recomputed(self, capture):
+        return _normalize(capture.estimate_goldens())
+
+    def test_every_pair_covered(self, recomputed, golden):
+        pairs = {(a, p) for a, v in golden["estimates"].items() for p in v}
+        assert {(a, p) for a, v in recomputed.items() for p in v} == pairs
+
+    @pytest.mark.parametrize("section", [
+        "config", "total_time", "leaves", "trace_spans",
+    ])
+    def test_section_identical(self, recomputed, golden, section):
+        for app, plats in golden["estimates"].items():
+            for plat, entry in plats.items():
+                assert_identical(
+                    recomputed[app][plat][section], entry[section],
+                    f"{app}/{plat}/{section}",
+                )
+
+
+def test_distributed_rank_clocks(capture, golden):
+    assert_identical(
+        _normalize(capture.distributed_goldens()),
+        golden["distributed"], "distributed",
+    )
+
+
+def test_metric_families(capture, golden):
+    assert_identical(
+        _normalize(capture.metrics_goldens()), golden["metrics"], "metrics"
+    )
