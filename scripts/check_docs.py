@@ -38,6 +38,9 @@ SKIP_PATTERNS = [
     r"\bpip install\b",      # environment mutation
     r"\bpytest\b",           # the tier-1/bench CI jobs run the suites
     r"bench_sweep\.py",      # the bench CI job runs the benchmark
+    r"bench_serve\.py",      # the serve CI job runs the load generator
+    r"\brepro serve\b",      # long-running server: the serve CI job smokes it
+    r"\bcurl\b",             # examples assume a running server
     r"/path/to",             # placeholder paths
     r"calibrate\.py",        # calibration sweep: long-running, optional
     r"drift --update",       # rewrites the committed fidelity baseline

@@ -4,17 +4,19 @@ Commands
 --------
 ``list``
     Show the applications and platforms.
-``run APP [--platform P] [--config auto|best] [--compare]``
-    Model one application (best configuration by default).
+``run APP [--platform P] [--compare] [--json]``
+    Model one application (best configuration by default); ``--json``
+    emits the canonical payload ``POST /run`` also serves.
 ``trace APP [--platform P] [-o trace.json] [--iterations N] [--csv]``
     Trace one modeled run and export a Chrome trace-event JSON
     (``chrome://tracing`` / Perfetto) plus the per-kernel breakdown.
 ``figures [figN ...] [--jobs N] [--no-cache]``
     Regenerate the paper's figures (all by default) through the sweep
     engine.
-``sweep [APP ...] [--platform P[,P...]|all] [--jobs N] [--no-cache]``
+``sweep [APP ...] [--platform P[,P...]|all] [--jobs N] [--no-cache] [--json]``
     Evaluate full configuration sweeps through the engine and print the
-    per-configuration table plus cache/executor metrics.
+    per-configuration table plus cache/executor metrics (``--json`` for
+    the canonical payload ``POST /sweep`` also serves).
 ``validate APP``
     Execute the application's numerics at test scale and print its
     invariant diagnostics.
@@ -36,6 +38,10 @@ Commands
     Write the complete reproduction report — figures, fidelity
     scorecard, per-app timelines, attribution and diffs — as one
     self-contained HTML file (or the classic markdown).
+``serve [--host H] [--port N] [--workers N] ...``
+    Run the long-running HTTP estimation service: batching, coalescing,
+    an LRU warm tier over the result store, store-key sharding and
+    back-pressure (``docs/SERVE.md``).
 
 Application names may be abbreviated to any unambiguous prefix
 (``mgcfd``, ``volna``); an ambiguous prefix like ``cloverleaf`` resolves
@@ -47,7 +53,8 @@ names exit with status 2 and a message listing the valid choices.
 Layout: one module per verb group — :mod:`~repro.cli.run` (list/run/
 sweep/figures/validate), :mod:`~repro.cli.trace` (trace/metrics),
 :mod:`~repro.cli.fidelity` (fidelity/drift), :mod:`~repro.cli.explain`
-(explain/report) — over the shared resolution helpers in
+(explain/report), :mod:`~repro.cli.serve` (serve) — over the shared
+resolution helpers in
 :mod:`~repro.cli.common`.  :func:`main` owns the argparse tree, so the
 help text and exit-code contracts live in one place.
 """
@@ -60,6 +67,7 @@ from ..apps import APP_ORDER
 from .explain import cmd_explain, cmd_report
 from .fidelity import cmd_drift, cmd_fidelity
 from .run import cmd_figures, cmd_list, cmd_run, cmd_sweep, cmd_validate
+from .serve import cmd_serve
 from .trace import cmd_metrics, cmd_trace
 
 __all__ = ["main", "build_parser"]
@@ -85,6 +93,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="platform short name (default max9480)")
     p_run.add_argument("--compare", action="store_true",
                        help="run on every platform")
+    p_run.add_argument("--json", action="store_true",
+                       help="emit the canonical run payload as JSON "
+                            "(byte-equivalent to the serve API's POST /run)")
 
     p_trace = sub.add_parser(
         "trace", help="trace one modeled run and export a Chrome trace")
@@ -118,6 +129,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="parallel sweep workers (default serial)")
     p_sweep.add_argument("--no-cache", action="store_true",
                          help="bypass the persistent result store")
+    p_sweep.add_argument("--json", action="store_true",
+                         help="emit the canonical sweep payload as JSON "
+                              "(byte-equivalent to the serve API's POST /sweep)")
 
     p_val = sub.add_parser("validate", help="run an app's numerics at test scale")
     p_val.add_argument("app", help="application name (any unambiguous prefix)")
@@ -196,6 +210,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="parallel sweep workers (default serial)")
     p_drift.add_argument("--no-cache", action="store_true",
                          help="bypass the persistent result store")
+
+    p_srv = sub.add_parser(
+        "serve", help="run the long-running HTTP estimation service")
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    p_srv.add_argument("--port", type=int, default=8000,
+                       help="bind port (default 8000; 0 for ephemeral)")
+    p_srv.add_argument("--workers", type=int, default=4,
+                       help="sweep-plan shards / worker threads (default 4)")
+    p_srv.add_argument("--lru-capacity", type=int, default=4096,
+                       help="in-memory warm-tier entries (default 4096)")
+    p_srv.add_argument("--max-inflight", type=int, default=8,
+                       help="concurrent evaluating requests (default 8)")
+    p_srv.add_argument("--max-queue", type=int, default=32,
+                       help="admitted-but-waiting requests before 429 "
+                            "(default 32)")
+    p_srv.add_argument("--batch-window", type=float, default=0.005,
+                       help="seconds to accumulate a run batch (default 0.005)")
+    p_srv.add_argument("--no-cache", action="store_true",
+                       help="serve without the persistent result store")
+    p_srv.add_argument("--verbose", action="store_true",
+                       help="log every request to stderr")
     return parser
 
 
@@ -205,4 +241,5 @@ def main(argv=None) -> int:
             "figures": cmd_figures, "sweep": cmd_sweep,
             "validate": cmd_validate, "metrics": cmd_metrics,
             "fidelity": cmd_fidelity, "drift": cmd_drift,
-            "explain": cmd_explain, "report": cmd_report}[args.command](args)
+            "explain": cmd_explain, "report": cmd_report,
+            "serve": cmd_serve}[args.command](args)

@@ -68,6 +68,15 @@ def cmd_explain(args) -> int:
         if other is None:
             return 2
 
+    if args.json:
+        # The canonical payload the serve API's POST /explain returns
+        # for the same inputs (one builder, shared bytes).
+        from ..serve.payloads import explain_payload, render_json
+
+        print(render_json(explain_payload(name, platform, vs=other,
+                                          what_if=knobs)), end="")
+        return 0
+
     from ..harness import best_attribution
     from ..obs.diff import diff_trees, project
 
@@ -77,20 +86,6 @@ def cmd_explain(args) -> int:
         _cfg_b, _est_b, tree_b = best_attribution(name, other)
         diff = diff_trees(tree, tree_b)
     projection = project(tree, knobs) if knobs else None
-
-    if args.json:
-        import json as _json
-
-        payload = {"tree": tree.as_dict()}
-        if diff is not None:
-            payload["diff"] = diff.as_dict()
-        if projection is not None:
-            payload["what_if"] = {
-                k: v for k, v in projection.items() if k != "tree"
-            }
-            payload["what_if"]["tree"] = projection["tree"].as_dict()
-        print(_json.dumps(payload, indent=2, sort_keys=True))
-        return 0
 
     print(f"{name} on {platform.short_name} [{cfg.label()}] — "
           f"{tree.seconds:.4g} s attributed:")

@@ -19,9 +19,12 @@ def cmd_fidelity(args) -> int:
         return 2
     card = scorecard(figures or None)
     if args.json:
-        import json as _json
+        # render_json is the exact historical rendering (indent=2,
+        # sort_keys, trailing newline) — and the serve API's GET
+        # /fidelity body, byte-equivalent by construction.
+        from ..serve.payloads import render_json
 
-        text = _json.dumps(card.as_dict(), indent=2, sort_keys=True) + "\n"
+        text = render_json(card.as_dict())
     else:
         text = card.to_markdown()
     if args.output:

@@ -47,6 +47,18 @@ def cmd_run(args) -> int:
         if platform is None:
             return 2
         platforms = [platform]
+    if getattr(args, "json", False):
+        # The canonical payload the serve API's POST /run returns for
+        # the same inputs — one builder, byte-equivalent by construction.
+        from ..serve.payloads import render_json, run_payload
+
+        if args.compare:
+            payload = {"app": name,
+                       "runs": [run_payload(name, p) for p in platforms]}
+        else:
+            payload = run_payload(name, platforms[0])
+        print(render_json(payload), end="")
+        return 0
     print(f"{defn.name}: {defn.description}")
     print(f"paper scale: {defn.paper_domain} x {defn.paper_iterations} iterations\n")
     for platform in platforms:
@@ -87,6 +99,11 @@ def cmd_sweep(args) -> int:
             if platform is None:
                 return 2
             platforms.append(platform)
+    if getattr(args, "json", False):
+        from ..serve.payloads import render_json, sweep_payload
+
+        print(render_json(sweep_payload(apps, platforms)), end="")
+        return 0
     plan = build_plan(apps, platforms)
     print(f"sweep: {len(apps)} apps x {len(platforms)} platforms -> "
           f"{len(plan)} jobs ({len(plan.skipped)} planned-infeasible)")

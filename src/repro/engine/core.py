@@ -150,6 +150,24 @@ class SweepEngine:
 
     # ---- single-point evaluation ----------------------------------------
 
+    def result_address(
+        self, name: str, platform: PlatformSpec, config: RunConfig
+    ) -> str:
+        """Content address of one (app, platform, config) point under the
+        current model version — the key the store files its estimate
+        under.  Fingerprints are memoized per engine, so hot callers
+        (the serve layer shards sweep plans by this key) pay one dict
+        lookup per component."""
+        pfp = self._platform_fps.get(platform.short_name)
+        if pfp is None:
+            from .store import fingerprint as _fp
+
+            pfp = self._platform_fps[platform.short_name] = _fp(platform)
+        afp = self._spec_fps.get(name)
+        if afp is None:
+            afp = self._spec_fps[name] = self.app_spec(name).fingerprint()
+        return result_key(afp, platform, config, platform_fingerprint=pfp)
+
     def _estimate(
         self, name: str, platform: PlatformSpec, config: RunConfig
     ) -> tuple[AppEstimate, bool]:
@@ -157,15 +175,7 @@ class SweepEngine:
         spec = self.app_spec(name)
         key = None
         if self.use_cache:
-            pfp = self._platform_fps.get(platform.short_name)
-            if pfp is None:
-                from .store import fingerprint as _fp
-
-                pfp = self._platform_fps[platform.short_name] = _fp(platform)
-            afp = self._spec_fps.get(name)
-            if afp is None:
-                afp = self._spec_fps[name] = spec.fingerprint()
-            key = result_key(afp, platform, config, platform_fingerprint=pfp)
+            key = self.result_address(name, platform, config)
             cached = self.store.get(key)
             if cached is not None:
                 self.metrics.count("cache_hits")

@@ -157,6 +157,16 @@ class ResultStore:
     store is an append-only ``results.jsonl``: one record per line,
     later records for the same key win, unreadable lines are skipped —
     a crash mid-append can therefore never poison the store.
+
+    Concurrent-writer safety: each record is appended as a *single*
+    ``os.write`` on an ``O_APPEND`` descriptor, so several processes
+    (the serve layer's worker pool, parallel CLI invocations) sharing
+    one file each land whole lines — the kernel serializes the
+    seek+write, and records cannot interleave mid-line.  A line torn by
+    a crash (or a pre-atomic-append writer) is skipped on load and
+    *reported*: :attr:`corrupt_lines` counts the records dropped by the
+    last load and the ``store_corrupt_lines_total`` metric carries the
+    count into the observability registry.
     """
 
     FILENAME = "results.jsonl"
@@ -165,6 +175,8 @@ class ResultStore:
         self._path = Path(directory) / self.FILENAME if directory else None
         self._mem: dict[str, dict] | None = None
         self._lock = threading.Lock()
+        #: Unparseable records skipped by the last load (0 until loaded).
+        self.corrupt_lines = 0
 
     @property
     def path(self) -> Path | None:
@@ -182,12 +194,18 @@ class ResultStore:
                 m = active_metrics()
                 if m is not None:
                     m.inc("store_bytes_read_total", len(text.encode()))
+                corrupt = 0
                 for line in text.splitlines():
+                    if not line.strip():
+                        continue
                     try:
                         rec = json.loads(line)
                         self._mem[rec["key"]] = rec["estimate"]
                     except (json.JSONDecodeError, KeyError, TypeError):
-                        continue  # torn or foreign line: skip, don't fail
+                        corrupt += 1  # torn or foreign line: skip, don't fail
+                self.corrupt_lines = corrupt
+                if corrupt and m is not None:
+                    m.inc("store_corrupt_lines_total", corrupt)
         return self._mem
 
     def get(self, key: str) -> AppEstimate | None:
@@ -218,8 +236,17 @@ class ResultStore:
             self._loaded()[key] = rec
             if self._path is not None:
                 self._path.parent.mkdir(parents=True, exist_ok=True)
-                with self._path.open("a") as f:
-                    f.write(line + "\n")
+                # One O_APPEND write per record: atomic w.r.t. other
+                # processes appending to the same file (the in-process
+                # lock already serializes this store's own writers).
+                data = (line + "\n").encode()
+                fd = os.open(
+                    self._path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+                )
+                try:
+                    os.write(fd, data)
+                finally:
+                    os.close(fd)
 
     def estimates(
         self, app: str | None = None, platform: str | None = None
@@ -251,6 +278,7 @@ class ResultStore:
         """Drop every entry, in memory and on disk."""
         with self._lock:
             self._mem = {}
+            self.corrupt_lines = 0
             if self._path is not None:
                 try:
                     self._path.unlink()

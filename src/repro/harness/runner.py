@@ -39,8 +39,20 @@ def app_spec(name: str) -> AppSpec:
 
 def clear_cache() -> None:
     """Forget profiled specs and hierarchy models *and* wipe the engine's
-    persistent result store, so tests stay hermetic."""
+    persistent result store, so tests stay hermetic.
+
+    When the serve layer has been used in this process, its in-memory
+    LRU tiers are invalidated too — a stale warm tier over a wiped
+    store would resurrect cleared estimates.  The lookup goes through
+    ``sys.modules`` so serve-less runs never import (or pay for) the
+    serve package.
+    """
+    import sys
+
     default_engine().clear(store=True)
+    lru = sys.modules.get("repro.serve.lru")
+    if lru is not None:
+        lru.invalidate_all()
 
 
 def run_application(

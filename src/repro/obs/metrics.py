@@ -215,6 +215,48 @@ class MetricsRegistry:
             items = sorted(fam.samples.items()) if fam else []
         return [(dict(k), v) for k, v in items]
 
+    def merge(self, other: "MetricsRegistry") -> int:
+        """Fold ``other``'s samples into this registry; returns the
+        number of samples merged.
+
+        Counters add, gauges take the other registry's value, and
+        histograms with matching bucket bounds add elementwise (a
+        sample that exists only in ``other`` is copied).  Mismatched
+        kinds or histogram bounds raise, mirroring the single-registry
+        kind check.
+        """
+        merged = 0
+        for name in other.names():
+            kind = other.kind(name)
+            for labels, v in other.samples(name):
+                if kind == "counter":
+                    self.inc(name, v, **labels)
+                elif kind == "gauge":
+                    self.set(name, v, **labels)
+                else:
+                    key = _labelkey(labels)
+                    with self._lock:
+                        fam = self._family(name, "histogram")
+                        mine = fam.samples.get(key)
+                        if mine is None:
+                            fam.samples[key] = HistogramValue(
+                                bounds=v.bounds, counts=list(v.counts),
+                                total=v.total, count=v.count,
+                            )
+                        elif mine.bounds != v.bounds:
+                            raise ValueError(
+                                f"histogram {name!r} bucket bounds differ; "
+                                "cannot merge"
+                            )
+                        else:
+                            mine.counts = [
+                                a + b for a, b in zip(mine.counts, v.counts)
+                            ]
+                            mine.total += v.total
+                            mine.count += v.count
+                merged += 1
+        return merged
+
     def clear(self) -> None:
         with self._lock:
             self._families.clear()

@@ -1,0 +1,85 @@
+"""Coalescing of duplicate in-flight work (single-flight execution).
+
+Two clients asking for the same point — the same ``AppSpec.fingerprint``
+× platform × config × model version, i.e. the same store key — must
+share one evaluation, not race to compute it twice.  :class:`Coalescer`
+implements the classic single-flight pattern: the first request for a
+key becomes the *leader* and runs the computation; requests arriving
+while the leader is in flight become *followers* that block on the
+leader's event and receive the same result (or the same exception).
+
+The store deduplicates *completed* work; the coalescer deduplicates
+*in-flight* work — the window between a cold request arriving and its
+result landing in the store, which under concurrent load is exactly
+when duplicates pile up.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Hashable, TypeVar
+
+from . import metrics as sm
+
+__all__ = ["Coalescer"]
+
+T = TypeVar("T")
+
+
+class _Flight:
+    __slots__ = ("done", "result", "error", "followers")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result = None
+        self.error: BaseException | None = None
+        self.followers = 0
+
+
+class Coalescer:
+    """Single-flight executor: one computation per key at a time."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[Hashable, _Flight] = {}
+
+    def do(self, key: Hashable, compute: Callable[[], T]) -> tuple[T, bool]:
+        """Run ``compute`` once per in-flight ``key``.
+
+        Returns ``(result, coalesced)``: the leader computes and gets
+        ``coalesced=False``; every follower that arrived while the
+        leader was running gets the leader's result and ``True``.  A
+        leader's exception propagates to the leader *and* all its
+        followers.
+        """
+        with self._lock:
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = self._inflight[key] = _Flight()
+                leader = True
+            else:
+                flight.followers += 1
+                leader = False
+
+        if not leader:
+            flight.done.wait()
+            sm.inc("serve_coalesced_total")
+            if flight.error is not None:
+                raise flight.error
+            return flight.result, True
+
+        try:
+            flight.result = compute()
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                del self._inflight[key]
+            flight.done.set()
+        return flight.result, False
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._inflight)

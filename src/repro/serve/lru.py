@@ -1,0 +1,134 @@
+"""LRU in-memory tier in front of the content-addressed result store.
+
+The persistent :class:`~repro.engine.store.ResultStore` deserializes an
+:class:`~repro.perfmodel.roofline.AppEstimate` from its JSON record on
+every ``get``; under serving load the same handful of hot keys is asked
+for thousands of times.  :class:`LRUStore` wraps a store with a bounded
+ordered-dict tier holding the *deserialized* estimates, so a warm
+request costs one dict lookup instead of a record rebuild — the shared
+warm cache the whole worker pool reads.
+
+The wrapper is interface-compatible with ``ResultStore`` (the engine
+only ever calls ``get``/``put``/``__contains__``/``__len__``/``clear``
+plus the ``path``/``persistent`` properties), writes through on ``put``,
+and registers every live instance in a process-wide ``WeakSet`` so
+:func:`repro.harness.runner.clear_cache` can call :func:`invalidate_all`
+without importing the serve package on serve-less runs.
+
+Estimates are frozen dataclasses and are returned by reference; callers
+must not mutate them (none do — every consumer treats estimates as
+values).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
+
+from ..engine.store import ResultStore
+from ..perfmodel.roofline import AppEstimate
+from . import metrics as sm
+
+__all__ = ["LRUStore", "DEFAULT_CAPACITY", "invalidate_all"]
+
+DEFAULT_CAPACITY = 4096
+
+#: Every live LRUStore, so a global cache clear can reach the memory
+#: tiers without holding references that would keep them alive.
+_live: "weakref.WeakSet[LRUStore]" = weakref.WeakSet()
+
+
+def invalidate_all() -> int:
+    """Drop the memory tier of every live LRU store (the backing
+    stores are untouched); returns the number of tiers invalidated.
+    ``repro.harness.runner.clear_cache`` calls this — via
+    ``sys.modules`` — after wiping the engine's persistent store."""
+    stores = list(_live)
+    for store in stores:
+        store.invalidate()
+    return len(stores)
+
+
+class LRUStore:
+    """Bounded most-recently-used estimate tier over a ``ResultStore``."""
+
+    def __init__(self, inner: ResultStore, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"LRU capacity must be >= 1 (got {capacity})")
+        self.inner = inner
+        self.capacity = capacity
+        self._tier: OrderedDict[str, AppEstimate] = OrderedDict()
+        self._lock = threading.Lock()
+        _live.add(self)
+
+    # ---- the ResultStore interface the engine uses -----------------------
+
+    @property
+    def path(self):
+        return self.inner.path
+
+    @property
+    def persistent(self) -> bool:
+        return self.inner.persistent
+
+    def get(self, key: str) -> AppEstimate | None:
+        with self._lock:
+            est = self._tier.get(key)
+            if est is not None:
+                self._tier.move_to_end(key)
+        if est is not None:
+            sm.inc("serve_lru_hits_total")
+            return est
+        sm.inc("serve_lru_misses_total")
+        est = self.inner.get(key)
+        if est is not None:
+            self._insert(key, est)
+        return est
+
+    def put(self, key: str, estimate: AppEstimate) -> None:
+        self.inner.put(key, estimate)
+        self._insert(key, estimate)
+
+    def _insert(self, key: str, estimate: AppEstimate) -> None:
+        with self._lock:
+            self._tier[key] = estimate
+            self._tier.move_to_end(key)
+            evicted = 0
+            while len(self._tier) > self.capacity:
+                self._tier.popitem(last=False)
+                evicted += 1
+        if evicted:
+            sm.inc("serve_lru_evictions_total", evicted)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._tier:
+                return True
+        return key in self.inner
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def estimates(self, app: str | None = None, platform: str | None = None):
+        return self.inner.estimates(app, platform)
+
+    def compact(self) -> int:
+        return self.inner.compact()
+
+    # ---- tier management -------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop the memory tier only (backing store untouched)."""
+        with self._lock:
+            self._tier.clear()
+
+    def clear(self) -> None:
+        """Drop every entry: the memory tier *and* the backing store."""
+        self.invalidate()
+        self.inner.clear()
+
+    @property
+    def tier_len(self) -> int:
+        with self._lock:
+            return len(self._tier)

@@ -1,0 +1,405 @@
+"""The HTTP estimation service: stdlib ``http.server`` over the engine.
+
+``repro serve`` stands this server up as a long-running process; tests
+and the bench harness embed it in-process on an ephemeral port.  One
+:class:`ServeState` owns the whole serving stack:
+
+- a :class:`~repro.serve.lru.LRUStore` warm tier over the persistent
+  content-addressed store, installed as the process-default engine's
+  store (so the CLI verbs, the figure harnesses and the service all
+  share one cache);
+- a :class:`~repro.serve.shard.ShardedExecutor` fanning sweep plans
+  over a worker pool by store key;
+- a :class:`~repro.serve.batch.BatchQueue` folding concurrent run
+  requests into merged plans;
+- a :class:`~repro.serve.coalesce.Coalescer` deduplicating identical
+  in-flight requests;
+- an :class:`~repro.serve.backpressure.AdmissionGate` bounding
+  concurrent evaluation work (HTTP 429 + ``Retry-After`` beyond it).
+
+Endpoints (see ``docs/SERVE.md``):
+
+====================  =====================================================
+``GET /healthz``      liveness + store/queue introspection
+``GET /metrics``      Prometheus text: serve + engine metric families
+``GET /fidelity``     scorecard JSON (``?figures=fig1,fig2`` to restrict)
+``POST /run``         best-run estimate of ``{"app", "platform"}``
+``POST /sweep``       full sweep of ``{"apps": [...], "platforms": [...]}``
+``POST /explain``     attribution ``{"app", "platform", "vs", "what_if"}``
+====================  =====================================================
+
+``/run``, ``/fidelity``, ``/sweep`` and ``/explain`` bodies are
+byte-equivalent to the corresponding ``--json`` CLI outputs — both
+surfaces render through :mod:`repro.serve.payloads`.  Malformed JSON
+and unresolvable names map to HTTP 400 carrying the same message the
+CLI would print before exiting with status 2.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from .. import __version__
+from ..apps import APP_ORDER
+from ..engine import configure_engine, reset_engine
+from ..engine.core import default_cache_dir
+from ..engine.jobs import build_plan
+from ..engine.store import ResultStore, model_version
+from ..machine import ALL_PLATFORMS
+from ..obs.metrics import MetricsRegistry, prometheus_text
+from . import metrics as sm
+from . import payloads
+from .backpressure import AdmissionGate, Saturated
+from .batch import BatchQueue, best_of
+from .coalesce import Coalescer
+from .lru import DEFAULT_CAPACITY, LRUStore
+from .shard import ShardedExecutor
+
+__all__ = ["ServeConfig", "ServeState", "ReproServer", "create_server"]
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one server instance (CLI flags map 1:1 onto these)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8000
+    workers: int = 4
+    lru_capacity: int = DEFAULT_CAPACITY
+    max_inflight: int = 8
+    max_queue: int = 32
+    batch_window: float = 0.005
+    max_batch: int = 64
+    cache_dir: str | None = None  # None: the engine's default resolution
+    use_cache: bool = True
+    verbose: bool = False
+
+
+class ServeState:
+    """The serving stack behind the HTTP handler."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        directory = (
+            config.cache_dir if config.cache_dir is not None
+            else default_cache_dir()
+        )
+        self.store = LRUStore(
+            ResultStore(directory if config.use_cache else None),
+            capacity=config.lru_capacity,
+        )
+        # Installed as the process default so the harness wrappers the
+        # payload builders use (best_run, best_attribution, scorecard)
+        # all evaluate through the serve cache and worker settings.
+        self.engine = configure_engine(
+            store=self.store, workers=1, use_cache=config.use_cache
+        )
+        self.executor = ShardedExecutor(self.engine, shards=config.workers)
+        self.batcher = BatchQueue(
+            self.executor.run_plan,
+            window=config.batch_window,
+            max_batch=config.max_batch,
+        )
+        self.coalescer = Coalescer()
+        self.gate = AdmissionGate(
+            max_inflight=config.max_inflight, max_queue=config.max_queue
+        )
+        self.started = time.time()
+        self._closed = False
+        self._fingerprints: dict[str, str] = {}
+
+    def _fingerprint(self, name: str) -> str:
+        """Memoized spec fingerprint (recomputing it hashes the whole
+        kernel list — ~20 ms — which would dominate warm requests)."""
+        fp = self._fingerprints.get(name)
+        if fp is None:
+            fp = self._fingerprints[name] = self.engine.app_spec(name).fingerprint()
+        return fp
+
+    def run_key(self, name: str, platform) -> tuple:
+        """Coalescing identity of a run request: spec fingerprint ×
+        platform × model version (two clients asking for the same point
+        under the same model share one evaluation)."""
+        return ("run", self._fingerprint(name), platform.short_name,
+                model_version())
+
+    def best_run(self, name: str, platform) -> tuple:
+        """Coalesced best-run evaluation of one pair.
+
+        Fully-cached pairs run inline (every job of the pair's sweep is
+        already in the store, so the plan is pure cache hits); anything
+        needing real evaluation goes through the batch queue, where
+        concurrent cold requests merge into one plan.  Batching exists
+        to amortize expensive evaluation — warm requests skip its
+        window entirely.
+        """
+        def compute():
+            plan = build_plan([name], [platform])
+            if self.engine.use_cache and plan.jobs and all(
+                self.engine.result_address(j.app, j.platform, j.config)
+                in self.store
+                for j in plan.jobs
+            ):
+                sm.inc("serve_warm_inline_total")
+                return best_of(self.engine.run_plan(plan), name,
+                               platform.short_name)
+            return self.batcher.submit(name, platform).result()
+
+        (cfg, est), _coalesced = self.coalescer.do(
+            self.run_key(name, platform), compute
+        )
+        return cfg, est
+
+    def merged_registry(self) -> MetricsRegistry:
+        """Serve families + the engine's counters, one registry."""
+        merged = MetricsRegistry()
+        merged.merge(sm.registry())
+        merged.merge(self.engine.metrics.registry)
+        return merged
+
+    def health(self) -> dict:
+        inner = self.store.inner
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_s": round(time.time() - self.started, 3),
+            "model_version": model_version(),
+            "store_records": len(self.store),
+            "store_corrupt_records": inner.corrupt_lines,
+            "lru_entries": self.store.tier_len,
+            "inflight": self.gate.depth,
+            "workers": self.config.workers,
+        }
+
+    def close(self) -> None:
+        """Stop the batcher and release the process-default engine."""
+        if self._closed:
+            return
+        self._closed = True
+        self.batcher.close()
+        reset_engine()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def state(self) -> ServeState:
+        return self.server.state  # type: ignore[attr-defined]
+
+    def log_message(self, fmt, *args):  # quiet by default
+        if self.state.config.verbose:
+            super().log_message(fmt, *args)
+
+    # ---- response plumbing ----------------------------------------------
+
+    def _send(self, code: int, body: str,
+              content_type: str = "application/json",
+              extra_headers: dict | None = None) -> int:
+        data = body.encode()
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        for key, val in (extra_headers or {}).items():
+            self.send_header(key, val)
+        self.end_headers()
+        self.wfile.write(data)
+        return code
+
+    def _error(self, code: int, message: str,
+               extra_headers: dict | None = None, **fields) -> int:
+        return self._send(
+            code, payloads.render_json({"error": message, **fields}),
+            extra_headers=extra_headers,
+        )
+
+    def _json_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise payloads.RequestError("empty request body (expected JSON)")
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise payloads.RequestError(f"malformed JSON body: {exc}")
+        if not isinstance(body, dict):
+            raise payloads.RequestError(
+                f"request body must be a JSON object (got {type(body).__name__})"
+            )
+        return body
+
+    # ---- endpoint implementations ---------------------------------------
+
+    def _endpoint_healthz(self) -> int:
+        return self._send(200, payloads.render_json(self.state.health()))
+
+    def _endpoint_metrics(self) -> int:
+        text = prometheus_text(self.state.merged_registry())
+        return self._send(200, text, content_type="text/plain; version=0.0.4")
+
+    def _endpoint_fidelity(self, query: dict) -> int:
+        figures = payloads.resolve_figures(
+            ",".join(query.get("figures", [])) or None
+        )
+        with self.state.gate.admit():
+            payload, _ = self.state.coalescer.do(
+                ("fidelity", tuple(figures), model_version()),
+                lambda: payloads.fidelity_payload(figures),
+            )
+        return self._send(200, payloads.render_json(payload))
+
+    def _endpoint_run(self) -> int:
+        body = self._json_body()
+        name = payloads.resolve_app(body.get("app"))
+        platform = payloads.resolve_platform(body.get("platform", "max9480"))
+        with self.state.gate.admit():
+            cfg, est = self.state.best_run(name, platform)
+        payload = payloads.best_run_payload(name, platform, cfg, est)
+        return self._send(200, payloads.render_json(payload))
+
+    def _endpoint_sweep(self) -> int:
+        body = self._json_body()
+        apps = body.get("apps") or list(APP_ORDER)
+        if not isinstance(apps, list):
+            raise payloads.RequestError(f"'apps' must be a list (got {apps!r})")
+        names = [payloads.resolve_app(a) for a in apps]
+        raw_platforms = body.get("platforms", ["max9480"])
+        if raw_platforms == "all":
+            platforms = list(ALL_PLATFORMS)
+        elif isinstance(raw_platforms, list):
+            platforms = [payloads.resolve_platform(p) for p in raw_platforms]
+        else:
+            raise payloads.RequestError(
+                f"'platforms' must be a list or 'all' (got {raw_platforms!r})"
+            )
+        with self.state.gate.admit():
+            payload, _ = self.state.coalescer.do(
+                ("sweep", tuple(names),
+                 tuple(p.short_name for p in platforms), model_version()),
+                lambda: payloads.sweep_payload(
+                    names, platforms, run_plan=self.state.executor.run_plan
+                ),
+            )
+        return self._send(200, payloads.render_json(payload))
+
+    def _endpoint_explain(self) -> int:
+        body = self._json_body()
+        name = payloads.resolve_app(body.get("app"))
+        platform = payloads.resolve_platform(body.get("platform", "max9480"))
+        vs = body.get("vs")
+        other = payloads.resolve_platform(vs) if vs is not None else None
+        knobs = payloads.resolve_what_if(body.get("what_if") or {})
+        with self.state.gate.admit():
+            key = ("explain", name, platform.short_name,
+                   other.short_name if other else None,
+                   tuple(sorted(knobs.items())), model_version())
+            payload, _ = self.state.coalescer.do(
+                key,
+                lambda: payloads.explain_payload(
+                    name, platform, vs=other, what_if=knobs
+                ),
+            )
+        return self._send(200, payloads.render_json(payload))
+
+    # ---- dispatch --------------------------------------------------------
+
+    def _dispatch(self, method: str) -> None:
+        url = urlparse(self.path)
+        endpoint = url.path.rstrip("/") or "/"
+        t0 = time.perf_counter()
+        try:
+            if method == "GET" and endpoint == "/healthz":
+                code = self._endpoint_healthz()
+            elif method == "GET" and endpoint == "/metrics":
+                code = self._endpoint_metrics()
+            elif method == "GET" and endpoint == "/fidelity":
+                code = self._endpoint_fidelity(parse_qs(url.query))
+            elif method == "POST" and endpoint == "/run":
+                code = self._endpoint_run()
+            elif method == "POST" and endpoint == "/sweep":
+                code = self._endpoint_sweep()
+            elif method == "POST" and endpoint == "/explain":
+                code = self._endpoint_explain()
+            elif endpoint in ("/healthz", "/metrics", "/fidelity",
+                              "/run", "/sweep", "/explain"):
+                code = self._error(
+                    405, f"{method} not allowed on {endpoint}",
+                    extra_headers={"Allow":
+                                   "GET" if endpoint in ("/healthz", "/metrics",
+                                                         "/fidelity")
+                                   else "POST"},
+                )
+            else:
+                code = self._error(404, f"no such endpoint {endpoint!r}")
+        except Saturated as exc:
+            code = self._error(
+                429, str(exc), retry_after_s=exc.retry_after,
+                extra_headers={"Retry-After": str(exc.retry_after)},
+            )
+        except payloads.RequestError as exc:
+            code = self._error(400, str(exc))
+        except ValueError as exc:  # e.g. "no feasible configuration"
+            code = self._error(400, str(exc))
+        except BrokenPipeError:  # client went away; nothing to send
+            code = 499
+        except Exception as exc:  # pragma: no cover - defensive
+            code = self._error(500, f"internal error: {exc}")
+        sm.inc("serve_requests_total", endpoint=endpoint, status=code)
+        sm.observe("serve_request_seconds", time.perf_counter() - t0,
+                   endpoint=endpoint)
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+
+class ReproServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`ServeState`."""
+
+    daemon_threads = True
+    # http.server's default listen backlog of 5 drops SYNs under a
+    # concurrent-client burst (each drop costs the client a ~1 s
+    # retransmit); admission control belongs to the gate, not the
+    # accept queue.
+    request_queue_size = 128
+
+    def __init__(self, config: ServeConfig):
+        self.state = ServeState(config)
+        super().__init__((config.host, config.port), _Handler)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server_address[0]}:{self.port}"
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain the batcher, release
+        the process-default engine, close the socket."""
+        self.shutdown()
+        self.server_close()
+        self.state.close()
+
+    def run_in_thread(self) -> threading.Thread:
+        """Serve from a daemon thread (tests and the bench harness)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        thread.start()
+        return thread
+
+
+def create_server(**config_kwargs) -> ReproServer:
+    """Build a server from :class:`ServeConfig` keyword overrides
+    (``port=0`` binds an ephemeral port)."""
+    return ReproServer(ServeConfig(**config_kwargs))

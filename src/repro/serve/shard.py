@@ -1,0 +1,108 @@
+"""Multi-worker sharding of sweep plans by store key.
+
+The engine's own executor fans a plan out over a thread pool in chunk
+order; under a serving workload we want *affinity* instead: every job
+whose estimate lives under the same region of the content-addressed
+key space should land on the same worker, so one worker's hot loop
+touches one slice of the store (and of the LRU tier) rather than all
+workers bouncing over all keys.  :func:`shard_plan` partitions a
+:class:`~repro.engine.jobs.JobPlan`'s jobs by a stable hash of each
+job's store key — ``SweepEngine.result_address`` — and
+:class:`ShardedExecutor` runs one worker thread per non-empty shard,
+reassembling results in plan order so the output is indistinguishable
+from the engine's serial ``run_plan`` (the estimates themselves are
+content-addressed and therefore identical by construction).
+
+With caching disabled there is no store key; jobs then shard by the
+same stable digest over their (app, platform, config-label) identity.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import zlib
+
+from ..engine.core import SweepEngine
+from ..engine.jobs import Job, JobPlan, JobResult
+from . import metrics as sm
+
+__all__ = ["shard_index", "shard_plan", "ShardedExecutor"]
+
+
+def shard_index(engine: SweepEngine, job: Job, shards: int) -> int:
+    """Stable shard assignment of one job by its store key."""
+    if engine.use_cache:
+        key = engine.result_address(job.app, job.platform, job.config)
+    else:
+        key = f"{job.app}|{job.platform.short_name}|{job.config.label()}"
+    return zlib.crc32(key.encode()) % shards
+
+
+def shard_plan(
+    engine: SweepEngine, plan: JobPlan, shards: int
+) -> list[list[tuple[int, Job]]]:
+    """Partition a plan's runnable jobs into ``shards`` buckets of
+    (plan-position, job) pairs, keyed by store key."""
+    buckets: list[list[tuple[int, Job]]] = [[] for _ in range(shards)]
+    for pos, job in enumerate(plan.jobs):
+        buckets[shard_index(engine, job, shards)].append((pos, job))
+    return buckets
+
+
+class ShardedExecutor:
+    """Run job plans through an engine, one worker per store-key shard.
+
+    Mirrors ``SweepEngine.run_plan``'s contract exactly — specs and
+    hierarchies prebuilt serially, one :class:`JobResult` per runnable
+    job in plan order, skipped jobs appended — but dispatches each
+    shard on its own thread.
+    """
+
+    def __init__(self, engine: SweepEngine, shards: int = 4):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1 (got {shards})")
+        self.engine = engine
+        self.shards = shards
+
+    def run_plan(self, plan: JobPlan) -> list[JobResult]:
+        engine = self.engine
+        with engine.metrics.timed_run():
+            for name in plan.apps:
+                engine.app_spec(name)
+            for platform in plan.platforms:
+                engine.hierarchy(platform)
+            results: list[JobResult | None] = [None] * len(plan.jobs)
+            buckets = [b for b in shard_plan(engine, plan, self.shards) if b]
+            sm.inc("serve_sharded_jobs_total", len(plan.jobs))
+
+            def work(bucket: list[tuple[int, Job]]) -> None:
+                for pos, job in bucket:
+                    results[pos] = engine.evaluate(job)
+
+            if len(buckets) <= 1:
+                for bucket in buckets:
+                    work(bucket)
+            else:
+                # One context copy per worker, so installed tracers /
+                # metric registries propagate (a Context is single-entry,
+                # hence one copy each rather than one shared).
+                threads = [
+                    threading.Thread(
+                        target=contextvars.copy_context().run,
+                        args=(work, bucket),
+                        name=f"serve-shard-{i}",
+                    )
+                    for i, bucket in enumerate(buckets)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+        engine.metrics.count("jobs_skipped", len(plan.skipped))
+        out = [r for r in results if r is not None]
+        out.extend(
+            JobResult(job, None, "skipped", reason=reason)
+            for job, reason in plan.skipped
+        )
+        return out

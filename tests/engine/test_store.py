@@ -83,6 +83,67 @@ class TestResultStore:
             f.write("{torn-line\n")
         assert ResultStore(tmp_path).get("k1") is not None
 
+    def test_corrupt_lines_are_counted_and_reported(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k1", make_estimate(1.0))
+        with store.path.open("a") as f:
+            f.write("{torn-line\n")           # crash mid-append
+            f.write('{"not": "a record"}\n')  # foreign but valid JSON
+        store.put("k2", make_estimate(2.0))   # appended after the damage
+        reloaded = ResultStore(tmp_path)
+        assert reloaded.get("k1").total_time == 1.0
+        assert reloaded.get("k2").total_time == 2.0
+        assert reloaded.corrupt_lines == 2
+        assert len(reloaded) == 2
+
+    def test_blank_lines_are_not_counted_as_corrupt(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k1", make_estimate())
+        with store.path.open("a") as f:
+            f.write("\n\n")
+        reloaded = ResultStore(tmp_path)
+        assert reloaded.get("k1") is not None
+        assert reloaded.corrupt_lines == 0
+
+    def test_clear_resets_corrupt_count(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k1", make_estimate())
+        with store.path.open("a") as f:
+            f.write("{torn\n")
+        reloaded = ResultStore(tmp_path)
+        reloaded.get("k1")
+        assert reloaded.corrupt_lines == 1
+        reloaded.clear()
+        assert reloaded.corrupt_lines == 0
+
+    def test_concurrent_writers_never_tear_lines(self, tmp_path):
+        # Several store instances over one file (the multi-process
+        # pattern: each append is a single O_APPEND write) racing puts;
+        # every record must land whole.
+        import threading
+
+        writers, per_writer = 8, 20
+
+        def write(w: int) -> None:
+            store = ResultStore(tmp_path)
+            for i in range(per_writer):
+                store.put(f"w{w}-k{i}", make_estimate(w + i / 100))
+
+        threads = [
+            threading.Thread(target=write, args=(w,)) for w in range(writers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        merged = ResultStore(tmp_path)
+        assert merged.corrupt_lines == 0
+        assert len(merged) == writers * per_writer
+        for w in range(writers):
+            for i in range(per_writer):
+                got = merged.get(f"w{w}-k{i}")
+                assert got is not None and got.total_time == w + i / 100
+
     def test_clear_removes_file(self, tmp_path):
         store = ResultStore(tmp_path)
         store.put("k1", make_estimate())
