@@ -10,7 +10,10 @@ Walks README.md and docs/*.md and verifies that
    (exit 0), and every fenced ``python`` block executes — so the docs
    cannot drift from the CLI and API they describe;
 3. every ``python -m repro`` subcommand appears in at least one
-   documented command — new CLI verbs cannot ship undocumented.
+   documented command — new CLI verbs cannot ship undocumented;
+4. every long CLI flag (``--jobs``, ``--no-vec``, ...) is mentioned
+   somewhere in README.md or docs/ — new flags cannot ship
+   undocumented either.
 
 Commands matching SKIP_PATTERNS (package installs, test-suite runs
 covered by other CI jobs, path placeholders) are listed but not
@@ -45,6 +48,7 @@ SKIP_PATTERNS = [
     r"calibrate\.py",        # calibration sweep: long-running, optional
     r"drift --update",       # rewrites the committed fidelity baseline
     r"\bgit diff\b",         # the temp workdir is not a git checkout
+    r"capture_goldens\.py",  # re-records the committed golden baseline
 ]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -137,6 +141,27 @@ def cli_subcommands() -> list[str]:
     return verbs
 
 
+def cli_flags() -> list[str]:
+    """Every long option of the CLI, parsed from the argparse tree."""
+    src = (ROOT / "src" / "repro" / "cli" / "__init__.py").read_text()
+    flags = sorted(set(re.findall(r'add_argument\(\s*"(--[\w-]+)"', src)))
+    if not flags:
+        raise SystemExit("check_docs: found no flags in repro/cli — "
+                         "did the argparse tree move?")
+    return flags
+
+
+def check_flag_coverage(files: list[Path]) -> list[str]:
+    """Every long CLI flag must be mentioned in the docs (prose or
+    code block) — undocumented flags are invisible flags."""
+    corpus = "\n".join(f.read_text() for f in files)
+    return [
+        f"CLI flag {flag!r} is mentioned nowhere in README.md or docs/"
+        for flag in cli_flags()
+        if not re.search(rf"{re.escape(flag)}\b", corpus)
+    ]
+
+
 def check_cli_coverage(files: list[Path]) -> list[str]:
     """Every CLI verb must appear in at least one documented command, so
     new subcommands cannot ship undocumented."""
@@ -206,6 +231,10 @@ def main(argv=None) -> int:
     if not coverage:
         print(f"  ok   CLI coverage ({len(cli_subcommands())} subcommands)")
     errors += coverage
+    flag_coverage = check_flag_coverage(files)
+    if not flag_coverage:
+        print(f"  ok   CLI flag coverage ({len(cli_flags())} flags)")
+    errors += flag_coverage
     for e in errors:
         print(f"  FAIL {e}")
 

@@ -10,13 +10,15 @@ Commands
 ``trace APP [--platform P] [-o trace.json] [--iterations N] [--csv]``
     Trace one modeled run and export a Chrome trace-event JSON
     (``chrome://tracing`` / Perfetto) plus the per-kernel breakdown.
-``figures [figN ...] [--jobs N] [--no-cache]``
+``figures [figN ...] [--jobs N] [--no-cache] [--no-vec]``
     Regenerate the paper's figures (all by default) through the sweep
     engine.
-``sweep [APP ...] [--platform P[,P...]|all] [--jobs N] [--no-cache] [--json]``
+``sweep [APP ...] [--platform P[,P...]|all] [--jobs N] [--no-cache] [--no-vec] [--json]``
     Evaluate full configuration sweeps through the engine and print the
     per-configuration table plus cache/executor metrics (``--json`` for
-    the canonical payload ``POST /sweep`` also serves).
+    the canonical payload ``POST /sweep`` also serves).  Cold points are
+    evaluated through the batched vectorized path by default
+    (``docs/VECTOR.md``); ``--no-vec`` forces the per-job scalar path.
 ``validate APP``
     Execute the application's numerics at test scale and print its
     invariant diagnostics.
@@ -116,6 +118,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parallel sweep workers (default serial)")
     p_fig.add_argument("--no-cache", action="store_true",
                        help="bypass the persistent result store")
+    p_fig.add_argument("--no-vec", action="store_true",
+                       help="disable batched (vectorized) evaluation "
+                            "(use the per-job scalar path)")
 
     p_sweep = sub.add_parser(
         "sweep", help="evaluate configuration sweeps through the engine")
@@ -129,6 +134,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="parallel sweep workers (default serial)")
     p_sweep.add_argument("--no-cache", action="store_true",
                          help="bypass the persistent result store")
+    p_sweep.add_argument("--no-vec", action="store_true",
+                         help="disable batched (vectorized) evaluation "
+                              "(use the per-job scalar path)")
     p_sweep.add_argument("--json", action="store_true",
                          help="emit the canonical sweep payload as JSON "
                               "(byte-equivalent to the serve API's POST /sweep)")
@@ -151,6 +159,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parallel sweep workers (default serial)")
     p_met.add_argument("--no-cache", action="store_true",
                        help="bypass the persistent result store")
+    p_met.add_argument("--no-vec", action="store_true",
+                       help="disable batched (vectorized) evaluation "
+                            "(use the per-job scalar path)")
 
     p_fid = sub.add_parser(
         "fidelity", help="score the model against the paper's values")
@@ -164,6 +175,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parallel sweep workers (default serial)")
     p_fid.add_argument("--no-cache", action="store_true",
                        help="bypass the persistent result store")
+    p_fid.add_argument("--no-vec", action="store_true",
+                       help="disable batched (vectorized) evaluation "
+                            "(use the per-job scalar path)")
 
     p_exp = sub.add_parser(
         "explain", help="attribute an estimate's seconds and diff platforms")
@@ -184,6 +198,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parallel sweep workers (default serial)")
     p_exp.add_argument("--no-cache", action="store_true",
                        help="bypass the persistent result store")
+    p_exp.add_argument("--no-vec", action="store_true",
+                       help="disable batched (vectorized) evaluation "
+                            "(use the per-job scalar path)")
 
     p_rep = sub.add_parser(
         "report", help="write the self-contained HTML (or markdown) report")
@@ -196,6 +213,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parallel sweep workers (default serial)")
     p_rep.add_argument("--no-cache", action="store_true",
                        help="bypass the persistent result store")
+    p_rep.add_argument("--no-vec", action="store_true",
+                       help="disable batched (vectorized) evaluation "
+                            "(use the per-job scalar path)")
 
     p_drift = sub.add_parser(
         "drift", help="gate the fidelity scorecard against its baseline")
@@ -210,6 +230,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="parallel sweep workers (default serial)")
     p_drift.add_argument("--no-cache", action="store_true",
                          help="bypass the persistent result store")
+    p_drift.add_argument("--no-vec", action="store_true",
+                         help="disable batched (vectorized) evaluation "
+                              "(use the per-job scalar path)")
 
     p_srv = sub.add_parser(
         "serve", help="run the long-running HTTP estimation service")
@@ -230,6 +253,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds to accumulate a run batch (default 0.005)")
     p_srv.add_argument("--no-cache", action="store_true",
                        help="serve without the persistent result store")
+    p_srv.add_argument("--no-vec", action="store_true",
+                       help="disable batched (vectorized) evaluation "
+                            "(use the per-job scalar path)")
     p_srv.add_argument("--verbose", action="store_true",
                        help="log every request to stderr")
     return parser

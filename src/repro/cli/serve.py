@@ -22,6 +22,7 @@ def cmd_serve(args) -> int:
         max_queue=args.max_queue,
         batch_window=args.batch_window,
         use_cache=not args.no_cache,
+        vectorize=not args.no_vec,
         verbose=args.verbose,
     )
     try:

@@ -21,6 +21,15 @@ Evaluation of one job:
 fanning estimate jobs out to the executor, so worker threads only ever
 read warm caches — which is what makes a parallel sweep bit-identical
 to the serial one.
+
+Cold evaluation is vectorized by default: ``run_plan`` looks every job
+up in the store first, then hands all misses to
+:class:`repro.vec.evaluate.VecEvaluator` as one batch (bit-for-bit
+identical to the scalar path — see ``docs/VECTOR.md``).  The per-job
+scalar path is used instead when ``REPRO_NO_VEC``/``--no-vec`` is set,
+when a tracer or session metrics registry is active (the scalar path
+owns the span/metric taxonomy), and for any job the vectorized path
+declines (returned as ``None`` from the batch).
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ from ..apps.base import build_spec, get_app
 from ..machine.config import RunConfig, check_feasible
 from ..machine.spec import PlatformSpec
 from ..mem.hierarchy import HierarchyModel
+from ..obs.metrics import active_metrics
 from ..obs.tracer import active_tracer
 from ..perfmodel import calibration as cal
 from ..perfmodel.kernelmodel import AppSpec
@@ -56,6 +66,9 @@ __all__ = [
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Default worker count for parallel sweeps (serial when unset).
 JOBS_ENV = "REPRO_JOBS"
+#: Set (to any non-empty value) to disable the vectorized cold path and
+#: evaluate every job through the per-job scalar path (``--no-vec``).
+NO_VEC_ENV = "REPRO_NO_VEC"
 
 
 def default_cache_dir() -> Path | None:
@@ -86,6 +99,11 @@ class SweepEngine:
     use_cache:
         ``False`` bypasses the persistent store completely — every job
         is evaluated fresh and nothing is written.
+    vectorize:
+        ``False`` forces the per-job scalar path for plan execution;
+        the default (``None``) reads ``$REPRO_NO_VEC`` (vectorized
+        unless set).  Even when enabled, plans run scalar under an
+        active tracer or session metrics registry.
     progress:
         Optional ``progress(done, total, job, result)`` callback fired
         per completed job.
@@ -98,6 +116,7 @@ class SweepEngine:
         store: ResultStore | None = None,
         workers: int | None = None,
         use_cache: bool = True,
+        vectorize: bool | None = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         progress: Callable[[int, int, Job, JobResult], None] | None = None,
     ):
@@ -108,6 +127,11 @@ class SweepEngine:
         self.store = store
         self.workers = _default_workers() if workers is None else workers
         self.use_cache = use_cache
+        if vectorize is None:
+            vectorize = not os.environ.get(NO_VEC_ENV)
+        self.vectorize = vectorize
+        self.last_evaluator = "scalar"  # path of the most recent run_plan
+        self._vec = None  # lazy VecEvaluator (skipped entirely under --no-vec)
         self.chunk_size = chunk_size
         self.progress = progress
         self.metrics = EngineMetrics()
@@ -230,13 +254,121 @@ class SweepEngine:
             )
         return result
 
+    # ---- batched (vectorized) evaluation ---------------------------------
+
+    def _use_vectorized(self) -> bool:
+        """Whether plan execution may take the batched path right now.
+
+        Tracing and session metrics observe the scalar path's span and
+        metric taxonomy (per-loop spans, hierarchy lookups); batched
+        evaluation would silently drop them, so instrumented runs stay
+        scalar.
+        """
+        return (
+            self.vectorize
+            and active_tracer() is None
+            and active_metrics() is None
+        )
+
+    def lookup(self, job: Job) -> JobResult | None:
+        """Store-only probe of one job: the cached result, or ``None``
+        on a miss (the caller then batches the miss).  Used by the
+        vectorized plan path and by the serve shards, which keep LRU
+        affinity by doing their own lookups before batching."""
+        if not self.use_cache:
+            return None
+        import time
+
+        t0 = time.perf_counter()
+        try:
+            key = self.result_address(job.app, job.platform, job.config)
+            cached = self.store.get(key)
+        except Exception:
+            return None  # let the evaluation path surface the failure
+        if cached is None:
+            return None
+        dt = time.perf_counter() - t0
+        self.metrics.count("cache_hits")
+        self.metrics.count("jobs_executed")
+        self.metrics.add_job_time(dt)
+        return JobResult(job, cached, "cached", duration=dt)
+
+    def evaluate_batch(self, jobs: list[Job]) -> list[JobResult]:
+        """Evaluate jobs as one vectorized batch (no store lookups —
+        call :meth:`lookup` first).  Jobs the vectorized path declines
+        fall back to :meth:`evaluate` individually, so error capture
+        and counters match the scalar path exactly."""
+        import time
+
+        if not jobs:
+            return []
+        if self._vec is None:
+            from ..vec import VecEvaluator
+
+            self._vec = VecEvaluator()
+        t0 = time.perf_counter()
+        items = [
+            (
+                self.app_spec(job.app),
+                job.platform,
+                job.config,
+                self.hierarchy(job.platform),
+            )
+            for job in jobs
+        ]
+        estimates = self._vec.evaluate_many(items)
+        per = (time.perf_counter() - t0) / len(jobs)
+        self.metrics.count("vec_batches")
+        results: list[JobResult] = []
+        n_vec = 0
+        for job, est in zip(jobs, estimates):
+            if est is None:
+                results.append(self.evaluate(job))
+                continue
+            n_vec += 1
+            if self.use_cache:
+                self.metrics.count("cache_misses")
+                self.store.put(
+                    self.result_address(job.app, job.platform, job.config),
+                    est,
+                )
+            self.metrics.count("evaluations")
+            self.metrics.count("jobs_executed")
+            self.metrics.add_job_time(per)
+            results.append(JobResult(job, est, "ok", duration=per))
+        self.metrics.count("vec_jobs", n_vec)
+        return results
+
+    def _run_plan_vectorized(self, plan: JobPlan) -> list[JobResult]:
+        """Lookup sweep, then one batched evaluation of all misses."""
+        slots: list[JobResult | None] = [None] * len(plan.jobs)
+        misses = []
+        for i, job in enumerate(plan.jobs):
+            res = self.lookup(job)
+            if res is None:
+                misses.append(i)
+            else:
+                slots[i] = res
+        if misses:
+            batch = self.evaluate_batch([plan.jobs[i] for i in misses])
+            for i, res in zip(misses, batch):
+                slots[i] = res
+        if self.progress is not None:
+            total = len(plan.jobs)
+            for done, (job, res) in enumerate(zip(plan.jobs, slots), 1):
+                self.progress(done, total, job, res)
+        return slots
+
     # ---- plan execution --------------------------------------------------
 
     def run_plan(self, plan: JobPlan) -> list[JobResult]:
-        """Execute a plan: specs first, then estimates (parallel when
-        ``workers > 1``).  Returns one result per *runnable* job in plan
-        order; planned-but-skipped jobs are appended with status
+        """Execute a plan: specs first, then estimates (batched by
+        default, per-job — parallel when ``workers > 1`` — otherwise).
+        Returns one result per *runnable* job in plan order;
+        planned-but-skipped jobs are appended with status
         ``"skipped"``."""
+        use_vec = self._use_vectorized()
+        self.last_evaluator = "vectorized" if use_vec else "scalar"
         with self.metrics.timed_run():
             # Spec-before-estimate: profile serially so the parallel
             # phase only reads caches.
@@ -244,13 +376,16 @@ class SweepEngine:
                 self.app_spec(name)
             for platform in plan.platforms:
                 self.hierarchy(platform)
-            results = run_jobs(
-                self.evaluate,
-                plan.jobs,
-                workers=self.workers,
-                chunk_size=self.chunk_size,
-                progress=self.progress,
-            )
+            if use_vec:
+                results = self._run_plan_vectorized(plan)
+            else:
+                results = run_jobs(
+                    self.evaluate,
+                    plan.jobs,
+                    workers=self.workers,
+                    chunk_size=self.chunk_size,
+                    progress=self.progress,
+                )
         self.metrics.count("jobs_skipped", len(plan.skipped))
         results.extend(
             JobResult(job, None, "skipped", reason=reason)

@@ -182,6 +182,10 @@ def sweep_payload(
         "platforms": [p.short_name for p in platforms],
         "jobs": len(plan.jobs),
         "planned_infeasible": len(plan.skipped),
+        # Which evaluation path the plan ran through ("vectorized" or
+        # "scalar") — disambiguates benchmarks and bug reports.  The
+        # sharded executor and run_plan both record it on the engine.
+        "evaluator": engine.last_evaluator,
         "results": rows,
     }
 

@@ -77,6 +77,7 @@ class ServeConfig:
     max_batch: int = 64
     cache_dir: str | None = None  # None: the engine's default resolution
     use_cache: bool = True
+    vectorize: bool = True  # False: per-job scalar evaluation (--no-vec)
     verbose: bool = False
 
 
@@ -97,7 +98,8 @@ class ServeState:
         # payload builders use (best_run, best_attribution, scorecard)
         # all evaluate through the serve cache and worker settings.
         self.engine = configure_engine(
-            store=self.store, workers=1, use_cache=config.use_cache
+            store=self.store, workers=1, use_cache=config.use_cache,
+            vectorize=config.vectorize,
         )
         self.executor = ShardedExecutor(self.engine, shards=config.workers)
         self.batcher = BatchQueue(

@@ -15,6 +15,13 @@ content-addressed and therefore identical by construction).
 
 With caching disabled there is no store key; jobs then shard by the
 same stable digest over their (app, platform, config-label) identity.
+
+When the engine's vectorized path is enabled, the shard threads only
+do the store *lookups* (keeping the per-shard LRU affinity that is the
+point of sharding) and collect the misses; the misses are then
+evaluated as **one** batched ``SweepEngine.evaluate_batch`` call on the
+calling thread — this is how a merged serve batch hits the vectorized
+evaluator exactly once.
 """
 
 from __future__ import annotations
@@ -67,6 +74,8 @@ class ShardedExecutor:
 
     def run_plan(self, plan: JobPlan) -> list[JobResult]:
         engine = self.engine
+        use_vec = engine._use_vectorized()
+        engine.last_evaluator = "vectorized" if use_vec else "scalar"
         with engine.metrics.timed_run():
             for name in plan.apps:
                 engine.app_spec(name)
@@ -75,10 +84,27 @@ class ShardedExecutor:
             results: list[JobResult | None] = [None] * len(plan.jobs)
             buckets = [b for b in shard_plan(engine, plan, self.shards) if b]
             sm.inc("serve_sharded_jobs_total", len(plan.jobs))
+            misses: list[tuple[int, Job]] = []
+            misses_lock = threading.Lock()
 
-            def work(bucket: list[tuple[int, Job]]) -> None:
-                for pos, job in bucket:
-                    results[pos] = engine.evaluate(job)
+            if use_vec:
+
+                def work(bucket: list[tuple[int, Job]]) -> None:
+                    mine = []
+                    for pos, job in bucket:
+                        res = engine.lookup(job)
+                        if res is None:
+                            mine.append((pos, job))
+                        else:
+                            results[pos] = res
+                    with misses_lock:
+                        misses.extend(mine)
+
+            else:
+
+                def work(bucket: list[tuple[int, Job]]) -> None:
+                    for pos, job in bucket:
+                        results[pos] = engine.evaluate(job)
 
             if len(buckets) <= 1:
                 for bucket in buckets:
@@ -99,6 +125,13 @@ class ShardedExecutor:
                     t.start()
                 for t in threads:
                     t.join()
+            if misses:
+                # Plan order makes the batch deterministic regardless of
+                # which shard thread collected which miss.
+                misses.sort(key=lambda pj: pj[0])
+                batch = engine.evaluate_batch([job for _, job in misses])
+                for (pos, _job), res in zip(misses, batch):
+                    results[pos] = res
         engine.metrics.count("jobs_skipped", len(plan.skipped))
         out = [r for r in results if r is not None]
         out.extend(

@@ -305,3 +305,49 @@ class TestMetricsIntegration:
         out = capsys.readouterr().out
         assert "perfmodel_loops_total" in out  # the sweep's own families
         assert "serve_requests_total" in out  # merged serve families
+
+
+class TestVectorizedBatching:
+    def test_merged_batch_hits_vectorized_path_once(self, tmp_path):
+        """Two cold run requests landing in one batching window merge
+        into one plan and that plan is evaluated as exactly one
+        vectorized batch (the amortization the 5 ms window exists for)."""
+        srv = create_server(
+            port=0, workers=2, cache_dir=str(tmp_path),
+            batch_window=0.25,
+        )
+        srv.run_in_thread()
+        try:
+            engine = srv.state.engine
+            assert engine.metrics.vec_batches == 0
+            from repro.machine import get_platform
+
+            futures = [
+                srv.state.batcher.submit(app, get_platform(p))
+                for app, p in [("cloverleaf2d", "max9480"),
+                               ("mgcfd", "max9480")]
+            ]
+            results = [f.result(timeout=120) for f in futures]
+            assert all(est is not None for _cfg, est in results)
+            assert engine.last_evaluator == "vectorized"
+            assert engine.metrics.vec_batches == 1
+            assert engine.metrics.vec_jobs > 0
+        finally:
+            srv.stop()
+
+    def test_no_vec_server_runs_scalar(self, tmp_path):
+        srv = create_server(
+            port=0, workers=2, cache_dir=str(tmp_path), vectorize=False,
+        )
+        srv.run_in_thread()
+        try:
+            status, body, _ = post(
+                srv.url + "/sweep",
+                {"apps": ["mgcfd"], "platforms": ["max9480"]},
+            )
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["evaluator"] == "scalar"
+            assert srv.state.engine.metrics.vec_batches == 0
+        finally:
+            srv.stop()

@@ -1,0 +1,171 @@
+"""Scalar vs vectorized equivalence: exact, to the last bit and type.
+
+The vectorized evaluator's whole contract is that it is *invisible* —
+every ``AppEstimate`` it produces must equal the scalar
+:func:`repro.perfmodel.roofline.estimate_app` result field-for-field,
+bit-for-bit, including the int-vs-float identity of counted bytes
+(``docs/VECTOR.md``).  These tests check that over the real
+application x platform x config matrix and over randomized
+(hypothesis-generated) kernel plans.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import all_apps, build_spec, get_app
+from repro.engine.jobs import build_plan, default_configs
+from repro.machine import ALL_PLATFORMS, get_platform
+from repro.mem.hierarchy import HierarchyModel
+from repro.perfmodel import calibration as cal
+from repro.perfmodel.kernelmodel import AppClass, AppSpec, LoopSpec
+from repro.perfmodel.roofline import estimate_app
+from repro.vec import VecEvaluator
+
+
+def assert_identical(a, b, path=""):
+    """Exact recursive equality: same types (int stays int), same bits
+    (no tolerance), same structure."""
+    assert type(a) is type(b), f"{path}: {type(a).__name__} vs {type(b).__name__}"
+    if isinstance(a, float):
+        assert a == b and math.copysign(1.0, a) == math.copysign(1.0, b), (
+            f"{path}: {a!r} != {b!r}"
+        )
+    elif isinstance(a, (int, str, bool)) or a is None:
+        assert a == b, f"{path}: {a!r} != {b!r}"
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b), f"{path}: length {len(a)} vs {len(b)}"
+        for i, (x, y) in enumerate(zip(a, b)):
+            assert_identical(x, y, f"{path}[{i}]")
+    elif hasattr(a, "__dict__"):
+        for k in vars(a):
+            assert_identical(getattr(a, k), getattr(b, k), f"{path}.{k}")
+    else:
+        assert a == b, f"{path}: {a!r} != {b!r}"
+
+
+def _hierarchies(platforms):
+    return {
+        p.short_name: HierarchyModel(p, utilization=cal.CACHE_UTILIZATION)
+        for p in platforms
+    }
+
+
+class TestRealApplications:
+    def test_full_default_plan_matches_scalar(self):
+        """Every runnable job of the full apps x platforms default plan
+        evaluates identically through both paths."""
+        names = [a.name for a in all_apps()]
+        plan = build_plan(names, list(ALL_PLATFORMS))
+        specs = {n: build_spec(get_app(n)) for n in names}
+        hms = _hierarchies(ALL_PLATFORMS)
+        items = [
+            (specs[j.app], j.platform, j.config, hms[j.platform.short_name])
+            for j in plan.jobs
+        ]
+        vec = VecEvaluator().evaluate_many(items)
+        assert len(vec) == len(plan.jobs) > 0
+        for job, got, (spec, platform, config, hm) in zip(plan.jobs, vec, items):
+            assert got is not None, f"vec declined {job.label()}"
+            want = estimate_app(spec, platform, config, hm)
+            assert_identical(want, got, job.label())
+
+    def test_repeat_evaluation_is_stable(self):
+        """Warm caches (tables, blocks, comm memo) change nothing."""
+        spec = build_spec(get_app("mgcfd"))
+        platform = get_platform("max9480")
+        hm = HierarchyModel(platform, utilization=cal.CACHE_UTILIZATION)
+        configs = default_configs("mgcfd", platform)
+        items = [(spec, platform, c, hm) for c in configs]
+        ev = VecEvaluator()
+        first = ev.evaluate_many(items)
+        second = ev.evaluate_many(items)
+        for c, a, b in zip(configs, first, second):
+            assert_identical(a, b, c.label())
+
+
+# ---------------------------------------------------------------------------
+# randomized kernel plans
+
+_pos = st.floats(min_value=1.0, max_value=1e9, allow_nan=False,
+                 allow_infinity=False)
+_small = st.floats(min_value=0.0, max_value=64.0, allow_nan=False,
+                   allow_infinity=False)
+
+
+@st.composite
+def loop_specs(draw, index):
+    bytes_pp = draw(_small)
+    return LoopSpec(
+        name=f"loop{index}",
+        points=draw(_pos),
+        bytes_per_point=bytes_pp,
+        flops_per_point=draw(_small),
+        radius=draw(st.integers(min_value=0, max_value=4)),
+        indirect_per_point=draw(_small),
+        indirect_bytes_per_point=(
+            draw(st.floats(min_value=0.0, max_value=bytes_pp,
+                           allow_nan=False))
+            if bytes_pp > 0 else 0.0
+        ),
+        vectorizable=draw(st.booleans()),
+        dtype_bytes=draw(st.sampled_from([4, 8])),
+        streams=draw(st.integers(min_value=1, max_value=8)),
+        invocations=draw(st.floats(min_value=0.25, max_value=32.0,
+                                   allow_nan=False)),
+    )
+
+
+@st.composite
+def app_specs(draw):
+    nloops = draw(st.integers(min_value=1, max_value=5))
+    loops = tuple(draw(loop_specs(i)) for i in range(nloops))
+    ndims = draw(st.integers(min_value=1, max_value=3))
+    domain = tuple(
+        draw(st.integers(min_value=8, max_value=2048)) for _ in range(ndims)
+    )
+    return AppSpec(
+        name="randapp",
+        klass=draw(st.sampled_from(list(AppClass))),
+        dtype_bytes=draw(st.sampled_from([4, 8])),
+        iterations=draw(st.integers(min_value=1, max_value=50)),
+        loops=loops,
+        domain=domain,
+        halo_depth=draw(st.integers(min_value=1, max_value=3)),
+        fields_exchanged=draw(st.floats(min_value=0.0, max_value=8.0,
+                                        allow_nan=False)),
+        exchanges_per_iter=draw(st.floats(min_value=0.0, max_value=4.0,
+                                          allow_nan=False)),
+        reductions_per_iter=draw(st.floats(min_value=0.0, max_value=2.0,
+                                           allow_nan=False)),
+        state_bytes=draw(st.floats(min_value=0.0, max_value=1e12,
+                                   allow_nan=False)),
+        gather_hit=draw(st.one_of(
+            st.none(), st.floats(min_value=0.0, max_value=1.0,
+                                 allow_nan=False))),
+    )
+
+
+_hms = _hierarchies(ALL_PLATFORMS)
+
+
+@settings(max_examples=120, deadline=None)
+@given(spec=app_specs(),
+       platform_i=st.integers(min_value=0, max_value=len(ALL_PLATFORMS) - 1),
+       config_i=st.integers(min_value=0, max_value=200))
+def test_randomized_plans_match_scalar(spec, platform_i, config_i):
+    """Property: any randomized KernelPlan-shaped spec evaluates
+    identically through the scalar and vectorized paths, on any
+    platform, under any configuration of that platform's paper sweep."""
+    platform = ALL_PLATFORMS[platform_i]
+    configs = default_configs(
+        "mgcfd" if not spec.klass.is_structured else "cloverleaf2d", platform
+    )
+    config = configs[config_i % len(configs)]
+    hm = _hms[platform.short_name]
+    got = VecEvaluator().evaluate_many([(spec, platform, config, hm)])[0]
+    assert got is not None
+    want = estimate_app(spec, platform, config, hm)
+    assert_identical(want, got, f"{platform.short_name}/{config.label()}")

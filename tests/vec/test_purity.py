@@ -1,0 +1,72 @@
+"""Layering purity around the vectorized evaluator.
+
+``repro.vec`` sits between the model layer and the execution layer: the
+engine calls *down* into it, never the other way.  And the pure model
+layers (``perfmodel``, ``ir``) must know about neither the engine nor
+the vectorized evaluator — the scalar model stays the single source of
+truth the array IR is lowered *from*.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _imported_modules(path: Path) -> set[str]:
+    """Every module name a file imports, with relative imports resolved
+    against its package (``from ..engine import x`` -> ``repro.engine``)."""
+    tree = ast.parse(path.read_text())
+    pkg_parts = path.relative_to(SRC.parent).parts[:-1]  # drop filename
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            out.update(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = pkg_parts[: len(pkg_parts) - node.level + 1]
+                mod = ".".join(base + ((node.module,) if node.module else ()))
+            else:
+                mod = node.module or ""
+            out.add(mod)
+            # `from repro import engine` style: count the bound names too.
+            out.update(f"{mod}.{alias.name}" for alias in node.names)
+    return out
+
+
+def _layer_files(*layers: str) -> list[Path]:
+    files = []
+    for layer in layers:
+        files.extend(sorted((SRC / layer).rglob("*.py")))
+    assert files
+    return files
+
+
+@pytest.mark.parametrize("path", _layer_files("vec"), ids=lambda p: p.name)
+def test_vec_never_imports_execution_layers(path):
+    imported = _imported_modules(path)
+    for mod in imported:
+        assert not mod.startswith("repro.engine"), (
+            f"{path.name} imports {mod}: repro.vec must not depend on the "
+            "engine (the engine calls down into vec)"
+        )
+        assert not mod.startswith("repro.serve"), (
+            f"{path.name} imports {mod}: repro.vec must not depend on serve"
+        )
+
+
+@pytest.mark.parametrize(
+    "path", _layer_files("perfmodel", "ir"), ids=lambda p: str(p.name)
+)
+def test_model_layers_free_of_engine_and_vec(path):
+    imported = _imported_modules(path)
+    for mod in imported:
+        assert not mod.startswith("repro.engine"), (
+            f"{path} imports {mod}: perfmodel/ir must stay engine-free"
+        )
+        assert not mod.startswith("repro.vec"), (
+            f"{path} imports {mod}: the scalar model must not know about "
+            "its vectorized mirror"
+        )
