@@ -12,11 +12,15 @@ dir), then
    cold load (kept out of the cold phase so coalesced riders don't
    inflate its req/s);
 3. **warm** — several concurrent rounds over the cold-phase pairs,
-   served from the LRU tier over the populated store.
+   served from the LRU tier over the populated store;
+4. **observed** — the warm rounds again with a live tracer *and*
+   session metrics registry installed around every request, so the
+   overhead of full observability on the fast path is a tracked number
+   (the ratio should hover near 1.0).
 
 Writes ``BENCH_serve.json``: p50/p99 latency and req/s per phase, the
-cold→warm throughput ratio, the coalescing hit count, and the serve/
-engine metric totals.
+cold→warm throughput ratio, the observed/warm overhead ratio, the
+coalescing hit count, and the serve/engine metric totals.
 
 Usage::
 
@@ -38,6 +42,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+from repro.obs.tracer import Tracer  # noqa: E402
 from repro.serve import create_server  # noqa: E402
 from repro.serve import metrics as serve_metrics  # noqa: E402
 
@@ -143,6 +149,18 @@ def main(argv=None) -> int:
             warm_lat, warm_wall = fire(server.url, warm_requests)
             warm = phase_stats(warm_lat, warm_wall)
 
+            # Same warm shape with full observability installed around
+            # every dispatch (the embedded-use ServeConfig fields).
+            tracer, session = Tracer(), MetricsRegistry()
+            server.state.config.tracer = tracer
+            server.state.config.session_metrics = session
+            observed_lat, observed_wall = fire(server.url, warm_requests)
+            observed = phase_stats(observed_lat, observed_wall)
+            server.state.config.tracer = None
+            server.state.config.session_metrics = None
+            observed["trace_spans"] = len(tracer.spans)
+            observed["session_metric_families"] = len(session.names())
+
             registry = serve_metrics.registry()
             coalesced = registry.total("serve_coalesced_total")
             result = {
@@ -155,9 +173,14 @@ def main(argv=None) -> int:
                 "cold": cold,
                 "coalesce_burst": burst,
                 "warm": warm,
+                "observed": observed,
                 "warm_over_cold_req_per_s": (
                     warm["req_per_s"] / cold["req_per_s"]
                     if cold["req_per_s"] else None
+                ),
+                "observed_over_warm_wall": (
+                    observed["wall_s"] / warm["wall_s"]
+                    if warm["wall_s"] else None
                 ),
                 "coalesced_requests": coalesced,
                 "serve_metrics": {
@@ -176,6 +199,7 @@ def main(argv=None) -> int:
           f"warm {warm['req_per_s']:.1f} req/s "
           f"(p50 {warm['p50_ms']:.1f} ms, p99 {warm['p99_ms']:.1f} ms) -> "
           f"{result['warm_over_cold_req_per_s']:.0f}x, "
+          f"observed/warm {result['observed_over_warm_wall']:.2f}x, "
           f"{coalesced:.0f} coalesced; wrote {args.out}")
     if result["warm_over_cold_req_per_s"] < 10:
         print("WARNING: warm/cold throughput ratio below 10x", file=sys.stderr)

@@ -10,6 +10,12 @@ reading a store populated by an untimed priming pass — and writes the
 timings plus engine metrics to ``BENCH_sweep.json`` for the
 performance trajectory.
 
+A third **observed** pass repeats the cold shape with a live tracer and
+session metrics registry installed.  The vectorized evaluator must stay
+on under observability; the pass is gated at >= 10x the pre-vectorizer
+scalar baseline (~211 jobs/s), failing the run (exit 1) if full
+instrumentation ever drags the fast path below that floor.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_sweep.py [--jobs N] [--out FILE]
@@ -28,6 +34,12 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.engine import configure_engine, reset_engine  # noqa: E402
 from repro.harness import figures  # noqa: E402
+from repro.obs.metrics import MetricsRegistry, collecting  # noqa: E402
+from repro.obs.tracer import Tracer, tracing  # noqa: E402
+
+#: Cold throughput of the pre-vectorizer scalar engine (jobs/s); the
+#: observed pass must clear ten times this.
+SCALAR_BASELINE_JOBS_PER_S = 211.0
 
 
 def timed_figures() -> float:
@@ -60,6 +72,21 @@ def main(argv=None) -> int:
         cold_s = timed_figures()
         cold = engine.metrics.as_dict()
 
+        # Observed cold: same storeless shape, with a tracer and a
+        # session metrics registry live for the whole pass.  Best of
+        # three repeats — the gate below measures the instrumented
+        # path, not scheduler noise on a shared box.
+        engine = configure_engine(cache_dir=cache_dir, workers=args.jobs,
+                                  use_cache=False)
+        engine._specs.update(spec_cache)
+        repeats = 3
+        with tracing(Tracer()) as tracer, collecting(MetricsRegistry()):
+            observed_s = min(timed_figures() for _ in range(repeats))
+        observed = engine.metrics.as_dict()
+        observed_evaluator = engine.last_evaluator
+        observed_spans = len(tracer.spans)
+        observed_evals = observed["evaluations"] / repeats
+
         # Warm: new engine (as a new process would build), same store.
         engine = configure_engine(cache_dir=cache_dir, workers=args.jobs)
         engine._specs.update(spec_cache)
@@ -67,20 +94,40 @@ def main(argv=None) -> int:
         warm = engine.metrics.as_dict()
 
     reset_engine()
+    observed_jobs_per_s = (
+        observed_evals / observed_s if observed_s > 0 else 0.0
+    )
     result = {
         "benchmark": "fig3+fig6 sweep, cold vs warm store",
         "jobs": args.jobs,
         "cold_s": cold_s,
+        "observed_s": observed_s,
         "warm_s": warm_s,
         "speedup": cold_s / warm_s if warm_s > 0 else None,
+        "observed_over_cold": observed_s / cold_s if cold_s > 0 else None,
+        "observed_jobs_per_s": observed_jobs_per_s,
+        "observed_repeats": repeats,  # observed_metrics span all repeats
+        "observed_evaluator": observed_evaluator,
+        "observed_trace_spans": observed_spans,
+        "scalar_baseline_jobs_per_s": SCALAR_BASELINE_JOBS_PER_S,
         "cold_metrics": cold,
+        "observed_metrics": observed,
         "warm_metrics": warm,
     }
     Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
     print(f"cold {cold_s:.2f} s ({cold['evaluations']} evaluations), "
+          f"observed {observed_s:.2f} s "
+          f"({observed_jobs_per_s:.0f} jobs/s, {observed_evaluator}), "
           f"warm {warm_s:.2f} s ({warm['cache_hits']} hits, "
           f"{warm['evaluations']} evaluations) -> "
           f"{result['speedup']:.1f}x; wrote {args.out}")
+    floor = 10 * SCALAR_BASELINE_JOBS_PER_S
+    if observed_jobs_per_s < floor:
+        print(f"FAIL: observed cold sweep ran {observed_jobs_per_s:.0f} "
+              f"jobs/s, below the {floor:.0f} jobs/s gate "
+              f"(10x the {SCALAR_BASELINE_JOBS_PER_S:.0f} jobs/s scalar "
+              f"baseline)", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -256,6 +256,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--no-vec", action="store_true",
                        help="disable batched (vectorized) evaluation "
                             "(use the per-job scalar path)")
+    p_srv.add_argument("--flight-records", type=int, default=256,
+                       help="flight-recorder ring size: last N requests "
+                            "kept for GET /debug/requests (default 256)")
+    p_srv.add_argument("--flight-log", metavar="FILE",
+                       help="dump the flight-recorder ring to FILE "
+                            "(JSONL) on shutdown")
+    p_srv.add_argument("--access-log", metavar="FILE",
+                       help="append one JSONL line per completed request "
+                            "to FILE")
     p_srv.add_argument("--verbose", action="store_true",
                        help="log every request to stderr")
     return parser

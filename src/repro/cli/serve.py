@@ -24,6 +24,9 @@ def cmd_serve(args) -> int:
         use_cache=not args.no_cache,
         vectorize=not args.no_vec,
         verbose=args.verbose,
+        flight_records=args.flight_records,
+        flight_log=args.flight_log,
+        access_log=args.access_log,
     )
     try:
         server = ReproServer(config)
@@ -34,7 +37,7 @@ def cmd_serve(args) -> int:
           f"({config.workers} workers, LRU {config.lru_capacity}, "
           f"inflight {config.max_inflight}+{config.max_queue} queued)",
           file=sys.stderr)
-    print("endpoints: GET /healthz /metrics /fidelity — "
+    print("endpoints: GET /healthz /metrics /fidelity /debug/requests — "
           "POST /run /sweep /explain (see docs/SERVE.md)", file=sys.stderr)
 
     # SIGTERM takes the same graceful path as Ctrl-C.  This matters for

@@ -26,10 +26,12 @@ Cold evaluation is vectorized by default: ``run_plan`` looks every job
 up in the store first, then hands all misses to
 :class:`repro.vec.evaluate.VecEvaluator` as one batch (bit-for-bit
 identical to the scalar path — see ``docs/VECTOR.md``).  The per-job
-scalar path is used instead when ``REPRO_NO_VEC``/``--no-vec`` is set,
-when a tracer or session metrics registry is active (the scalar path
-owns the span/metric taxonomy), and for any job the vectorized path
-declines (returned as ``None`` from the batch).
+scalar path is used instead only when ``REPRO_NO_VEC``/``--no-vec``/
+``vectorize=False`` opts out, and for any job the vectorized path
+declines (returned as ``None`` from the batch).  Tracing and session
+metrics ride the vectorized path: the batched evaluator synthesizes
+the scalar span/metric taxonomy from its batch columns
+(``docs/OBSERVABILITY.md`` "Observing the fast path").
 """
 
 from __future__ import annotations
@@ -43,7 +45,6 @@ from ..apps.base import build_spec, get_app
 from ..machine.config import RunConfig, check_feasible
 from ..machine.spec import PlatformSpec
 from ..mem.hierarchy import HierarchyModel
-from ..obs.metrics import active_metrics
 from ..obs.tracer import active_tracer
 from ..perfmodel import calibration as cal
 from ..perfmodel.kernelmodel import AppSpec
@@ -102,8 +103,8 @@ class SweepEngine:
     vectorize:
         ``False`` forces the per-job scalar path for plan execution;
         the default (``None``) reads ``$REPRO_NO_VEC`` (vectorized
-        unless set).  Even when enabled, plans run scalar under an
-        active tracer or session metrics registry.
+        unless set).  Tracers and session metric registries observe
+        the vectorized path directly — they no longer force scalar.
     progress:
         Optional ``progress(done, total, job, result)`` callback fired
         per completed job.
@@ -257,18 +258,17 @@ class SweepEngine:
     # ---- batched (vectorized) evaluation ---------------------------------
 
     def _use_vectorized(self) -> bool:
-        """Whether plan execution may take the batched path right now.
+        """Whether plan execution takes the batched path right now.
 
-        Tracing and session metrics observe the scalar path's span and
-        metric taxonomy (per-loop spans, hierarchy lookups); batched
-        evaluation would silently drop them, so instrumented runs stay
-        scalar.
+        The only opt-outs are the documented explicit ones —
+        ``REPRO_NO_VEC`` / ``--no-vec`` / ``vectorize=False``.  An
+        active tracer or session metrics registry no longer declines
+        vectorization: the batched evaluator records its own wall spans
+        and synthesizes the scalar path's per-job attribution from the
+        batch columns (``repro.vec.evaluate``), so the observed path is
+        the fast path.
         """
-        return (
-            self.vectorize
-            and active_tracer() is None
-            and active_metrics() is None
-        )
+        return self.vectorize
 
     def lookup(self, job: Job) -> JobResult | None:
         """Store-only probe of one job: the cached result, or ``None``
@@ -291,6 +291,17 @@ class SweepEngine:
         self.metrics.count("cache_hits")
         self.metrics.count("jobs_executed")
         self.metrics.add_job_time(dt)
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.wall_span(
+                "engine",
+                f"{job.app}@{job.platform.short_name}",
+                t0,
+                t0 + dt,
+                track=("engine", threading.current_thread().name),
+                status="cached",
+                config=job.config.label(),
+            )
         return JobResult(job, cached, "cached", duration=dt)
 
     def evaluate_batch(self, jobs: list[Job]) -> list[JobResult]:
@@ -319,23 +330,41 @@ class SweepEngine:
         estimates = self._vec.evaluate_many(items)
         per = (time.perf_counter() - t0) / len(jobs)
         self.metrics.count("vec_batches")
+        tracer = active_tracer()
+        thread_name = threading.current_thread().name
         results: list[JobResult] = []
         n_vec = 0
+        t_job = t0  # per-job spans tile the batch window, ``per`` each
         for job, est in zip(jobs, estimates):
             if est is None:
                 results.append(self.evaluate(job))
                 continue
             n_vec += 1
             if self.use_cache:
-                self.metrics.count("cache_misses")
                 self.store.put(
                     self.result_address(job.app, job.platform, job.config),
                     est,
                 )
-            self.metrics.count("evaluations")
-            self.metrics.count("jobs_executed")
-            self.metrics.add_job_time(per)
+            if tracer is not None:
+                tracer.wall_span(
+                    "engine",
+                    f"{job.app}@{job.platform.short_name}",
+                    t_job,
+                    t_job + per,
+                    track=("engine", thread_name),
+                    status="ok",
+                    config=job.config.label(),
+                )
+                t_job += per
             results.append(JobResult(job, est, "ok", duration=per))
+        # One counter update per batch, not per job — same totals as the
+        # scalar path, without 3N mirrored registry increments.
+        if n_vec:
+            if self.use_cache:
+                self.metrics.count("cache_misses", n_vec)
+            self.metrics.count("evaluations", n_vec)
+            self.metrics.count("jobs_executed", n_vec)
+            self.metrics.add_job_time(per, n=n_vec)
         self.metrics.count("vec_jobs", n_vec)
         return results
 

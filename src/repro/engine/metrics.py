@@ -80,13 +80,16 @@ class EngineMetrics:
         if session is not None and session is not self.registry:
             session.inc(f"engine_{name}_total", n)
 
-    def add_job_time(self, seconds: float) -> None:
+    def add_job_time(self, seconds: float, n: int = 1) -> None:
+        """Record ``n`` jobs of ``seconds`` each (batched evaluation
+        amortizes one wall reading over the whole batch)."""
         with self._lock:
-            self.job_time += seconds
+            self.job_time += seconds * n
         session = active_metrics()
         if session is not None:
-            session.inc("engine_job_seconds_total", seconds)
-            session.observe("engine_job_seconds", seconds)
+            session.inc("engine_job_seconds_total", seconds * n)
+            for _ in range(n):
+                session.observe("engine_job_seconds", seconds)
 
     @contextmanager
     def timed_run(self):

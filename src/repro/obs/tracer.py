@@ -41,7 +41,10 @@ __all__ = [
 
 #: Track domains whose timestamps are wall-clock seconds (relative to
 #: the tracer's ``wall_epoch``); every other domain is simulated time.
-WALL_DOMAINS = frozenset({"engine"})
+#: "engine" carries the sweep engine's job lifecycle, "vec" the batched
+#: evaluator's per-batch stages, "serve" the HTTP service's per-request
+#: and per-shard spans.
+WALL_DOMAINS = frozenset({"engine", "vec", "serve"})
 
 
 @dataclass(frozen=True)

@@ -15,10 +15,20 @@ Requests are "compatible" by construction: every run request wants its
 pair's default paper sweep, so any set of them merges into one plan.
 Failures stay per-request — a pair with no feasible configuration
 rejects only the futures that asked for it.
+
+Context propagation: each request snapshots its submitter's
+``contextvars`` context, and the flush runs the merged plan inside the
+*first* request's context — so a tracer, session metrics registry or
+flight record scoped at ingress survives the hop onto the
+``serve-batcher`` thread (which, like every thread, starts with an
+empty context).  The evaluation's stage timings land on that leading
+request; every batched request additionally records the time it spent
+waiting in the window as its ``batch_window`` stage.
 """
 
 from __future__ import annotations
 
+import contextvars
 import queue
 import threading
 import time
@@ -27,6 +37,7 @@ from dataclasses import dataclass, field
 
 from ..engine.jobs import JobPlan, JobResult, build_plan
 from ..machine.spec import PlatformSpec
+from . import flight
 from . import metrics as sm
 
 __all__ = ["BatchQueue", "best_of"]
@@ -37,6 +48,11 @@ class _Request:
     app: str
     platform: PlatformSpec
     future: Future = field(default_factory=Future)
+    #: The submitter's context (tracer / metrics / flight record scoped
+    #: at ingress) — entered by the flush that evaluates this request.
+    ctx: contextvars.Context = field(default_factory=contextvars.copy_context)
+    submitted: float = field(default_factory=time.perf_counter)
+    inflight: flight.Inflight | None = field(default_factory=flight.current)
 
     @property
     def pair(self) -> tuple[str, str]:
@@ -131,8 +147,15 @@ class BatchQueue:
     def _flush(self, batch: list[_Request]) -> None:
         sm.inc("serve_batches_total")
         sm.inc("serve_batched_requests_total", len(batch))
+        flushed = time.perf_counter()
+        for req in batch:
+            if req.inflight is not None:
+                req.inflight.add_stage("batch_window", flushed - req.submitted)
         try:
-            results = self._run_plan(self._merged_plan(batch))
+            # Evaluate inside the first request's snapshotted context so
+            # ingress-scoped tracer/metrics/flight state reaches the
+            # executor (this thread's own context is empty).
+            results = batch[0].ctx.run(self._run_plan, self._merged_plan(batch))
         except BaseException as exc:
             for req in batch:
                 req.future.set_exception(exc)

@@ -12,6 +12,11 @@ The store deduplicates *completed* work; the coalescer deduplicates
 *in-flight* work — the window between a cold request arriving and its
 result landing in the store, which under concurrent load is exactly
 when duplicates pile up.
+
+Request identity: the leader stamps its request ID on the flight, and
+every follower copies it into its own flight record (``coalesced=True``,
+``leader_id=<leader>``) — so ``/debug/requests`` shows each request's
+own ID *and* the ID of the request whose evaluation answered it.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from __future__ import annotations
 import threading
 from typing import Callable, Hashable, TypeVar
 
+from . import flight as flightlog
 from . import metrics as sm
 
 __all__ = ["Coalescer"]
@@ -27,13 +33,14 @@ T = TypeVar("T")
 
 
 class _Flight:
-    __slots__ = ("done", "result", "error", "followers")
+    __slots__ = ("done", "result", "error", "followers", "leader_id")
 
     def __init__(self) -> None:
         self.done = threading.Event()
         self.result = None
         self.error: BaseException | None = None
         self.followers = 0
+        self.leader_id: str | None = None
 
 
 class Coalescer:
@@ -52,10 +59,13 @@ class Coalescer:
         leader's exception propagates to the leader *and* all its
         followers.
         """
+        own = flightlog.current()
         with self._lock:
             flight = self._inflight.get(key)
             if flight is None:
                 flight = self._inflight[key] = _Flight()
+                if own is not None:
+                    flight.leader_id = own.id
                 leader = True
             else:
                 flight.followers += 1
@@ -64,6 +74,10 @@ class Coalescer:
         if not leader:
             flight.done.wait()
             sm.inc("serve_coalesced_total")
+            if own is not None:
+                own.coalesced = True
+                if flight.leader_id is not None:
+                    own.leader_id = flight.leader_id
             if flight.error is not None:
                 raise flight.error
             return flight.result, True

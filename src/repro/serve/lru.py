@@ -23,11 +23,13 @@ values).
 from __future__ import annotations
 
 import threading
+import time
 import weakref
 from collections import OrderedDict
 
 from ..engine.store import ResultStore
 from ..perfmodel.roofline import AppEstimate
+from . import flight
 from . import metrics as sm
 
 __all__ = ["LRUStore", "DEFAULT_CAPACITY", "invalidate_all"]
@@ -81,13 +83,17 @@ class LRUStore:
             sm.inc("serve_lru_hits_total")
             return est
         sm.inc("serve_lru_misses_total")
+        t_io = time.perf_counter()
         est = self.inner.get(key)
+        flight.add_stage("store_io", time.perf_counter() - t_io)
         if est is not None:
             self._insert(key, est)
         return est
 
     def put(self, key: str, estimate: AppEstimate) -> None:
+        t_io = time.perf_counter()
         self.inner.put(key, estimate)
+        flight.add_stage("store_io", time.perf_counter() - t_io)
         self._insert(key, estimate)
 
     def _insert(self, key: str, estimate: AppEstimate) -> None:

@@ -19,14 +19,20 @@ and the bench harness embed it in-process on an ephemeral port.  One
 
 Endpoints (see ``docs/SERVE.md``):
 
-====================  =====================================================
-``GET /healthz``      liveness + store/queue introspection
-``GET /metrics``      Prometheus text: serve + engine metric families
-``GET /fidelity``     scorecard JSON (``?figures=fig1,fig2`` to restrict)
-``POST /run``         best-run estimate of ``{"app", "platform"}``
-``POST /sweep``       full sweep of ``{"apps": [...], "platforms": [...]}``
-``POST /explain``     attribution ``{"app", "platform", "vs", "what_if"}``
-====================  =====================================================
+==========================  ===============================================
+``GET /healthz``            liveness + store/queue introspection
+``GET /metrics``            Prometheus text: serve + engine metric families
+``GET /fidelity``           scorecard JSON (``?figures=...`` to restrict)
+``POST /run``               best-run estimate of ``{"app", "platform"}``
+``POST /sweep``             sweep of ``{"apps": [...], "platforms": [...]}``
+``POST /explain``           attribution ``{"app", "platform", "vs", ...}``
+``GET /debug/requests``     flight recorder: the last N requests
+``GET /debug/requests/<id>``  one request's stage timings (404 if aged out)
+==========================  ===============================================
+
+Every response carries an ``X-Request-Id`` header; the same ID keys the
+flight recorder, the JSONL access log (``--access-log``) and, for
+coalesced requests, the follower records pointing at their leader.
 
 ``/run``, ``/fidelity``, ``/sweep`` and ``/explain`` bodies are
 byte-equivalent to the corresponding ``--json`` CLI outputs — both
@@ -40,8 +46,10 @@ from __future__ import annotations
 import json
 import threading
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from urllib.parse import parse_qs, urlparse
 
 from .. import __version__
@@ -51,7 +59,9 @@ from ..engine.core import default_cache_dir
 from ..engine.jobs import build_plan
 from ..engine.store import ResultStore, model_version
 from ..machine import ALL_PLATFORMS
-from ..obs.metrics import MetricsRegistry, prometheus_text
+from ..obs.metrics import MetricsRegistry, collecting, prometheus_text
+from ..obs.tracer import active_tracer, tracing
+from . import flight
 from . import metrics as sm
 from . import payloads
 from .backpressure import AdmissionGate, Saturated
@@ -79,6 +89,18 @@ class ServeConfig:
     use_cache: bool = True
     vectorize: bool = True  # False: per-job scalar evaluation (--no-vec)
     verbose: bool = False
+    #: Flight-recorder ring size (``--flight-records``).
+    flight_records: int = flight.DEFAULT_CAPACITY
+    #: Dump the flight-recorder ring to this JSONL file on shutdown.
+    flight_log: str | None = None
+    #: Append one JSONL line per completed request to this file.
+    access_log: str | None = None
+    # Embedded use only (tests, the bench harness): a Tracer / session
+    # MetricsRegistry installed around every request dispatch.  Handler
+    # threads start with empty contexts, so observability scoped at the
+    # embedding site would otherwise never reach the pipeline.
+    tracer: object | None = None
+    session_metrics: object | None = None
 
 
 class ServeState:
@@ -111,6 +133,12 @@ class ServeState:
         self.gate = AdmissionGate(
             max_inflight=config.max_inflight, max_queue=config.max_queue
         )
+        self.recorder = flight.FlightRecorder(config.flight_records)
+        self._access_log = (
+            open(config.access_log, "a", encoding="utf-8")
+            if config.access_log else None
+        )
+        self._access_lock = threading.Lock()
         self.started = time.time()
         self._closed = False
         self._fingerprints: dict[str, str] = {}
@@ -157,11 +185,31 @@ class ServeState:
         )
         return cfg, est
 
+    def log_access(self, record: dict) -> None:
+        """One JSONL line per completed request (``--access-log``)."""
+        if self._access_log is None:
+            return
+        line = json.dumps({"ts": round(time.time(), 6), **record},
+                          sort_keys=True)
+        with self._access_lock:
+            self._access_log.write(line + "\n")
+            self._access_log.flush()
+
     def merged_registry(self) -> MetricsRegistry:
-        """Serve families + the engine's counters, one registry."""
+        """Serve families + the engine's counters, one registry.
+
+        The flight recorder's slowest request per endpoint rides along
+        as ``serve_slowest_request_seconds`` gauges whose ``request_id``
+        label links the latency histograms to ``/debug/requests/<id>``.
+        """
         merged = MetricsRegistry()
         merged.merge(sm.registry())
         merged.merge(self.engine.metrics.registry)
+        for endpoint, rec in sorted(self.recorder.exemplars().items()):
+            merged.set(
+                "serve_slowest_request_seconds", rec["duration_s"],
+                endpoint=endpoint, request_id=rec["id"],
+            )
         return merged
 
     def health(self) -> dict:
@@ -179,11 +227,19 @@ class ServeState:
         }
 
     def close(self) -> None:
-        """Stop the batcher and release the process-default engine."""
+        """Stop the batcher, dump the flight log, release the
+        process-default engine."""
         if self._closed:
             return
         self._closed = True
         self.batcher.close()
+        if self.config.flight_log:
+            Path(self.config.flight_log).write_text(
+                self.recorder.to_jsonl(), encoding="utf-8"
+            )
+        if self._access_log is not None:
+            self._access_log.close()
+            self._access_log = None
         reset_engine()
 
 
@@ -208,6 +264,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        inf = flight.current()
+        if inf is not None:
+            self.send_header("X-Request-Id", inf.id)
         for key, val in (extra_headers or {}).items():
             self.send_header(key, val)
         self.end_headers()
@@ -309,12 +368,61 @@ class _Handler(BaseHTTPRequestHandler):
             )
         return self._send(200, payloads.render_json(payload))
 
+    def _endpoint_debug_requests(self, endpoint: str) -> int:
+        """Flight recorder: ``/debug/requests`` (ring, newest first) or
+        ``/debug/requests/<id>`` (one record; 404 when unknown or aged
+        out of the ring, with the standard error-body shape)."""
+        recorder = self.state.recorder
+        if endpoint == "/debug/requests":
+            return self._send(200, payloads.render_json({
+                "capacity": recorder.capacity,
+                "count": len(recorder),
+                "requests": recorder.records(),
+            }))
+        request_id = endpoint.rpartition("/")[2]
+        record = recorder.get(request_id)
+        if record is None:
+            return self._error(
+                404, f"no flight record for request id {request_id!r}"
+            )
+        return self._send(200, payloads.render_json(record))
+
     # ---- dispatch --------------------------------------------------------
 
     def _dispatch(self, method: str) -> None:
         url = urlparse(self.path)
         endpoint = url.path.rstrip("/") or "/"
+        # One metrics/flight label for every record detail lookup —
+        # per-ID labels would grow the registry without bound.
+        label = (
+            "/debug/requests/<id>"
+            if endpoint.startswith("/debug/requests/") else endpoint
+        )
         t0 = time.perf_counter()
+        cfg = self.state.config
+        with ExitStack() as stack:
+            # Handler threads have empty contexts; install the embedded
+            # observability scope (if any) before minting the request.
+            if cfg.tracer is not None:
+                stack.enter_context(tracing(cfg.tracer))
+            if cfg.session_metrics is not None:
+                stack.enter_context(collecting(cfg.session_metrics))
+            inf = flight.begin(label, method)
+            code = self._route(method, endpoint, url)
+            duration = time.perf_counter() - t0
+            tracer = active_tracer()
+            if tracer is not None:
+                tracer.wall_span(
+                    "serve", f"{method} {label}", t0, t0 + duration,
+                    track=("serve", threading.current_thread().name),
+                    request_id=inf.id, status=code,
+                )
+            record = self.state.recorder.complete(inf, code, duration)
+            self.state.log_access(record)
+        sm.inc("serve_requests_total", endpoint=label, status=code)
+        sm.observe("serve_request_seconds", duration, endpoint=label)
+
+    def _route(self, method: str, endpoint: str, url) -> int:
         try:
             if method == "GET" and endpoint == "/healthz":
                 code = self._endpoint_healthz()
@@ -328,14 +436,22 @@ class _Handler(BaseHTTPRequestHandler):
                 code = self._endpoint_sweep()
             elif method == "POST" and endpoint == "/explain":
                 code = self._endpoint_explain()
+            elif method == "GET" and (
+                endpoint == "/debug/requests"
+                or endpoint.startswith("/debug/requests/")
+            ):
+                code = self._endpoint_debug_requests(endpoint)
             elif endpoint in ("/healthz", "/metrics", "/fidelity",
-                              "/run", "/sweep", "/explain"):
+                              "/run", "/sweep", "/explain") or (
+                endpoint == "/debug/requests"
+                or endpoint.startswith("/debug/requests/")
+            ):
                 code = self._error(
                     405, f"{method} not allowed on {endpoint}",
                     extra_headers={"Allow":
-                                   "GET" if endpoint in ("/healthz", "/metrics",
-                                                         "/fidelity")
-                                   else "POST"},
+                                   "POST" if endpoint in ("/run", "/sweep",
+                                                          "/explain")
+                                   else "GET"},
                 )
             else:
                 code = self._error(404, f"no such endpoint {endpoint!r}")
@@ -352,9 +468,7 @@ class _Handler(BaseHTTPRequestHandler):
             code = 499
         except Exception as exc:  # pragma: no cover - defensive
             code = self._error(500, f"internal error: {exc}")
-        sm.inc("serve_requests_total", endpoint=endpoint, status=code)
-        sm.observe("serve_request_seconds", time.perf_counter() - t0,
-                   endpoint=endpoint)
+        return code
 
     def do_GET(self) -> None:
         self._dispatch("GET")

@@ -28,10 +28,13 @@ from __future__ import annotations
 
 import contextvars
 import threading
+import time
 import zlib
 
 from ..engine.core import SweepEngine
 from ..engine.jobs import Job, JobPlan, JobResult
+from ..obs.tracer import active_tracer
+from . import flight
 from . import metrics as sm
 
 __all__ = ["shard_index", "shard_plan", "ShardedExecutor"]
@@ -74,6 +77,7 @@ class ShardedExecutor:
 
     def run_plan(self, plan: JobPlan) -> list[JobResult]:
         engine = self.engine
+        t_shard = time.perf_counter()
         use_vec = engine._use_vectorized()
         engine.last_evaluator = "vectorized" if use_vec else "scalar"
         with engine.metrics.timed_run():
@@ -133,6 +137,16 @@ class ShardedExecutor:
                 for (pos, _job), res in zip(misses, batch):
                     results[pos] = res
         engine.metrics.count("jobs_skipped", len(plan.skipped))
+        t_done = time.perf_counter()
+        flight.add_stage("shard_exec", t_done - t_shard)
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.wall_span(
+                "serve", "shard_exec", t_shard, t_done,
+                track=("serve", threading.current_thread().name),
+                jobs=len(plan.jobs), shards=len(buckets),
+                evaluator=engine.last_evaluator,
+            )
         out = [r for r in results if r is not None]
         out.extend(
             JobResult(job, None, "skipped", reason=reason)

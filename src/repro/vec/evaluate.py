@@ -36,18 +36,38 @@ config, an affinity the scalar path rejects with ``ValueError``)
 returns ``None`` in its slot; the engine falls back to the per-job
 scalar path for exactly those jobs, preserving error messages and
 metric counts.
+
+Batch-aware instrumentation: when a tracer or session metrics registry
+is active, the evaluator records per-batch wall spans (``lower`` /
+``pass`` / ``scatter`` on the ``vec`` track), the ``vec_batch_jobs`` /
+``vec_lower_seconds`` / ``vec_eval_seconds`` histogram families, and
+*synthesizes* the scalar path's attribution from the batch columns —
+``perfmodel_loops_total`` / ``perfmodel_loop_seconds_total`` per
+winning limb and ``mem_hierarchy_lookups_total`` per serving level are
+tallied by array reductions (no per-row Python), and one ``perfmodel``
+``estimate:<app>`` trace event is emitted per job.  Per-*loop* trace
+events stay on the scalar path (``repro trace`` / ``estimate_app``),
+whose single-app depth is where that granularity belongs; a batched
+sweep traces at job granularity so instrumentation cannot drag the
+fast path back to scalar speeds.  Instrumented runs therefore no
+longer need the scalar fallback: the observed path *is* the fast path,
+and the golden-equivalence suite pins that results stay bit-for-bit
+identical with observability on.
 """
 
 from __future__ import annotations
 
 import math
 import threading
+import time
 
 import numpy as np
 
 from ..machine.config import RunConfig
 from ..machine.spec import DeviceKind, PlatformSpec
 from ..mem.hierarchy import HierarchyModel
+from ..obs.metrics import active_metrics
+from ..obs.tracer import active_tracer
 from ..perfmodel import calibration as cal
 from ..perfmodel.commmodel import estimate_comm
 from ..perfmodel.configmodel import (
@@ -64,6 +84,10 @@ from ..perfmodel.roofline import AppEstimate, LoopTime
 from .arrays import F64, AppBlock, PairBlock, PlatformTable, calibration_token
 
 __all__ = ["VecEvaluator"]
+
+#: Batch-size histogram bounds (jobs per ``evaluate_many`` call):
+#: powers of two up to the serve layer's largest merged plans.
+BATCH_JOB_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0)
 
 
 class _JobScalars:
@@ -216,6 +240,10 @@ class VecEvaluator:
     ) -> list[AppEstimate | None]:
         """Evaluate a batch of points; ``None`` per point that must take
         the scalar path (fallback or failure)."""
+        m = active_metrics()
+        if m is not None:
+            m.observe("vec_batch_jobs", float(len(items)),
+                      buckets=BATCH_JOB_BUCKETS)
         with self._lock:
             self._check_token()
             out: list[AppEstimate | None] = [None] * len(items)
@@ -239,6 +267,10 @@ class VecEvaluator:
         _spec0, platform, _config0, hm0 = items[indices[0]]
         pt = self._table(hm0)
         is_cpu = platform.kind is DeviceKind.CPU
+        m = active_metrics()
+        tracer = active_tracer()
+        observed = m is not None or tracer is not None
+        t_start = time.perf_counter() if observed else 0.0
 
         jobs = []  # (out index, spec, config, app block, scalars, row offset)
         total = 0
@@ -309,6 +341,19 @@ class VecEvaluator:
                 chbw_c[s:e] = js.cache_hbw
             if is_cpu:
                 conc_c[s:e] = self._conc_column(spec, platform, config)
+
+        t_lowered = 0.0
+        if observed:
+            t_lowered = time.perf_counter()
+            if m is not None:
+                m.observe("vec_lower_seconds", t_lowered - t_start,
+                          platform=platform.short_name)
+            if tracer is not None:
+                tracer.wall_span(
+                    "vec", f"lower:{platform.short_name}", t_start, t_lowered,
+                    track=("vec", threading.current_thread().name),
+                    jobs=len(jobs), rows=R,
+                )
 
         # traffic = (bytes * traffic_multiplier) * stencil_factor
         traffic = bytes_c * tm_c
@@ -382,6 +427,43 @@ class VecEvaluator:
         ovh_row = ovh_c * inv_c
         time_c = core + ovh_row
 
+        t_passed = 0.0
+        if observed:
+            t_passed = time.perf_counter()
+            if tracer is not None:
+                tracer.wall_span(
+                    "vec", f"pass:{platform.short_name}", t_lowered, t_passed,
+                    track=("vec", threading.current_thread().name), rows=R,
+                )
+        if m is not None:
+            # Attribution synthesized from the batch columns: winning-
+            # limb and serving-level tallies are array reductions, so a
+            # metered batch pays a handful of registry increments and
+            # zero per-row Python.  The >=-chain is LoopTime.bottleneck's
+            # first-maximum tie-break in bandwidth/compute/latency order.
+            pname = platform.short_name
+            bw_win = (t_bw >= t_fl) & (t_bw >= t_lat)
+            cp_win = ~bw_win & (t_fl >= t_lat)
+            for limb, mask in (
+                ("bandwidth", bw_win),
+                ("compute", cp_win),
+                ("latency", ~bw_win & ~cp_win),
+            ):
+                count = int(np.count_nonzero(mask))
+                if count:
+                    m.inc("perfmodel_loops_total", count,
+                          limb=limb, platform=pname)
+                    m.inc("perfmodel_loop_seconds_total",
+                          float(time_c[mask].sum()), limb=limb,
+                          platform=pname)
+            for li, count in enumerate(
+                np.bincount(lvl, minlength=nlev + 1).tolist()
+            ):
+                if count:
+                    m.inc("mem_hierarchy_lookups_total", count,
+                          platform=pname, level=pt.level_names[li])
+            app_tally: dict[str, int] = {}  # app -> estimates
+
         time_l = time_c.tolist()
         ovh_l = ovh_row.tolist()
         lvl_l = lvl.tolist()
@@ -426,3 +508,31 @@ class VecEvaluator:
                 flops=sum(ab.flops_raw) * n,
                 comm=js.comm,
             )
+            if m is not None:
+                app_tally[spec.name] = app_tally.get(spec.name, 0) + 1
+            if tracer is not None:
+                tracer.event(
+                    "perfmodel", f"estimate:{spec.name}", 0.0,
+                    track=("perfmodel", 0),
+                    platform=platform.short_name, config=config.label(),
+                    compute_per_iter=compute_per_iter,
+                    mpi_per_iter=mpi_per_iter,
+                    comm_per_iter=js.comm.time_per_iter,
+                    imbalance=imbalance, iterations=n, loops=len(lts),
+                )
+
+        if m is not None:
+            for app_name in sorted(app_tally):
+                m.inc("perfmodel_estimates_total", app_tally[app_name],
+                      app=app_name, platform=pname)
+        if observed:
+            t_end = time.perf_counter()
+            if tracer is not None:
+                tracer.wall_span(
+                    "vec", f"scatter:{platform.short_name}", t_passed, t_end,
+                    track=("vec", threading.current_thread().name),
+                    jobs=len(jobs),
+                )
+            if m is not None:
+                m.observe("vec_eval_seconds", t_end - t_start,
+                          platform=platform.short_name)

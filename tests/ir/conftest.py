@@ -1,0 +1,25 @@
+"""Observed-mode switch for the golden-equivalence suite.
+
+``REPRO_GOLDEN_OBSERVED=1`` wraps every test in this directory in a
+live tracer *and* a session metrics registry — the exact observability
+the engine used to decline vectorization under.  CI's vec job runs the
+suite twice, bare and observed; identical results both times prove
+instrumentation never changes a number (the bit-for-bit contract of
+``docs/OBSERVABILITY.md`` "Observing the fast path").
+"""
+
+import os
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, collecting
+from repro.obs.tracer import Tracer, tracing
+
+
+@pytest.fixture(autouse=True)
+def observed_goldens():
+    if os.environ.get("REPRO_GOLDEN_OBSERVED") != "1":
+        yield
+        return
+    with tracing(Tracer()), collecting(MetricsRegistry()):
+        yield

@@ -2,10 +2,12 @@
 
 What must hold (``docs/VECTOR.md`` "When the scalar fallback is used"):
 cold plans run as one batch through ``evaluate_batch`` by default;
-``REPRO_NO_VEC`` / ``vectorize=False`` / an active tracer or session
-metrics registry route them through the classic per-job path; warm
-plans are served from the store without new batches; and both paths
-produce identical results and identical pinned metrics.
+only ``REPRO_NO_VEC`` / ``--no-vec`` / ``vectorize=False`` route them
+through the classic per-job path — an active tracer or session metrics
+registry stays on the vectorized path, which synthesizes the scalar
+span/metric taxonomy; warm plans are served from the store without new
+batches; and both paths produce identical results and identical pinned
+metrics.
 """
 
 import json
@@ -55,17 +57,35 @@ class TestRouting:
         assert engine.last_evaluator == "scalar"
         assert engine.metrics.vec_batches == 0
 
-    def test_tracer_forces_scalar(self, engine):
-        with tracing(Tracer()):
-            engine.run_plan(_plan())
-        assert engine.last_evaluator == "scalar"
-        assert engine.metrics.vec_batches == 0
+    def test_tracer_stays_vectorized(self, engine):
+        plan = _plan()
+        with tracing(Tracer()) as tr:
+            engine.run_plan(plan)
+        assert engine.last_evaluator == "vectorized"
+        assert engine.metrics.vec_batches == 1
+        # The batched evaluator records its own stage spans and the
+        # engine synthesizes one job span per batched job.
+        assert tr.spans_of("vec"), "vec stage spans missing"
+        jobs = tr.spans_of("engine")
+        assert len(jobs) == len(plan.jobs)
+        assert {s.attrs["status"] for s in jobs} == {"ok"}
+        # The scalar perfmodel event taxonomy survives batching.
+        assert tr.events_of("perfmodel")
 
-    def test_session_metrics_force_scalar(self, engine):
-        with collecting(MetricsRegistry()):
+    def test_session_metrics_stay_vectorized(self, engine):
+        with collecting(MetricsRegistry()) as reg:
             engine.run_plan(_plan())
-        assert engine.last_evaluator == "scalar"
-        assert engine.metrics.vec_batches == 0
+        assert engine.last_evaluator == "vectorized"
+        assert engine.metrics.vec_batches == 1
+        # Synthesized per-job attribution plus the batch families.
+        assert reg.total("perfmodel_loops_total") > 0
+        assert reg.total("perfmodel_estimates_total") > 0
+        assert reg.total("mem_hierarchy_lookups_total") > 0
+        assert reg.histogram("vec_batch_jobs").count == 1
+        assert reg.histogram("vec_lower_seconds",
+                             platform="max9480").count == 1
+        assert reg.histogram("vec_eval_seconds",
+                             platform="max9480").count == 1
 
 
 class TestEquivalenceThroughEngine:
