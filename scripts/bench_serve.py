@@ -33,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import platform as _platform
 import sys
 import tempfile
 import threading
@@ -64,6 +65,16 @@ QUICK_PAIRS = PAIRS[:3]
 BURST_PAIR = ("volna", "max9480")
 DUPLICATE_BURST = 8
 WARM_ROUNDS = 5
+
+#: Git-tracked perf trajectory (one JSONL row per bench run; see
+#: ``scripts/check_bench_regression.py``).
+DEFAULT_HISTORY = Path(__file__).resolve().parent.parent / "baselines" / "bench_history.jsonl"
+
+
+def append_history(path: Path, row: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(row, sort_keys=True) + "\n")
 
 
 def percentile(samples: list[float], q: float) -> float:
@@ -126,6 +137,11 @@ def main(argv=None) -> int:
                     help="server worker shards (default 4)")
     ap.add_argument("--out", default="BENCH_serve.json",
                     help="output JSON path (default BENCH_serve.json)")
+    ap.add_argument("--history", default=str(DEFAULT_HISTORY),
+                    help="perf-trajectory JSONL to append to "
+                         "(default baselines/bench_history.jsonl)")
+    ap.add_argument("--no-history", action="store_true",
+                    help="do not append to the history file")
     args = ap.parse_args(argv)
 
     pairs = QUICK_PAIRS if args.quick else PAIRS
@@ -163,6 +179,14 @@ def main(argv=None) -> int:
 
             registry = serve_metrics.registry()
             coalesced = registry.total("serve_coalesced_total")
+            run_hist = registry.histogram("serve_request_seconds",
+                                          endpoint="/run")
+            request_quantiles = (
+                {"p50": run_hist.quantile(0.50), "p95": run_hist.quantile(0.95),
+                 "p99": run_hist.quantile(0.99), "count": run_hist.count}
+                if run_hist is not None else None
+            )
+            telemetry_samples = server.state.sampler.samples
             result = {
                 "benchmark": "serve POST /run, cold vs warm store",
                 "quick": args.quick,
@@ -183,6 +207,8 @@ def main(argv=None) -> int:
                     if warm["wall_s"] else None
                 ),
                 "coalesced_requests": coalesced,
+                "request_seconds_quantiles": request_quantiles,
+                "telemetry_samples": telemetry_samples,
                 "serve_metrics": {
                     name: registry.total(name)
                     for name in registry.names()
@@ -194,6 +220,19 @@ def main(argv=None) -> int:
             server.stop()
 
     Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    if not args.no_history:
+        append_history(Path(args.history), {
+            "ts": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "host": _platform.node(),
+            "benchmark": "serve",
+            "quick": args.quick,
+            "workers": args.workers,
+            "cold_req_per_s": cold["req_per_s"],
+            "warm_req_per_s": warm["req_per_s"],
+            "observed_over_warm": result["observed_over_warm_wall"],
+            "request_seconds_quantiles": request_quantiles,
+            "telemetry_samples": telemetry_samples,
+        })
     print(f"cold {cold['req_per_s']:.1f} req/s "
           f"(p50 {cold['p50_ms']:.0f} ms, p99 {cold['p99_ms']:.0f} ms), "
           f"warm {warm['req_per_s']:.1f} req/s "

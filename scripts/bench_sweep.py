@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import platform as _platform
 import sys
 import tempfile
 import time
@@ -41,6 +42,16 @@ from repro.obs.tracer import Tracer, tracing  # noqa: E402
 #: observed pass must clear ten times this.
 SCALAR_BASELINE_JOBS_PER_S = 211.0
 
+#: Git-tracked perf trajectory (one JSONL row per bench run; see
+#: ``scripts/check_bench_regression.py``).
+DEFAULT_HISTORY = Path(__file__).resolve().parent.parent / "baselines" / "bench_history.jsonl"
+
+
+def append_history(path: Path, row: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(row, sort_keys=True) + "\n")
+
 
 def timed_figures() -> float:
     t0 = time.perf_counter()
@@ -55,6 +66,11 @@ def main(argv=None) -> int:
                     help="parallel sweep workers (default serial)")
     ap.add_argument("--out", default="BENCH_sweep.json",
                     help="output JSON path (default BENCH_sweep.json)")
+    ap.add_argument("--history", default=str(DEFAULT_HISTORY),
+                    help="perf-trajectory JSONL to append to "
+                         "(default baselines/bench_history.jsonl)")
+    ap.add_argument("--no-history", action="store_true",
+                    help="do not append to the history file")
     args = ap.parse_args(argv)
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as cache_dir:
@@ -80,8 +96,9 @@ def main(argv=None) -> int:
                                   use_cache=False)
         engine._specs.update(spec_cache)
         repeats = 3
-        with tracing(Tracer()) as tracer, collecting(MetricsRegistry()):
+        with tracing(Tracer()) as tracer, collecting(MetricsRegistry()) as session:
             observed_s = min(timed_figures() for _ in range(repeats))
+        job_hist = session.histogram("engine_job_seconds")
         observed = engine.metrics.as_dict()
         observed_evaluator = engine.last_evaluator
         observed_spans = len(tracer.spans)
@@ -97,6 +114,12 @@ def main(argv=None) -> int:
     observed_jobs_per_s = (
         observed_evals / observed_s if observed_s > 0 else 0.0
     )
+    cold_jobs_per_s = cold["evaluations"] / cold_s if cold_s > 0 else 0.0
+    job_quantiles = (
+        {"p50": job_hist.quantile(0.50), "p95": job_hist.quantile(0.95),
+         "p99": job_hist.quantile(0.99), "count": job_hist.count}
+        if job_hist is not None else None
+    )
     result = {
         "benchmark": "fig3+fig6 sweep, cold vs warm store",
         "jobs": args.jobs,
@@ -105,7 +128,9 @@ def main(argv=None) -> int:
         "warm_s": warm_s,
         "speedup": cold_s / warm_s if warm_s > 0 else None,
         "observed_over_cold": observed_s / cold_s if cold_s > 0 else None,
+        "cold_jobs_per_s": cold_jobs_per_s,
         "observed_jobs_per_s": observed_jobs_per_s,
+        "job_seconds_quantiles": job_quantiles,
         "observed_repeats": repeats,  # observed_metrics span all repeats
         "observed_evaluator": observed_evaluator,
         "observed_trace_spans": observed_spans,
@@ -115,6 +140,19 @@ def main(argv=None) -> int:
         "warm_metrics": warm,
     }
     Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    if not args.no_history:
+        append_history(Path(args.history), {
+            "ts": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "host": _platform.node(),
+            "benchmark": "sweep",
+            "jobs": args.jobs,
+            "cold_s": cold_s,
+            "cold_jobs_per_s": cold_jobs_per_s,
+            "observed_jobs_per_s": observed_jobs_per_s,
+            "warm_s": warm_s,
+            "speedup": result["speedup"],
+            "job_seconds_quantiles": job_quantiles,
+        })
     print(f"cold {cold_s:.2f} s ({cold['evaluations']} evaluations), "
           f"observed {observed_s:.2f} s "
           f"({observed_jobs_per_s:.0f} jobs/s, {observed_evaluator}), "

@@ -12,6 +12,7 @@ from ..harness import figures as figmod
 from ..machine import ALL_PLATFORMS
 from .common import (
     config_sweep, configure_engine_from_args, resolve_app, resolve_platform,
+    telemetry_scope,
 )
 
 __all__ = ["cmd_list", "cmd_run", "cmd_sweep", "cmd_figures", "cmd_validate"]
@@ -70,15 +71,16 @@ def cmd_run(args) -> int:
 
 
 def cmd_figures(args) -> int:
-    configure_engine_from_args(args)
+    engine = configure_engine_from_args(args)
     wanted = args.figures or [f"fig{i}" for i in range(1, 10)]
-    for name in wanted:
-        fn = getattr(figmod, name, None)
-        if fn is None:
-            print(f"unknown figure {name!r} (fig1..fig9)", file=sys.stderr)
-            return 2
-        print(fn().render())
-        print()
+    with telemetry_scope(args, engine):
+        for name in wanted:
+            fn = getattr(figmod, name, None)
+            if fn is None:
+                print(f"unknown figure {name!r} (fig1..fig9)", file=sys.stderr)
+                return 2
+            print(fn().render())
+            print()
     return 0
 
 
@@ -107,7 +109,8 @@ def cmd_sweep(args) -> int:
     plan = build_plan(apps, platforms)
     print(f"sweep: {len(apps)} apps x {len(platforms)} platforms -> "
           f"{len(plan)} jobs ({len(plan.skipped)} planned-infeasible)")
-    results = engine.run_plan(plan)
+    with telemetry_scope(args, engine):
+        results = engine.run_plan(plan)
     rows = [r for r in results if r.status != "skipped"]
     rows.sort(key=lambda r: (r.job.app, r.job.platform.short_name,
                              r.estimate.total_time if r.estimate else float("inf")))

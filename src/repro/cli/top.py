@@ -1,0 +1,319 @@
+"""The live-view verb group: ``top`` (ANSI terminal telemetry view)
+and ``telemetry`` (offline JSONL log report).
+
+``repro top`` is deliberately curses-free: each frame is plain text
+with Unicode block-character sparklines, optionally preceded by an
+ANSI clear (suppressed by ``--plain``), so it works over ssh, in CI
+logs and in a scrollback buffer.  Three sources, in priority order:
+
+- ``--url``: poll a running server's ``GET /telemetry``;
+- ``--log``: render one frame from a recorded telemetry JSONL file;
+- neither: run a sweep in-process with a live sampler and watch it.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import sys
+import threading
+import time
+
+from ..apps import APP_ORDER
+from .common import resolve_app, resolve_platform
+
+__all__ = ["cmd_top", "cmd_telemetry"]
+
+#: Eight-level sparkline glyphs (space = zero).
+_SPARK = " ▁▂▃▄▅▆▇█"
+_CLEAR = "\x1b[2J\x1b[H"
+
+#: Status glyph + word (never color alone; plain terminals get both).
+_STATUS_GLYPH = {"ok": "● ok", "degraded": "▲ degraded",
+                 "failing": "✖ failing"}
+
+
+def _sparkline(values: list[float], width: int = 32) -> str:
+    if not values:
+        return ""
+    tail = values[-width:]
+    peak = max(tail)
+    if peak <= 0:
+        return _SPARK[0] * len(tail)
+    return "".join(
+        _SPARK[min(len(_SPARK) - 1, int((v / peak) * (len(_SPARK) - 1) + 0.5))]
+        for v in tail
+    )
+
+
+def _fmt(v: float | None) -> str:
+    if v is None:
+        return "-"
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000:
+        return f"{v:.0f}"
+    if abs(v) >= 1:
+        return f"{v:.2f}"
+    return f"{v:.3g}"
+
+
+def _labeltext(labels: dict) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+# ---------------------------------------------------------------------------
+# Frame model: one shape for all three sources
+
+
+def frame_from_payload(payload: dict) -> dict:
+    """A render frame from a ``GET /telemetry`` body (or
+    ``TelemetrySampler.payload()``)."""
+    rows = []
+    for name, fam in sorted((payload.get("families") or {}).items()):
+        for series in fam.get("series", []):
+            values = [p[1] for p in series.get("points", [])]
+            rows.append({
+                "name": name + _labeltext(series.get("labels", {})),
+                "kind": fam.get("kind", "gauge"),
+                "last": values[-1] if values else series.get("last", 0.0),
+                "values": values,
+                "quantiles": series.get("quantiles"),
+            })
+    return {
+        "samples": payload.get("samples", 0),
+        "interval_s": payload.get("interval_s"),
+        "slo": payload.get("slo") or {"status": "ok", "objectives": []},
+        "rows": rows,
+    }
+
+
+def frame_from_records(records: list[dict]) -> dict:
+    """A render frame replayed from telemetry JSONL records."""
+    series: dict[tuple[str, str], dict] = {}
+    for rec in records:
+        for section, kind in (("counters", "counter"), ("gauges", "gauge"),
+                              ("histograms", "histogram")):
+            for name, rows in (rec.get(section) or {}).items():
+                for row in rows:
+                    key = (name, _labeltext(row.get("labels", {})))
+                    slot = series.setdefault(key, {
+                        "name": key[0] + key[1], "kind": kind,
+                        "values": [], "last": 0.0, "quantiles": None,
+                    })
+                    if kind == "counter":
+                        v = row.get("rate", 0.0) or 0.0
+                        slot["last"] = row.get("value", 0.0)
+                    elif kind == "gauge":
+                        v = row.get("value", 0.0) or 0.0
+                        slot["last"] = v
+                    else:
+                        v = float(row.get("count", 0))
+                        slot["last"] = row.get("count", 0)
+                        slot["quantiles"] = row.get("quantiles")
+                    slot["values"].append(v)
+    slo = (records[-1].get("slo") if records else None) or {
+        "status": "ok", "objectives": []
+    }
+    dts = [r.get("dt") for r in records if r.get("dt")]
+    return {
+        "samples": len(records),
+        "interval_s": round(sum(dts) / len(dts), 3) if dts else None,
+        "slo": slo,
+        "rows": [series[k] for k in sorted(series)],
+    }
+
+
+def render_frame(frame: dict, out=None) -> None:
+    """Print one frame: SLO header, then a family table."""
+    out = out or sys.stdout
+    slo = frame["slo"]
+    status = _STATUS_GLYPH.get(slo.get("status", "ok"), slo.get("status"))
+    head = f"repro top — {status} · {frame['samples']} samples"
+    if frame.get("interval_s"):
+        head += f" · every {frame['interval_s']}s"
+    print(head, file=out)
+    for obj in slo.get("objectives", []):
+        print(
+            f"  {_STATUS_GLYPH.get(obj['status'], obj['status']):12s} "
+            f"{obj['name']:18s} burn {_fmt(obj.get('burn_short'))} (short) "
+            f"/ {_fmt(obj.get('burn_long'))} (long)",
+            file=out,
+        )
+    print(file=out)
+    print(f"{'metric':52s} {'last':>10s}  trend", file=out)
+    for row in frame["rows"]:
+        name = row["name"]
+        if len(name) > 52:
+            name = name[:49] + "..."
+        line = (f"{name:52s} {_fmt(row['last']):>10s}  "
+                f"{_sparkline(row['values'])}")
+        q = row.get("quantiles")
+        if q:
+            line += (f"  p50 {_fmt(q.get('p50'))}"
+                     f" p95 {_fmt(q.get('p95'))} p99 {_fmt(q.get('p99'))}")
+        print(line, file=out)
+
+
+# ---------------------------------------------------------------------------
+# repro top
+
+
+def _fetch_payload(url: str) -> dict:
+    import urllib.request
+
+    with urllib.request.urlopen(url.rstrip("/") + "/telemetry", timeout=10) as r:
+        return json.loads(r.read().decode())
+
+
+def cmd_top(args) -> int:
+    if args.url and args.log:
+        print("top: --url and --log are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.log:
+        from ..obs.telemetry import read_log
+
+        try:
+            records = read_log(args.log)
+        except OSError as exc:
+            print(f"top: cannot read {args.log}: {exc}", file=sys.stderr)
+            return 1
+        if not records:
+            print(f"top: no telemetry records in {args.log}", file=sys.stderr)
+            return 1
+        render_frame(frame_from_records(records))
+        return 0
+    if args.url:
+        frames = 0
+        try:
+            while args.frames <= 0 or frames < args.frames:
+                try:
+                    payload = _fetch_payload(args.url)
+                except OSError as exc:
+                    print(f"top: cannot reach {args.url}: {exc}",
+                          file=sys.stderr)
+                    return 1
+                if not args.plain:
+                    print(_CLEAR, end="")
+                render_frame(frame_from_payload(payload))
+                frames += 1
+                if args.frames <= 0 or frames < args.frames:
+                    time.sleep(args.interval)
+        except KeyboardInterrupt:
+            pass
+        return 0
+    return _top_inprocess(args)
+
+
+def _top_inprocess(args) -> int:
+    """No server: sweep in-process with a live sampler and watch it."""
+    from ..engine import build_plan, default_engine
+    from ..obs.telemetry import sampling
+
+    apps = []
+    for a in args.apps or APP_ORDER:
+        resolved = resolve_app(a)
+        if resolved is None:
+            return 2
+        apps.append(resolved)
+    platform = resolve_platform(args.platform)
+    if platform is None:
+        return 2
+    engine = default_engine()
+    plan = build_plan(apps, [platform])
+    with sampling(interval=args.interval) as sampler:
+        engine.sampler = sampler
+        try:
+            # The sweep thread must see the sampling scope's registry;
+            # fresh threads start with empty contexts, so run the plan
+            # inside a copy of this one.
+            ctx = contextvars.copy_context()
+            worker = threading.Thread(
+                target=ctx.run, args=(engine.run_plan, plan), daemon=True
+            )
+            worker.start()
+            frames = 0
+            try:
+                while worker.is_alive() and (
+                    args.frames <= 0 or frames < args.frames
+                ):
+                    worker.join(timeout=args.interval)
+                    sampler.tick()
+                    if not args.plain:
+                        print(_CLEAR, end="")
+                    render_frame(frame_from_payload(sampler.payload()))
+                    frames += 1
+            except KeyboardInterrupt:
+                pass
+            worker.join()
+            # Final frame so short sweeps still show their totals
+            # (unless --frames already rendered its quota).
+            if args.frames <= 0 or frames < args.frames:
+                sampler.tick()
+                if not args.plain:
+                    print(_CLEAR, end="")
+                render_frame(frame_from_payload(sampler.payload()))
+        finally:
+            engine.sampler = None
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro telemetry
+
+
+def cmd_telemetry(args) -> int:
+    from ..obs.telemetry import read_log, summarize_log
+
+    try:
+        records = read_log(args.log)
+    except OSError as exc:
+        print(f"telemetry: cannot read {args.log}: {exc}", file=sys.stderr)
+        return 1
+    summary = summarize_log(records)
+    if args.family:
+        for kind in ("counters", "gauges", "histograms"):
+            summary[kind] = {
+                name: rows for name, rows in summary[kind].items()
+                if args.family in name
+            }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"telemetry log: {args.log}")
+    print(f"  {summary['samples']} samples over "
+          f"{_fmt(summary['duration_s'])}s")
+    statuses = summary["slo"]["statuses"]
+    if statuses:
+        parts = ", ".join(
+            f"{n} {s}" for s, n in sorted(statuses.items(),
+                                          key=lambda kv: -kv[1])
+        )
+        print(f"  slo: {parts}")
+    for name, obj in sorted(summary["slo"]["objectives"].items()):
+        print(f"    {name:20s} worst {_STATUS_GLYPH.get(obj['worst_status'])}"
+              f" (burn {_fmt(obj['worst_burn'])})")
+    if summary["counters"]:
+        print("\ncounters (total delta over the log, peak rate):")
+        for name, rows in sorted(summary["counters"].items()):
+            for row in rows:
+                print(f"  {name + _labeltext(row['labels']):56s} "
+                      f"+{_fmt(row['delta']):>9s}  peak {_fmt(row['peak_rate'])}/s")
+    if summary["gauges"]:
+        print("\ngauges (last / min / max):")
+        for name, rows in sorted(summary["gauges"].items()):
+            for row in rows:
+                print(f"  {name + _labeltext(row['labels']):56s} "
+                      f"{_fmt(row['last']):>10s}  [{_fmt(row['min'])}, "
+                      f"{_fmt(row['max'])}]")
+    if summary["histograms"]:
+        print("\nhistograms (count, final quantiles):")
+        for name, rows in sorted(summary["histograms"].items()):
+            for row in rows:
+                q = row.get("quantiles") or {}
+                print(f"  {name + _labeltext(row['labels']):56s} "
+                      f"{row['count']:>8d}  p50 {_fmt(q.get('p50'))} "
+                      f"p95 {_fmt(q.get('p95'))} p99 {_fmt(q.get('p99'))}")
+    return 0

@@ -36,7 +36,9 @@ def cmd_trace(args) -> int:
 
 
 def cmd_metrics(args) -> int:
-    from ..obs.metrics import collecting, prometheus_text, snapshot
+    from ..obs.metrics import (
+        collecting, prometheus_text, quantile_summary, snapshot,
+    )
 
     engine = configure_engine_from_args(args)
     apps = []
@@ -61,7 +63,9 @@ def cmd_metrics(args) -> int:
         if serve_metrics is not None:
             serve_metrics.merge_into(registry)
         if args.format == "prometheus":
-            text = prometheus_text(registry)
+            # Histogram p50/p95/p99 ride along as comment lines (the
+            # same summary section GET /metrics appends).
+            text = prometheus_text(registry) + quantile_summary(registry)
         else:
             import json as _json
 

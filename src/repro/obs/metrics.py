@@ -32,18 +32,21 @@ exposition format; :func:`snapshot` returns a JSON-able dict (the
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Sequence
 
 __all__ = [
     "DEFAULT_BUCKETS",
     "HistogramValue",
     "MetricsRegistry",
     "active_metrics",
+    "bucket_quantile",
     "collecting",
     "prometheus_text",
+    "quantile_summary",
     "snapshot",
 ]
 
@@ -55,6 +58,43 @@ DEFAULT_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
 def _labelkey(labels: dict) -> tuple[tuple[str, str], ...]:
     """Canonical, hashable form of a label set (values stringified)."""
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def bucket_quantile(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> float | None:
+    """Quantile ``q`` of a cumulative-bucket histogram, or None when empty.
+
+    Monotone linear interpolation inside the owning bucket, the same
+    estimate Prometheus' ``histogram_quantile`` computes: the rank
+    ``q * count`` is located in the first bucket whose cumulative count
+    reaches it, and the value is interpolated between the bucket's lower
+    and upper bound assuming uniform mass.  Mass in the +Inf bucket has
+    no upper bound to interpolate toward, so it clamps to the last
+    finite bound — a deliberate underestimate rather than a NaN.
+
+    ``counts`` is per-bucket (len(bounds) + 1, last entry the +Inf
+    overflow), exactly the :class:`HistogramValue` layout.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = q * total
+    acc = 0.0
+    for i, n in enumerate(counts[: len(bounds)]):
+        if n == 0:
+            continue
+        if acc + n >= rank:
+            lower = bounds[i - 1] if i > 0 else 0.0
+            upper = bounds[i]
+            frac = (rank - acc) / n
+            return lower + (upper - lower) * max(0.0, min(1.0, frac))
+        acc += n
+    # Rank falls in the +Inf bucket: clamp to the largest finite bound
+    # (or the largest observed total when there are no finite bounds).
+    return float(bounds[-1]) if bounds else 0.0
 
 
 @dataclass
@@ -71,12 +111,11 @@ class HistogramValue:
             self.counts = [0] * (len(self.bounds) + 1)
 
     def observe(self, value: float) -> None:
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.counts[i] += 1
-                break
-        else:
-            self.counts[-1] += 1
+        # bisect_left on the sorted bounds returns the first index whose
+        # bound >= value — identical bucket assignment (``value <= bound``
+        # cumulative semantics) to a linear scan, in O(log n); a value
+        # above every bound lands on len(bounds), the +Inf slot.
+        self.counts[bisect_left(self.bounds, value)] += 1
         self.total += value
         self.count += 1
 
@@ -88,6 +127,15 @@ class HistogramValue:
             out.append((bound, acc))
         out.append((float("inf"), acc + self.counts[-1]))
         return out
+
+    def quantile(self, q: float) -> float | None:
+        """Estimated quantile ``q`` (0..1), or None for an empty histogram.
+
+        Delegates to :func:`bucket_quantile`: monotone interpolation
+        within the owning bucket, +Inf mass clamped to the last finite
+        bound.  Never returns NaN.
+        """
+        return bucket_quantile(self.bounds, self.counts, q)
 
     @property
     def mean(self) -> float:
@@ -294,6 +342,11 @@ def snapshot(registry: MetricsRegistry) -> dict:
                     ] + [{"le": "+Inf", "count": v.counts[-1]}],
                     "sum": v.total,
                     "count": v.count,
+                    "quantiles": {
+                        "p50": v.quantile(0.50),
+                        "p95": v.quantile(0.95),
+                        "p99": v.quantile(0.99),
+                    },
                 })
             else:
                 rows.append({"labels": labels, "value": v})
@@ -334,6 +387,32 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                 lines.append(f"{name}_count{_fmt_labels(labels)} {v.count}")
             else:
                 lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(v)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def quantile_summary(registry: MetricsRegistry) -> str:
+    """Human-oriented p50/p95/p99 lines for every histogram family.
+
+    Rendered as ``# quantile`` comment lines so the block can be
+    appended to a Prometheus exposition body without confusing parsers
+    (comments other than ``# TYPE``/``# HELP`` are ignored).  Empty
+    histograms render ``-`` rather than NaN.
+    """
+
+    def fmt(x: float | None) -> str:
+        return "-" if x is None else f"{x:.6g}"
+
+    lines: list[str] = []
+    for name in registry.names():
+        if registry.kind(name) != "histogram":
+            continue
+        for labels, v in registry.samples(name):
+            assert isinstance(v, HistogramValue)
+            lines.append(
+                f"# quantile {name}{_fmt_labels(labels)} "
+                f"p50={fmt(v.quantile(0.50))} p95={fmt(v.quantile(0.95))} "
+                f"p99={fmt(v.quantile(0.99))} count={v.count}"
+            )
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -1,0 +1,698 @@
+"""Continuous telemetry: time-series sampling of metrics registries.
+
+Everything else in :mod:`repro.obs` is point-in-time — the tracer dumps
+one span file per run, the metrics registry exports one snapshot when
+asked.  This module observes *change over time*: a
+:class:`TelemetrySampler` snapshots a registry on a fixed interval into
+bounded per-family rings (counters as deltas/rates, gauges as values,
+histograms as cumulative buckets), optionally appending each sample as
+one JSONL record for offline analysis, and a declarative
+:class:`SLOEngine` evaluates latency/error objectives over sliding
+windows of those rings with the classic multi-window burn-rate rule.
+
+The same zero-overhead contract as the tracer and registry applies:
+nothing here runs unless a sampler is explicitly constructed (the serve
+layer starts one per server; ``repro sweep --telemetry`` starts one per
+sweep), and a sampler only *reads* registries — it can never perturb
+model results.  Sampling is pull-based: the hot path never calls into
+this module; the sampler thread calls :func:`~repro.obs.metrics.snapshot`
+-shaped reads on its own clock.
+
+Ring layout (per metric family, per label set, bounded deque):
+
+========== =============================================
+kind        ring point
+========== =============================================
+counter     ``(t, cumulative, delta, rate_per_s)``
+gauge       ``(t, value)``
+histogram   ``(t, bucket_counts, sum, count)`` cumulative
+========== =============================================
+
+Burn rate: for an objective with target ``T`` (e.g. 0.99), the burn is
+``bad_fraction / (1 - T)`` — 1.0 means the error budget is being spent
+exactly as fast as it accrues.  Status follows the SRE two-window rule:
+``degraded`` when the short-window burn >= 1, ``failing`` when the
+short-window burn >= 14.4 *and* the long window confirms (>= 1), and
+recovery requires the burn to stay <= 0.5 for several consecutive
+evaluations (hysteresis) so a single quiet sample cannot flap the
+status back to ``ok``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from bisect import bisect_left
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator, Sequence
+
+from .metrics import (
+    HistogramValue,
+    MetricsRegistry,
+    bucket_quantile,
+    collecting,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "DEFAULT_INTERVAL",
+    "SLO",
+    "SLOEngine",
+    "STATUS_ORDER",
+    "TelemetrySampler",
+    "read_log",
+    "sampling",
+    "summarize_log",
+]
+
+#: Default sampling interval in seconds (``--sample-interval``).
+DEFAULT_INTERVAL = 1.0
+#: Default ring capacity: 600 points = 10 minutes at 1 Hz, which covers
+#: the long SLO window with room to spare.
+DEFAULT_CAPACITY = 600
+
+#: Severity order for health states; higher index is worse.
+STATUS_ORDER = ("ok", "degraded", "failing")
+
+
+# ---------------------------------------------------------------------------
+# SLOs
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative service-level objective.
+
+    ``kind`` selects the evaluator:
+
+    - ``latency``: ``family`` is a histogram; an observation is *bad*
+      when it exceeds ``threshold_s``.  The bad fraction over a window
+      is estimated from the windowed bucket deltas by interpolating the
+      CDF at the threshold.
+    - ``errors``: ``family`` is a counter with a ``status`` label; a
+      sample is *bad* when its status starts with
+      ``bad_status_prefix`` (default server errors, ``5xx``).
+
+    ``labels`` filters the family's label sets (subset match), so one
+    objective can pin ``endpoint=/run`` while another sums everything.
+    """
+
+    name: str
+    family: str
+    kind: str = "latency"  # 'latency' | 'errors'
+    labels: tuple[tuple[str, str], ...] = ()
+    threshold_s: float | None = None
+    target: float = 0.99
+    bad_status_prefix: str = "5"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("latency", "errors"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.kind == "latency" and self.threshold_s is None:
+            raise ValueError(f"latency SLO {self.name!r} needs threshold_s")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"SLO target must be in (0, 1), got {self.target}")
+
+
+def _matches(labels: dict, want: tuple[tuple[str, str], ...]) -> bool:
+    return all(labels.get(k) == v for k, v in want)
+
+
+def _cdf_count(
+    bounds: tuple[float, ...], deltas: Sequence[float], threshold: float
+) -> float:
+    """Estimated number of observations <= threshold in a bucket delta."""
+    i = bisect_left(bounds, threshold)
+    below = float(sum(deltas[:i]))
+    if i < len(bounds) and deltas[i]:
+        lower = bounds[i - 1] if i > 0 else 0.0
+        upper = bounds[i]
+        span = upper - lower
+        frac = (threshold - lower) / span if span > 0 else 1.0
+        below += deltas[i] * max(0.0, min(1.0, frac))
+    return below
+
+
+class SLOEngine:
+    """Evaluates a set of :class:`SLO` objectives against sampler rings.
+
+    Stateful only for hysteresis: each objective remembers its current
+    status and how many consecutive clean evaluations it has seen, so
+    recovery is deliberate rather than instant.  ``evaluate`` is called
+    by the sampler under the sampler's lock.
+    """
+
+    SHORT_WINDOW = 60.0
+    LONG_WINDOW = 600.0
+    DEGRADED_BURN = 1.0
+    FAILING_BURN = 14.4
+    RECOVER_BURN = 0.5
+    RECOVER_TICKS = 3
+    #: Below this many short-window observations the objective is not
+    #: judged (reads ``ok``): with one or two samples the bad fraction
+    #: is only ever 0%, 50% or 100%, and a single cold request would
+    #: otherwise flip the whole service to ``failing``.
+    MIN_SAMPLES = 5
+
+    def __init__(self, slos: Sequence[SLO] = ()) -> None:
+        self.slos = tuple(slos)
+        self._status: dict[str, str] = {s.name: "ok" for s in self.slos}
+        self._clean: dict[str, int] = {s.name: 0 for s in self.slos}
+
+    # -- window math ----------------------------------------------------
+
+    def _bad_fraction(
+        self, sampler: "TelemetrySampler", slo: SLO, now: float, window: float
+    ) -> tuple[float, float]:
+        """(bad_fraction, window_total) for one objective and window."""
+        cutoff = now - window
+        if slo.kind == "latency":
+            bad = total = 0.0
+            for labels, points in sampler._series_for(slo.family):
+                if not _matches(labels, slo.labels) or not points:
+                    continue
+                bounds = sampler._bounds.get(slo.family)
+                if bounds is None:
+                    continue
+                latest = points[-1]
+                base = _baseline(points, cutoff)
+                deltas = [
+                    c - (base[1][j] if base is not None else 0)
+                    for j, c in enumerate(latest[1])
+                ]
+                n = sum(deltas)
+                if n <= 0:
+                    continue
+                total += n
+                bad += n - _cdf_count(bounds, deltas, slo.threshold_s)
+            return ((bad / total) if total else 0.0, total)
+        # errors: counter deltas split by status label prefix
+        bad = total = 0.0
+        for labels, points in sampler._series_for(slo.family):
+            if not _matches(labels, slo.labels) or not points:
+                continue
+            latest = points[-1]
+            base = _baseline(points, cutoff)
+            delta = latest[1] - (base[1] if base is not None else 0.0)
+            if delta <= 0:
+                continue
+            total += delta
+            if str(labels.get("status", "")).startswith(slo.bad_status_prefix):
+                bad += delta
+        return ((bad / total) if total else 0.0, total)
+
+    def _burn(self, bad_fraction: float, target: float) -> float:
+        return bad_fraction / (1.0 - target)
+
+    # -- evaluation -----------------------------------------------------
+
+    def evaluate(self, sampler: "TelemetrySampler", now: float) -> dict:
+        """Evaluate every objective; returns the health sub-document.
+
+        No objectives, or no samples yet, reads as ``ok`` — an idle
+        service has spent no error budget.
+        """
+        objectives = []
+        worst = 0
+        for slo in self.slos:
+            frac_s, total_s = self._bad_fraction(
+                sampler, slo, now, self.SHORT_WINDOW
+            )
+            frac_l, _ = self._bad_fraction(sampler, slo, now, self.LONG_WINDOW)
+            burn_s = self._burn(frac_s, slo.target)
+            burn_l = self._burn(frac_l, slo.target)
+            if total_s < self.MIN_SAMPLES:
+                raw = "ok"
+            elif burn_s >= self.FAILING_BURN and burn_l >= self.DEGRADED_BURN:
+                raw = "failing"
+            elif burn_s >= self.DEGRADED_BURN:
+                raw = "degraded"
+            else:
+                raw = "ok"
+            current = self._status[slo.name]
+            if STATUS_ORDER.index(raw) >= STATUS_ORDER.index(current):
+                # Same or worse: adopt immediately, reset the streak.
+                self._status[slo.name] = raw
+                self._clean[slo.name] = 0
+            elif burn_s <= self.RECOVER_BURN:
+                self._clean[slo.name] += 1
+                if self._clean[slo.name] >= self.RECOVER_TICKS:
+                    self._status[slo.name] = raw
+                    self._clean[slo.name] = 0
+            else:
+                self._clean[slo.name] = 0
+            status = self._status[slo.name]
+            worst = max(worst, STATUS_ORDER.index(status))
+            objectives.append({
+                "name": slo.name,
+                "kind": slo.kind,
+                "family": slo.family,
+                "labels": dict(slo.labels),
+                "target": slo.target,
+                "threshold_s": slo.threshold_s,
+                "bad_fraction": frac_s,
+                "window_total": total_s,
+                "burn_short": burn_s,
+                "burn_long": burn_l,
+                "status": status,
+                "description": slo.description,
+            })
+        return {"status": STATUS_ORDER[worst], "objectives": objectives}
+
+
+def _baseline(points: deque, cutoff: float):
+    """Newest ring point at or before ``cutoff`` (None = before the ring:
+    the window extends past recorded history, so the delta baseline is
+    zero — exactly right for a cold start)."""
+    base = None
+    for p in points:
+        if p[0] <= cutoff:
+            base = p
+        else:
+            break
+    return base
+
+
+# ---------------------------------------------------------------------------
+# The sampler
+
+
+class TelemetrySampler:
+    """Samples a metrics registry into bounded time-series rings.
+
+    ``source`` is a zero-argument callable returning the
+    :class:`MetricsRegistry` to snapshot — a callable rather than a
+    registry so sources that *build* a merged registry per read (the
+    serve layer's ``merged_registry``) stay fresh.
+
+    Drive it either with :meth:`start`/:meth:`stop` (daemon thread,
+    ``interval`` seconds, used by the server) or by calling
+    :meth:`tick` / :meth:`poke` manually (tests pass explicit ``now``
+    values; the sweep engine pokes at plan boundaries).
+    """
+
+    def __init__(
+        self,
+        source: Callable[[], MetricsRegistry],
+        *,
+        interval: float = DEFAULT_INTERVAL,
+        capacity: int = DEFAULT_CAPACITY,
+        log_path: str | Path | None = None,
+        slos: Sequence[SLO] = (),
+        gauge_sink: Callable[..., None] | None = None,
+        baseline_zero: bool = False,
+    ) -> None:
+        self.source = source
+        self.interval = float(interval)
+        self.capacity = int(capacity)
+        self.log_path = Path(log_path) if log_path else None
+        #: True when the source registry is known fresh (its counters
+        #: genuinely started at zero under this sampler), so a series'
+        #: first point can report its full value as the delta.  False
+        #: for long-lived sources (the serve registry survives server
+        #: restarts in one process) where that would be a spurious
+        #: spike dwarfing every real rate.
+        self.baseline_zero = baseline_zero
+        self.slo_engine = SLOEngine(slos)
+        self.gauge_sink = gauge_sink
+        self.samples = 0
+        self.started_at: float | None = None
+        self._lock = threading.Lock()
+        self._series: dict[str, dict[tuple, deque]] = {}
+        self._kinds: dict[str, str] = {}
+        self._bounds: dict[str, tuple[float, ...]] = {}
+        self._last_t: float | None = None
+        self._slo_doc: dict = {"status": "ok", "objectives": []}
+        self._log_file = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- internals ------------------------------------------------------
+
+    def _series_for(self, name: str) -> list[tuple[dict, deque]]:
+        fam = self._series.get(name, {})
+        return [(dict(k), pts) for k, pts in fam.items()]
+
+    def _ring(self, name: str, key: tuple) -> deque:
+        fam = self._series.setdefault(name, {})
+        ring = fam.get(key)
+        if ring is None:
+            ring = fam[key] = deque(maxlen=self.capacity)
+        return ring
+
+    # -- sampling -------------------------------------------------------
+
+    def tick(self, now: float | None = None) -> dict:
+        """Take one sample; returns the JSONL-shaped record.
+
+        Counter points carry the cumulative value plus the delta and
+        per-second rate versus the previous point of the *same series*.
+        A series' first point diffs against zero when ``baseline_zero``
+        (fresh registry) and reads as delta 0 otherwise — for a
+        long-lived source, a full-value first delta would be a spurious
+        spike dwarfing every real rate on the sparkline.
+        """
+        if now is None:
+            now = time.time()
+        reg = self.source()
+        with self._lock:
+            if self.started_at is None:
+                self.started_at = now
+            dt = (now - self._last_t) if self._last_t is not None else None
+            record: dict = {
+                "ts": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(now)),
+                "t": now,
+                "dt": dt,
+                "counters": {},
+                "gauges": {},
+                "histograms": {},
+            }
+            for name in reg.names():
+                kind = reg.kind(name)
+                self._kinds[name] = kind
+                rows = []
+                for labels, v in reg.samples(name):
+                    key = tuple(sorted(labels.items()))
+                    ring = self._ring(name, key)
+                    if kind == "histogram":
+                        assert isinstance(v, HistogramValue)
+                        self._bounds[name] = v.bounds
+                        ring.append((now, tuple(v.counts), v.total, v.count))
+                        rows.append({
+                            "labels": labels,
+                            "counts": list(v.counts),
+                            "sum": v.total,
+                            "count": v.count,
+                            "quantiles": {
+                                "p50": v.quantile(0.50),
+                                "p95": v.quantile(0.95),
+                                "p99": v.quantile(0.99),
+                            },
+                        })
+                    elif kind == "counter":
+                        prev = ring[-1] if ring else None
+                        if prev is not None:
+                            delta, span = v - prev[1], now - prev[0]
+                        elif self.baseline_zero:
+                            delta, span = v, now - self.started_at
+                        else:
+                            delta = span = 0.0
+                        rate = (delta / span) if span > 0 else 0.0
+                        ring.append((now, v, delta, rate))
+                        rows.append({
+                            "labels": labels,
+                            "value": v,
+                            "delta": delta,
+                            "rate": rate,
+                        })
+                    else:  # gauge
+                        ring.append((now, v))
+                        rows.append({"labels": labels, "value": v})
+                record[
+                    "histograms" if kind == "histogram"
+                    else "counters" if kind == "counter"
+                    else "gauges"
+                ][name] = rows
+            self._last_t = now
+            self.samples += 1
+            self._slo_doc = self.slo_engine.evaluate(self, now)
+            record["slo"] = self._slo_doc
+            if self.gauge_sink is not None:
+                for obj in self._slo_doc["objectives"]:
+                    self.gauge_sink(
+                        "serve_slo_burn_rate", obj["burn_short"], slo=obj["name"]
+                    )
+                    self.gauge_sink(
+                        "serve_slo_status",
+                        float(STATUS_ORDER.index(obj["status"])),
+                        slo=obj["name"],
+                    )
+            if self.log_path is not None:
+                if self._log_file is None:
+                    self.log_path.parent.mkdir(parents=True, exist_ok=True)
+                    self._log_file = open(self.log_path, "a", encoding="utf-8")
+                self._log_file.write(json.dumps(record) + "\n")
+                self._log_file.flush()
+        return record
+
+    def poke(self) -> None:
+        """Opportunistic sample (engine plan-boundary hook).
+
+        Rate-limited to the sampling interval so a burst of short plans
+        cannot flood the ring; a no-op failure-proof call — pokes must
+        never take the host down.
+        """
+        try:
+            with self._lock:
+                last = self._last_t
+            if last is not None and (time.time() - last) < self.interval:
+                return
+            self.tick()
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+    # -- health & payload ----------------------------------------------
+
+    def slo_status(self) -> dict:
+        with self._lock:
+            return dict(self._slo_doc)
+
+    def series(self, name: str, **labels):
+        """The ring for one series (a list copy), for tests/tools."""
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            fam = self._series.get(name, {})
+            ring = fam.get(key)
+            return list(ring) if ring is not None else []
+
+    def payload(self) -> dict:
+        """The ``GET /telemetry`` body: every ring, dashboard-shaped.
+
+        Counter series points are ``[t, rate]``, gauge points
+        ``[t, value]``, histogram points ``[t, observations/s]`` with
+        current quantiles and windowed per-bucket activity alongside
+        (the heat-strip input).
+        """
+        with self._lock:
+            families: dict = {}
+            for name, fam in sorted(self._series.items()):
+                kind = self._kinds.get(name, "gauge")
+                series = []
+                for key, ring in sorted(fam.items()):
+                    pts = list(ring)
+                    if not pts:
+                        continue
+                    row: dict = {"labels": dict(key)}
+                    if kind == "counter":
+                        row["points"] = [
+                            [round(t, 3), rate] for t, _, _, rate in pts
+                        ]
+                        row["last"] = pts[-1][1]
+                    elif kind == "gauge":
+                        row["points"] = [[round(t, 3), v] for t, v in pts]
+                        row["last"] = pts[-1][1]
+                    else:
+                        rates = []
+                        for i, p in enumerate(pts):
+                            if i == 0:
+                                rates.append([round(p[0], 3), 0.0])
+                                continue
+                            span = p[0] - pts[i - 1][0]
+                            d = p[3] - pts[i - 1][3]
+                            rates.append(
+                                [round(p[0], 3), (d / span) if span > 0 else 0.0]
+                            )
+                        row["points"] = rates
+                        row["last"] = pts[-1][3]
+                        bounds = self._bounds.get(name, ())
+                        latest, oldest = pts[-1], pts[0]
+                        row["buckets"] = {
+                            "bounds": list(bounds),
+                            "recent": [
+                                a - b for a, b in zip(latest[1], oldest[1])
+                            ] if len(pts) > 1 else list(latest[1]),
+                        }
+                        row["quantiles"] = {
+                            "p50": bucket_quantile(bounds, latest[1], 0.50),
+                            "p95": bucket_quantile(bounds, latest[1], 0.95),
+                            "p99": bucket_quantile(bounds, latest[1], 0.99),
+                        }
+                    series.append(row)
+                if series:
+                    families[name] = {"kind": kind, "series": series}
+            return {
+                "interval_s": self.interval,
+                "capacity": self.capacity,
+                "samples": self.samples,
+                "started_at": self.started_at,
+                "now": self._last_t,
+                "slo": dict(self._slo_doc),
+                "families": families,
+            }
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the daemon sampling thread (no-op when interval <= 0)."""
+        if self.interval <= 0 or self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-telemetry", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.tick()
+            except Exception:  # pragma: no cover - keep sampling alive
+                pass
+
+    def stop(self) -> None:
+        """Stop the thread, take one final flush sample, close the log."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        try:
+            self.tick()
+        except Exception:  # pragma: no cover - defensive
+            pass
+        with self._lock:
+            if self._log_file is not None:
+                self._log_file.close()
+                self._log_file = None
+
+
+@contextmanager
+def sampling(
+    *,
+    interval: float = DEFAULT_INTERVAL,
+    capacity: int = DEFAULT_CAPACITY,
+    log_path: str | Path | None = None,
+    slos: Sequence[SLO] = (),
+    registry: MetricsRegistry | None = None,
+) -> Iterator[TelemetrySampler]:
+    """Collect session metrics *and* sample them continuously.
+
+    The in-process flavor used by ``repro sweep --telemetry``: installs
+    a :func:`~repro.obs.metrics.collecting` scope so the engine's
+    instrumentation lights up, starts a sampler over that registry, and
+    guarantees a final flush sample on exit even if the block raises.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    sampler = TelemetrySampler(
+        lambda: reg,
+        interval=interval,
+        capacity=capacity,
+        log_path=log_path,
+        slos=slos,
+        baseline_zero=registry is None,
+    )
+    with collecting(reg):
+        sampler.tick()  # t0 baseline: later first-points get real spans
+        sampler.start()
+        try:
+            yield sampler
+        finally:
+            sampler.stop()
+
+
+# ---------------------------------------------------------------------------
+# Offline log analysis (``repro telemetry``)
+
+
+def read_log(path: str | Path) -> list[dict]:
+    """Parse a telemetry JSONL file; skips malformed lines."""
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return records
+
+
+def summarize_log(records: Sequence[dict]) -> dict:
+    """Roll a telemetry log up into a report-friendly summary.
+
+    Counters report total delta and peak rate, gauges last/min/max,
+    histograms final count and quantiles, and the SLO section counts
+    samples spent in each status plus the worst burn seen per
+    objective.
+    """
+    summary: dict = {
+        "samples": len(records),
+        "duration_s": 0.0,
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "slo": {"statuses": {}, "objectives": {}},
+    }
+    if not records:
+        return summary
+    t0, t1 = records[0].get("t"), records[-1].get("t")
+    if isinstance(t0, (int, float)) and isinstance(t1, (int, float)):
+        summary["duration_s"] = max(0.0, t1 - t0)
+    for rec in records:
+        for name, rows in rec.get("counters", {}).items():
+            for row in rows:
+                lk = json.dumps(row.get("labels", {}), sort_keys=True)
+                slot = summary["counters"].setdefault(name, {}).setdefault(
+                    lk, {"labels": row.get("labels", {}),
+                         "delta": 0.0, "peak_rate": 0.0, "last": 0.0}
+                )
+                slot["delta"] += row.get("delta", 0.0) or 0.0
+                slot["peak_rate"] = max(slot["peak_rate"], row.get("rate", 0.0) or 0.0)
+                slot["last"] = row.get("value", slot["last"])
+        for name, rows in rec.get("gauges", {}).items():
+            for row in rows:
+                lk = json.dumps(row.get("labels", {}), sort_keys=True)
+                v = row.get("value", 0.0)
+                slot = summary["gauges"].setdefault(name, {}).setdefault(
+                    lk, {"labels": row.get("labels", {}),
+                         "last": v, "min": v, "max": v}
+                )
+                slot["last"] = v
+                slot["min"] = min(slot["min"], v)
+                slot["max"] = max(slot["max"], v)
+        for name, rows in rec.get("histograms", {}).items():
+            for row in rows:
+                lk = json.dumps(row.get("labels", {}), sort_keys=True)
+                summary["histograms"].setdefault(name, {})[lk] = {
+                    "labels": row.get("labels", {}),
+                    "count": row.get("count", 0),
+                    "sum": row.get("sum", 0.0),
+                    "quantiles": row.get("quantiles", {}),
+                }
+        slo = rec.get("slo") or {}
+        status = slo.get("status", "ok")
+        summary["slo"]["statuses"][status] = (
+            summary["slo"]["statuses"].get(status, 0) + 1
+        )
+        for obj in slo.get("objectives", []):
+            slot = summary["slo"]["objectives"].setdefault(
+                obj["name"], {"worst_burn": 0.0, "worst_status": "ok"}
+            )
+            slot["worst_burn"] = max(slot["worst_burn"], obj.get("burn_short", 0.0))
+            if STATUS_ORDER.index(obj.get("status", "ok")) > STATUS_ORDER.index(
+                slot["worst_status"]
+            ):
+                slot["worst_status"] = obj["status"]
+    # Flatten single-label-set families for readability.
+    for kind in ("counters", "gauges", "histograms"):
+        summary[kind] = {
+            name: list(by_label.values())
+            for name, by_label in summary[kind].items()
+        }
+    return summary

@@ -1,0 +1,263 @@
+"""The live serve dashboard: one self-contained HTML page.
+
+``GET /dashboard`` renders the telemetry sampler's rings as a grid of
+SVG sparklines (one card per metric family), histogram heat-strips,
+SLO status lights and the flight-recorder slowest-requests table —
+with the same discipline as :mod:`repro.obs.htmlreport`: **inline CSS,
+inline JS, zero external references**.  The page embeds its initial
+``/telemetry`` payload as a JSON island and re-fetches the same
+endpoint (a relative path — no scheme, no host) on the sampling
+interval, so it keeps rendering live data for as long as it is open
+and still renders the last state if the server goes away.
+
+Palette: the validated reference data-viz palette — surfaces
+``#fcfcfb``/``#1a1a19``, series blue ``#2a78d6``/``#3987e5``, the
+sequential blue ramp for heat-strips, and the fixed status colors
+(good/warning/critical) which always ship with an icon glyph and a
+text label, never color alone.  Light and dark are both first-class
+via ``prefers-color-scheme``.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["render_dashboard"]
+
+#: Sequential blue ramp (light→dark) for histogram heat-strips.
+_HEAT_RAMP = (
+    "#cde2fb", "#9ec5f4", "#6da7ec", "#3987e5",
+    "#2a78d6", "#1c5cab", "#104281", "#0d366b",
+)
+
+_CSS = """
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --grid: #e1e0d9;
+  --baseline: #c3c2b7;
+  --series-1: #2a78d6;
+  --border: rgba(11, 11, 11, 0.10);
+  --status-good: #0ca30c;
+  --status-warning: #fab219;
+  --status-critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --series-1: #3987e5;
+    --border: rgba(255, 255, 255, 0.10);
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 1.5rem;
+  background: var(--page); color: var(--text-primary);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 1.2rem; margin: 0 0 0.25rem; }
+h2 { font-size: 0.95rem; margin: 1.5rem 0 0.5rem; color: var(--text-secondary); }
+.sub { color: var(--text-muted); font-size: 0.8rem; margin-bottom: 1rem; }
+.slo-row { display: flex; flex-wrap: wrap; gap: 0.6rem; }
+.slo {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 6px; padding: 0.55rem 0.8rem; min-width: 14rem;
+}
+.slo .light { font-weight: 600; }
+.slo .detail { color: var(--text-secondary); font-size: 0.78rem; }
+.st-ok { color: var(--status-good); }
+.st-degraded { color: var(--status-warning); }
+.st-failing { color: var(--status-critical); }
+.grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(19rem, 1fr)); gap: 0.6rem; }
+.card {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 6px; padding: 0.55rem 0.8rem;
+}
+.card .name { font-size: 0.78rem; color: var(--text-secondary); word-break: break-all; }
+.card .val { font-size: 1.05rem; font-weight: 600; }
+.card .quant { font-size: 0.75rem; color: var(--text-muted); font-variant-numeric: tabular-nums; }
+.spark { display: block; width: 100%; height: 42px; margin-top: 0.25rem; }
+.spark polyline { fill: none; stroke: var(--series-1); stroke-width: 2; }
+.spark line { stroke: var(--baseline); stroke-width: 1; }
+.heat { display: flex; gap: 2px; margin-top: 0.3rem; height: 10px; }
+.heat span { flex: 1; border-radius: 2px; background: var(--grid); }
+.heat-labels { display: flex; justify-content: space-between; color: var(--text-muted); font-size: 0.68rem; }
+table { border-collapse: collapse; width: 100%; background: var(--surface-1);
+        border: 1px solid var(--border); border-radius: 6px; }
+th, td { text-align: left; padding: 0.35rem 0.7rem; font-size: 0.8rem;
+         border-bottom: 1px solid var(--grid); }
+td.num { font-variant-numeric: tabular-nums; text-align: right; }
+th { color: var(--text-secondary); font-weight: 600; }
+tr:last-child td { border-bottom: none; }
+#stale { display: none; color: var(--status-critical); font-size: 0.8rem; }
+"""
+
+_JS = """
+const STATUS = {
+  ok:       {glyph: "\\u25CF", cls: "st-ok",       label: "ok"},
+  degraded: {glyph: "\\u25B2", cls: "st-degraded", label: "degraded"},
+  failing:  {glyph: "\\u2716", cls: "st-failing",  label: "failing"},
+};
+const RAMP = __RAMP__;
+
+function esc(s) {
+  return String(s).replace(/[&<>"]/g,
+    c => ({"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}[c]));
+}
+function fmt(v) {
+  if (v === null || v === undefined || Number.isNaN(v)) return "-";
+  if (v === 0) return "0";
+  const a = Math.abs(v);
+  if (a >= 1000) return v.toFixed(0);
+  if (a >= 1) return v.toFixed(2);
+  return v.toPrecision(3);
+}
+function labelText(labels) {
+  const parts = Object.entries(labels || {}).map(([k, v]) => k + "=" + v);
+  return parts.length ? "{" + parts.join(",") + "}" : "";
+}
+function sparkline(points) {
+  if (!points || points.length < 2) {
+    return '<svg class="spark" viewBox="0 0 100 30" preserveAspectRatio="none">' +
+           '<line x1="0" y1="29" x2="100" y2="29"></line></svg>';
+  }
+  const ys = points.map(p => p[1]);
+  const xs = points.map(p => p[0]);
+  const ymax = Math.max(...ys, 1e-12), x0 = xs[0];
+  const span = Math.max(xs[xs.length - 1] - x0, 1e-9);
+  const coords = points.map(p => {
+    const x = ((p[0] - x0) / span) * 100;
+    const y = 28 - (p[1] / ymax) * 26;
+    return x.toFixed(2) + "," + y.toFixed(2);
+  }).join(" ");
+  return '<svg class="spark" viewBox="0 0 100 30" preserveAspectRatio="none">' +
+         '<line x1="0" y1="29" x2="100" y2="29"></line>' +
+         '<polyline points="' + coords + '"><title>' +
+         fmt(ys[ys.length - 1]) + ' latest, ' + fmt(ymax) + ' peak</title></polyline></svg>';
+}
+function heatStrip(buckets) {
+  if (!buckets || !buckets.recent || !buckets.recent.length) return "";
+  const max = Math.max(...buckets.recent, 1);
+  const cells = buckets.recent.map((n, i) => {
+    const bound = i < buckets.bounds.length ? "\\u2264" + fmt(buckets.bounds[i]) : "+Inf";
+    if (n <= 0) return '<span title="' + bound + ': 0"></span>';
+    const idx = Math.min(RAMP.length - 1,
+      Math.floor((Math.log1p(n) / Math.log1p(max)) * (RAMP.length - 1)));
+    return '<span style="background:' + RAMP[idx] + '" title="' +
+           bound + ": " + n + '"></span>';
+  }).join("");
+  const lo = buckets.bounds.length ? fmt(buckets.bounds[0]) : "";
+  const hi = buckets.bounds.length ? fmt(buckets.bounds[buckets.bounds.length - 1]) : "";
+  return '<div class="heat">' + cells + '</div>' +
+         '<div class="heat-labels"><span>\\u2264' + lo + 's</span><span>&gt;' + hi + 's</span></div>';
+}
+function sloCard(obj) {
+  const st = STATUS[obj.status] || STATUS.ok;
+  return '<div class="slo"><div class="light ' + st.cls + '">' + st.glyph +
+         " " + st.label + " \\u00B7 " + esc(obj.name) + "</div>" +
+         '<div class="detail">' + esc(obj.description || obj.family) +
+         "</div>" + '<div class="detail">burn ' + fmt(obj.burn_short) +
+         " (short) / " + fmt(obj.burn_long) + " (long)</div></div>";
+}
+function familyCard(name, fam, row) {
+  const isHist = fam.kind === "histogram";
+  const unit = fam.kind === "counter" ? "/s" : isHist ? " obs/s" : "";
+  const last = row.points.length ? row.points[row.points.length - 1][1] : 0;
+  let quant = "";
+  if (isHist && row.quantiles) {
+    quant = '<div class="quant">p50 ' + fmt(row.quantiles.p50) +
+            " \\u00B7 p95 " + fmt(row.quantiles.p95) +
+            " \\u00B7 p99 " + fmt(row.quantiles.p99) + "</div>";
+  }
+  return '<div class="card"><div class="name">' + esc(name) +
+         esc(labelText(row.labels)) + '</div><div class="val">' +
+         fmt(fam.kind === "gauge" ? row.last : last) + unit + "</div>" +
+         sparkline(row.points) + (isHist ? heatStrip(row.buckets) : "") +
+         quant + "</div>";
+}
+function render(data) {
+  const slo = data.slo || {status: "ok", objectives: []};
+  const st = STATUS[slo.status] || STATUS.ok;
+  document.getElementById("overall").innerHTML =
+    '<span class="' + st.cls + '">' + st.glyph + " " + st.label + "</span>";
+  document.getElementById("meta").textContent =
+    (data.samples || 0) + " samples \\u00B7 every " + data.interval_s +
+    "s \\u00B7 ring " + data.capacity;
+  document.getElementById("slos").innerHTML =
+    (slo.objectives || []).map(sloCard).join("") ||
+    '<div class="slo"><span class="light st-ok">\\u25CF ok</span>' +
+    '<div class="detail">no objectives evaluated yet</div></div>';
+  const fams = data.families || {};
+  const cards = [];
+  for (const name of Object.keys(fams).sort()) {
+    for (const row of fams[name].series) {
+      cards.push(familyCard(name, fams[name], row));
+    }
+  }
+  document.getElementById("cards").innerHTML = cards.join("");
+  const rows = (data.slowest || []).map(r =>
+    "<tr><td>" + esc(r.endpoint) + "</td><td>" + esc(r.id) + "</td>" +
+    '<td class="num">' + fmt(r.duration_s) + "</td><td>" + r.status +
+    "</td></tr>").join("");
+  document.getElementById("slowest").innerHTML = rows ||
+    '<tr><td colspan="4">no requests recorded yet</td></tr>';
+}
+const initial = JSON.parse(document.getElementById("data").textContent);
+render(initial);
+const every = Math.max(1, initial.interval_s || 1) * 1000;
+setInterval(() => {
+  fetch("/telemetry").then(r => r.json()).then(d => {
+    document.getElementById("stale").style.display = "none";
+    render(d);
+  }).catch(() => {
+    document.getElementById("stale").style.display = "block";
+  });
+}, every);
+"""
+
+
+def render_dashboard(payload: dict) -> str:
+    """The dashboard page with ``payload`` embedded as its initial data.
+
+    ``payload`` is the ``GET /telemetry`` body (sampler rings + SLO doc
+    + slowest requests).  The JSON island escapes ``</`` so a label
+    value can never terminate the script block early.
+    """
+    data = json.dumps(payload).replace("</", "<\\/")
+    js = _JS.replace("__RAMP__", json.dumps(list(_HEAT_RAMP)))
+    return f"""<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro serve dashboard</title>
+<style>{_CSS}</style>
+</head>
+<body>
+<h1>repro serve <span id="overall"></span></h1>
+<div class="sub" id="meta"></div>
+<div id="stale">✖ refresh failed — showing the last data</div>
+<h2>Service objectives</h2>
+<div class="slo-row" id="slos"></div>
+<h2>Metric families</h2>
+<div class="grid" id="cards"></div>
+<h2>Slowest requests (per endpoint)</h2>
+<table><thead><tr><th>endpoint</th><th>request id</th>
+<th>duration s</th><th>status</th></tr></thead>
+<tbody id="slowest"></tbody></table>
+<script type="application/json" id="data">{data}</script>
+<script>{js}</script>
+</body>
+</html>
+"""

@@ -28,7 +28,13 @@ Metric families (all prefixed ``serve_``):
 - ``serve_warm_inline_total`` — fully-cached run requests served
   inline, skipping the batch window;
 - ``serve_lru_hits_total`` / ``serve_lru_misses_total`` /
-  ``serve_lru_evictions_total`` — warm-tier traffic.
+  ``serve_lru_evictions_total`` — warm-tier traffic;
+- ``serve_stage_seconds{stage}`` — per-stage latency histogram fed
+  from the flight recorder's stage timings (``queue_wait``,
+  ``evaluate``, ...), on the finer :data:`STAGE_BUCKETS` grid;
+- ``serve_slo_burn_rate{slo}`` / ``serve_slo_status{slo}`` — burn rate
+  and 0/1/2 (ok/degraded/failing) per objective, published by the
+  telemetry sampler each tick.
 """
 
 from __future__ import annotations
@@ -47,6 +53,11 @@ __all__ = [
 #: Request-latency histogram bounds: service latencies run from
 #: sub-millisecond LRU hits to multi-second cold profiling runs.
 LATENCY_BUCKETS = (1e-3, 5e-3, 0.025, 0.1, 0.5, 2.0, 10.0, 60.0)
+
+#: Stage-latency bounds (``serve_stage_seconds{stage=...}``): stages
+#: like the batch queue wait live well under a millisecond on a warm
+#: server, so the grid extends two decades finer than LATENCY_BUCKETS.
+STAGE_BUCKETS = (1e-5, 1e-4, 1e-3, 5e-3, 0.025, 0.1, 0.5, 2.0)
 
 _registry = MetricsRegistry()
 
@@ -70,11 +81,17 @@ def set_gauge(name: str, value: float, **labels) -> None:
         session.set(name, value, **labels)
 
 
-def observe(name: str, value: float, **labels) -> None:
-    _registry.observe(name, value, buckets=LATENCY_BUCKETS, **labels)
+def observe(
+    name: str,
+    value: float,
+    buckets: tuple[float, ...] | None = None,
+    **labels,
+) -> None:
+    bounds = buckets if buckets is not None else LATENCY_BUCKETS
+    _registry.observe(name, value, buckets=bounds, **labels)
     session = active_metrics()
     if session is not None and session is not _registry:
-        session.observe(name, value, buckets=LATENCY_BUCKETS, **labels)
+        session.observe(name, value, buckets=bounds, **labels)
 
 
 def merge_into(target: MetricsRegistry) -> int:

@@ -20,8 +20,10 @@ and the bench harness embed it in-process on an ephemeral port.  One
 Endpoints (see ``docs/SERVE.md``):
 
 ==========================  ===============================================
-``GET /healthz``            liveness + store/queue introspection
+``GET /healthz``            liveness + SLO health (``ok|degraded|failing``)
 ``GET /metrics``            Prometheus text: serve + engine metric families
+``GET /telemetry``          sampler rings as JSON (the dashboard's feed)
+``GET /dashboard``          self-contained live HTML dashboard
 ``GET /fidelity``           scorecard JSON (``?figures=...`` to restrict)
 ``POST /run``               best-run estimate of ``{"app", "platform"}``
 ``POST /sweep``             sweep of ``{"apps": [...], "platforms": [...]}``
@@ -29,6 +31,13 @@ Endpoints (see ``docs/SERVE.md``):
 ``GET /debug/requests``     flight recorder: the last N requests
 ``GET /debug/requests/<id>``  one request's stage timings (404 if aged out)
 ==========================  ===============================================
+
+A :class:`~repro.obs.telemetry.TelemetrySampler` snapshots the merged
+registry every ``--sample-interval`` seconds (default 1 s) into bounded
+time-series rings, evaluates the default SLOs (:func:`default_slos`),
+and optionally appends each sample to ``--telemetry-log``.  ``/healthz``
+keeps its HTTP-200 liveness contract in every state — orchestrators
+reading the status *body* get the three-state SLO verdict.
 
 Every response carries an ``X-Request-Id`` header; the same ID keys the
 flight recorder, the JSONL access log (``--access-log``) and, for
@@ -59,18 +68,68 @@ from ..engine.core import default_cache_dir
 from ..engine.jobs import build_plan
 from ..engine.store import ResultStore, model_version
 from ..machine import ALL_PLATFORMS
-from ..obs.metrics import MetricsRegistry, collecting, prometheus_text
+from ..obs.metrics import (
+    MetricsRegistry,
+    collecting,
+    prometheus_text,
+    quantile_summary,
+)
+from ..obs.telemetry import SLO, TelemetrySampler
 from ..obs.tracer import active_tracer, tracing
 from . import flight
 from . import metrics as sm
 from . import payloads
+from .dashboard import render_dashboard
 from .backpressure import AdmissionGate, Saturated
 from .batch import BatchQueue, best_of
 from .coalesce import Coalescer
 from .lru import DEFAULT_CAPACITY, LRUStore
 from .shard import ShardedExecutor
 
-__all__ = ["ServeConfig", "ServeState", "ReproServer", "create_server"]
+__all__ = [
+    "ServeConfig",
+    "ServeState",
+    "ReproServer",
+    "create_server",
+    "default_slos",
+]
+
+
+def default_slos(config: "ServeConfig") -> tuple[SLO, ...]:
+    """The server's built-in objectives (``docs/SERVE.md`` documents
+    the schema):
+
+    - ``run-latency-p99``: 99% of warm ``/run`` requests under 250 ms;
+    - ``error-rate``: fewer than 1% of responses are 5xx;
+    - ``queue-wait-p95``: 95% of batch-queue waits within the batch
+      window (a longer wait means the queue, not the window, paces
+      admission).
+    """
+    return (
+        SLO(
+            name="run-latency-p99",
+            family="serve_request_seconds",
+            labels=(("endpoint", "/run"),),
+            threshold_s=0.25,
+            target=0.99,
+            description="99% of /run requests complete within 250 ms",
+        ),
+        SLO(
+            name="error-rate",
+            family="serve_requests_total",
+            kind="errors",
+            target=0.99,
+            description="fewer than 1% of responses are 5xx",
+        ),
+        SLO(
+            name="queue-wait-p95",
+            family="serve_stage_seconds",
+            labels=(("stage", "queue_wait"),),
+            threshold_s=max(config.batch_window, 1e-4),
+            target=0.95,
+            description="95% of batch-queue waits within the batch window",
+        ),
+    )
 
 
 @dataclass
@@ -95,6 +154,14 @@ class ServeConfig:
     flight_log: str | None = None
     #: Append one JSONL line per completed request to this file.
     access_log: str | None = None
+    #: Telemetry sampling interval in seconds (``--sample-interval``);
+    #: <= 0 disables the sampler thread (ticks can still be driven
+    #: manually — the service tests do).
+    sample_interval: float = 1.0
+    #: Ring capacity per time series (``--telemetry-ring``).
+    telemetry_ring: int = 600
+    #: Append one JSONL record per telemetry sample to this file.
+    telemetry_log: str | None = None
     # Embedded use only (tests, the bench harness): a Tracer / session
     # MetricsRegistry installed around every request dispatch.  Handler
     # threads start with empty contexts, so observability scoped at the
@@ -139,6 +206,18 @@ class ServeState:
             if config.access_log else None
         )
         self._access_lock = threading.Lock()
+        # The sampler is always constructed (tests drive tick() by
+        # hand with sample_interval=0); the thread only starts when the
+        # interval is positive.
+        self.sampler = TelemetrySampler(
+            self.merged_registry,
+            interval=config.sample_interval,
+            capacity=config.telemetry_ring,
+            log_path=config.telemetry_log,
+            slos=default_slos(config),
+            gauge_sink=sm.set_gauge,
+        )
+        self.sampler.start()
         self.started = time.time()
         self._closed = False
         self._fingerprints: dict[str, str] = {}
@@ -213,9 +292,18 @@ class ServeState:
         return merged
 
     def health(self) -> dict:
+        """Liveness plus SLO health.
+
+        ``status`` is the worst objective status (``ok`` when the SLO
+        engine has nothing to say yet) — the HTTP code stays 200 in
+        every state so orchestrator liveness probes keep passing while
+        humans and alerting read the body.
+        """
         inner = self.store.inner
+        slo = self.sampler.slo_status()
         return {
-            "status": "ok",
+            "status": slo.get("status", "ok"),
+            "slo": slo,
             "version": __version__,
             "uptime_s": round(time.time() - self.started, 3),
             "model_version": model_version(),
@@ -232,6 +320,8 @@ class ServeState:
         if self._closed:
             return
         self._closed = True
+        # Final flush sample + log close before the engine goes away.
+        self.sampler.stop()
         self.batcher.close()
         if self.config.flight_log:
             Path(self.config.flight_log).write_text(
@@ -301,8 +391,31 @@ class _Handler(BaseHTTPRequestHandler):
         return self._send(200, payloads.render_json(self.state.health()))
 
     def _endpoint_metrics(self) -> int:
-        text = prometheus_text(self.state.merged_registry())
+        merged = self.state.merged_registry()
+        text = prometheus_text(merged)
+        summary = quantile_summary(merged)
+        if summary:
+            # Appended as comment lines: scrapers ignore them, humans
+            # get p50/p95/p99 without histogram_quantile arithmetic.
+            text += summary
         return self._send(200, text, content_type="text/plain; version=0.0.4")
+
+    def _endpoint_telemetry(self) -> int:
+        payload = self.state.sampler.payload()
+        payload["slowest"] = [
+            rec for _, rec in sorted(self.state.recorder.exemplars().items())
+        ]
+        return self._send(200, payloads.render_json(payload))
+
+    def _endpoint_dashboard(self) -> int:
+        payload = self.state.sampler.payload()
+        payload["slowest"] = [
+            rec for _, rec in sorted(self.state.recorder.exemplars().items())
+        ]
+        return self._send(
+            200, render_dashboard(payload),
+            content_type="text/html; charset=utf-8",
+        )
 
     def _endpoint_fidelity(self, query: dict) -> int:
         figures = payloads.resolve_figures(
@@ -421,6 +534,11 @@ class _Handler(BaseHTTPRequestHandler):
             self.state.log_access(record)
         sm.inc("serve_requests_total", endpoint=label, status=code)
         sm.observe("serve_request_seconds", duration, endpoint=label)
+        for stage, seconds in record["stages"].items():
+            sm.observe(
+                "serve_stage_seconds", seconds,
+                buckets=sm.STAGE_BUCKETS, stage=stage,
+            )
 
     def _route(self, method: str, endpoint: str, url) -> int:
         try:
@@ -428,6 +546,10 @@ class _Handler(BaseHTTPRequestHandler):
                 code = self._endpoint_healthz()
             elif method == "GET" and endpoint == "/metrics":
                 code = self._endpoint_metrics()
+            elif method == "GET" and endpoint == "/telemetry":
+                code = self._endpoint_telemetry()
+            elif method == "GET" and endpoint == "/dashboard":
+                code = self._endpoint_dashboard()
             elif method == "GET" and endpoint == "/fidelity":
                 code = self._endpoint_fidelity(parse_qs(url.query))
             elif method == "POST" and endpoint == "/run":
@@ -441,7 +563,8 @@ class _Handler(BaseHTTPRequestHandler):
                 or endpoint.startswith("/debug/requests/")
             ):
                 code = self._endpoint_debug_requests(endpoint)
-            elif endpoint in ("/healthz", "/metrics", "/fidelity",
+            elif endpoint in ("/healthz", "/metrics", "/telemetry",
+                              "/dashboard", "/fidelity",
                               "/run", "/sweep", "/explain") or (
                 endpoint == "/debug/requests"
                 or endpoint.startswith("/debug/requests/")

@@ -1,0 +1,349 @@
+"""Telemetry: quantile math, sampler rings/deltas, SLO burn-rate state."""
+
+import io
+import json
+from bisect import bisect_left
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    HistogramValue,
+    MetricsRegistry,
+    bucket_quantile,
+    quantile_summary,
+)
+from repro.obs.telemetry import (
+    SLO,
+    SLOEngine,
+    TelemetrySampler,
+    read_log,
+    sampling,
+    summarize_log,
+)
+
+BOUNDS = (0.1, 0.5, 1.0)
+
+
+class TestBucketQuantile:
+    def test_empty_histogram_is_none_never_nan(self):
+        h = HistogramValue(bounds=BOUNDS)
+        assert h.quantile(0.50) is None
+        assert h.quantile(0.99) is None
+        assert bucket_quantile(BOUNDS, [0, 0, 0, 0], 0.5) is None
+
+    def test_single_bucket_mass_interpolates_within_it(self):
+        # All mass in (0.1, 0.5]: every quantile lands inside that span.
+        q50 = bucket_quantile(BOUNDS, [0, 10, 0, 0], 0.50)
+        q99 = bucket_quantile(BOUNDS, [0, 10, 0, 0], 0.99)
+        assert 0.1 < q50 <= 0.5
+        assert 0.1 < q99 <= 0.5
+        assert q50 < q99
+
+    def test_inf_bucket_clamps_to_last_finite_bound(self):
+        # All mass above every bound: the +Inf bucket has no upper edge,
+        # so the estimate clamps to the largest finite bound.
+        assert bucket_quantile(BOUNDS, [0, 0, 0, 7], 0.99) == BOUNDS[-1]
+        assert bucket_quantile(BOUNDS, [0, 0, 0, 7], 0.01) == BOUNDS[-1]
+
+    def test_exact_bound_observations(self):
+        h = HistogramValue(bounds=BOUNDS)
+        for v in BOUNDS:  # values exactly on a bound belong to that bucket
+            h.observe(v)
+        assert h.counts == [1, 1, 1, 0]
+        # p100 ≈ the top occupied bucket's upper edge.
+        assert h.quantile(1.0) == pytest.approx(1.0)
+
+    def test_quantile_validates_q(self):
+        with pytest.raises(ValueError):
+            bucket_quantile(BOUNDS, [1, 0, 0, 0], 1.5)
+        with pytest.raises(ValueError):
+            bucket_quantile(BOUNDS, [1, 0, 0, 0], -0.1)
+
+    def test_bisect_matches_linear_scan_on_boundaries(self):
+        # The micro-test behind the observe() fast path: bisect_left must
+        # give the same bucket as the obvious linear scan (`value <=
+        # bound`, else the +Inf slot) — including exactly-on-bound values.
+        def linear(bounds, value):
+            for i, bound in enumerate(bounds):
+                if value <= bound:
+                    return i
+            return len(bounds)
+
+        probes = [0.0, 0.05, 0.1, 0.10000001, 0.3, 0.5, 0.7, 1.0, 1.5]
+        for bounds in (BOUNDS, DEFAULT_BUCKETS):
+            for v in probes:
+                assert bisect_left(bounds, v) == linear(bounds, v), (bounds, v)
+
+    def test_quantile_summary_renders_comment_lines(self):
+        r = MetricsRegistry()
+        r.observe("job_seconds", 0.3, buckets=BOUNDS)
+        r.observe("job_seconds", 0.3, buckets=BOUNDS)
+        text = quantile_summary(r)
+        assert text.startswith("# quantile job_seconds")
+        assert "p50=" in text and "p99=" in text and "count=2" in text
+
+
+class TestSampler:
+    def make(self, reg, **kw):
+        kw.setdefault("interval", 0)  # manual ticks only
+        kw.setdefault("baseline_zero", True)
+        return TelemetrySampler(lambda: reg, **kw)
+
+    def test_counter_deltas_and_rates(self):
+        reg = MetricsRegistry()
+        s = self.make(reg)
+        s.tick(now=100.0)  # t0 baseline (no series yet)
+        reg.inc("jobs_total", 5)
+        s.tick(now=110.0)
+        reg.inc("jobs_total", 3)
+        s.tick(now=115.0)
+        ring = s.series("jobs_total")
+        # (t, cumulative, delta, rate): first point diffs against zero
+        # because the registry is fresh (baseline_zero).
+        assert ring[0] == (110.0, 5, 5, pytest.approx(0.5))
+        assert ring[1] == (115.0, 8, 3, pytest.approx(0.6))
+
+    def test_long_lived_source_first_point_has_zero_delta(self):
+        reg = MetricsRegistry()
+        reg.inc("jobs_total", 1000)  # pre-existing history
+        s = self.make(reg, baseline_zero=False)
+        s.tick(now=50.0)
+        t, cum, delta, rate = s.series("jobs_total")[0]
+        assert cum == 1000 and delta == 0.0 and rate == 0.0
+
+    def test_ring_is_bounded_by_capacity(self):
+        reg = MetricsRegistry()
+        s = self.make(reg, capacity=5)
+        for i in range(8):
+            reg.inc("jobs_total")
+            s.tick(now=float(i))
+        ring = s.series("jobs_total")
+        assert len(ring) == 5
+        assert ring[-1][0] == 7.0  # newest kept, oldest evicted
+
+    def test_gauge_and_histogram_points(self):
+        reg = MetricsRegistry()
+        s = self.make(reg)
+        reg.set("depth", 3.0)
+        reg.observe("lat_seconds", 0.3, buckets=BOUNDS)
+        s.tick(now=10.0)
+        assert s.series("depth") == [(10.0, 3.0)]
+        t, counts, total, count = s.series("lat_seconds")[0]
+        assert counts == (0, 1, 0, 0) and count == 1
+
+    def test_payload_shape(self):
+        reg = MetricsRegistry()
+        s = self.make(reg)
+        s.tick(now=0.0)
+        reg.inc("jobs_total", 2)
+        reg.observe("lat_seconds", 0.3, buckets=BOUNDS)
+        s.tick(now=1.0)
+        p = s.payload()
+        assert p["samples"] == 2
+        assert p["slo"]["status"] == "ok"
+        jobs = p["families"]["jobs_total"]
+        assert jobs["kind"] == "counter"
+        assert jobs["series"][0]["points"][-1] == [1.0, pytest.approx(2.0)]
+        lat = p["families"]["lat_seconds"]["series"][0]
+        assert lat["buckets"]["bounds"] == list(BOUNDS)
+        assert lat["quantiles"]["p50"] is not None
+
+    def test_jsonl_log_roundtrip(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        reg = MetricsRegistry()
+        s = self.make(reg, log_path=path)
+        reg.inc("jobs_total", 4)
+        s.tick(now=10.0)
+        reg.inc("jobs_total", 2)
+        reg.set("depth", 1.5)
+        s.tick(now=12.0)
+        path.write_text(
+            path.read_text() + "{not json\n", encoding="utf-8"
+        )  # malformed tail line must be skipped, not fatal
+        records = read_log(path)
+        assert len(records) == 2
+        summary = summarize_log(records)
+        assert summary["samples"] == 2
+        assert summary["duration_s"] == pytest.approx(2.0)
+        jobs = summary["counters"]["jobs_total"][0]
+        assert jobs["delta"] == 6 and jobs["last"] == 6
+        assert summary["gauges"]["depth"][0]["last"] == 1.5
+        assert summary["slo"]["statuses"] == {"ok": 2}
+
+    def test_gauge_sink_receives_slo_gauges(self):
+        reg = MetricsRegistry()
+        seen = []
+        slo = SLO(name="lat", family="lat_seconds", threshold_s=0.5)
+        s = TelemetrySampler(
+            lambda: reg, interval=0, slos=[slo],
+            gauge_sink=lambda name, v, **lb: seen.append((name, v, lb)),
+        )
+        s.tick(now=1.0)
+        names = {n for n, _, _ in seen}
+        assert names == {"serve_slo_burn_rate", "serve_slo_status"}
+        assert all(lb == {"slo": "lat"} for _, _, lb in seen)
+
+    def test_sampling_scope_collects_and_flushes(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with sampling(interval=0, log_path=path) as sampler:
+            from repro.obs.metrics import active_metrics
+
+            active_metrics().inc("jobs_total", 3)
+        # t0 baseline tick + the final flush tick from stop().
+        records = read_log(path)
+        assert len(records) >= 2
+        assert records[-1]["counters"]["jobs_total"][0]["value"] == 3
+        assert sampler.samples == len(records)
+
+
+class TestSLOEngine:
+    SLOS = [SLO(name="lat-p99", family="lat_seconds",
+                threshold_s=0.5, target=0.99)]
+
+    def make(self):
+        reg = MetricsRegistry()
+        s = TelemetrySampler(
+            lambda: reg, interval=0, slos=self.SLOS, baseline_zero=True
+        )
+        return reg, s
+
+    def test_no_samples_is_ok(self):
+        _, s = self.make()
+        s.tick(now=1000.0)
+        doc = s.slo_status()
+        assert doc["status"] == "ok"
+        obj = doc["objectives"][0]
+        assert obj["window_total"] == 0 and obj["burn_short"] == 0.0
+
+    def test_min_samples_guard(self):
+        # A single cold request breaching the threshold must not flip
+        # health: below MIN_SAMPLES the objective is not judged.
+        reg, s = self.make()
+        reg.observe("lat_seconds", 2.0, buckets=BOUNDS)
+        s.tick(now=1000.0)
+        assert s.slo_status()["status"] == "ok"
+        assert s.slo_status()["objectives"][0]["window_total"] < SLOEngine.MIN_SAMPLES
+
+    def test_cold_start_burn_fails(self):
+        reg, s = self.make()
+        for _ in range(10):
+            reg.observe("lat_seconds", 2.0, buckets=BOUNDS)
+        s.tick(now=1000.0)
+        doc = s.slo_status()
+        obj = doc["objectives"][0]
+        assert obj["bad_fraction"] == pytest.approx(1.0)
+        assert obj["burn_short"] >= SLOEngine.FAILING_BURN
+        assert doc["status"] == "failing"
+
+    def test_partial_breach_is_degraded_not_failing(self):
+        # ~3% bad at a 99% target: burn ≈ 3 — over budget, but well
+        # under the fast-burn page threshold.
+        reg, s = self.make()
+        for _ in range(97):
+            reg.observe("lat_seconds", 0.2, buckets=BOUNDS)
+        for _ in range(3):
+            reg.observe("lat_seconds", 2.0, buckets=BOUNDS)
+        s.tick(now=1000.0)
+        doc = s.slo_status()
+        obj = doc["objectives"][0]
+        assert 1.0 <= obj["burn_short"] < SLOEngine.FAILING_BURN
+        assert doc["status"] == "degraded"
+
+    def test_recovery_needs_consecutive_clean_ticks(self):
+        reg, s = self.make()
+        for _ in range(10):
+            reg.observe("lat_seconds", 2.0, buckets=BOUNDS)
+        s.tick(now=1000.0)
+        assert s.slo_status()["status"] == "failing"
+        # Quiet period: ticks past the short window see zero new
+        # observations (burn 0), but hysteresis holds the status until
+        # RECOVER_TICKS consecutive clean evaluations have passed.
+        clean_start = 1000.0 + SLOEngine.SHORT_WINDOW + 1
+        for i in range(SLOEngine.RECOVER_TICKS - 1):
+            s.tick(now=clean_start + i)
+            assert s.slo_status()["status"] == "failing"
+        s.tick(now=clean_start + SLOEngine.RECOVER_TICKS - 1)
+        assert s.slo_status()["status"] == "ok"
+
+    def test_errors_kind_counts_status_prefix(self):
+        slo = SLO(name="errors", family="requests_total", kind="errors",
+                  target=0.9)
+        reg = MetricsRegistry()
+        s = TelemetrySampler(
+            lambda: reg, interval=0, slos=[slo], baseline_zero=True
+        )
+        reg.inc("requests_total", 8, status="200")
+        reg.inc("requests_total", 2, status="500")
+        s.tick(now=1000.0)
+        obj = s.slo_status()["objectives"][0]
+        assert obj["bad_fraction"] == pytest.approx(0.2)
+        assert obj["burn_short"] == pytest.approx(2.0)
+
+    def test_slo_validation(self):
+        with pytest.raises(ValueError, match="threshold_s"):
+            SLO(name="x", family="f")  # latency without a threshold
+        with pytest.raises(ValueError, match="kind"):
+            SLO(name="x", family="f", kind="availability")
+        with pytest.raises(ValueError, match="target"):
+            SLO(name="x", family="f", threshold_s=1.0, target=1.0)
+
+
+class TestTelemetryCLI:
+    def run_cli(self, argv):
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            rc = cli_main(argv)
+        return rc, buf.getvalue()
+
+    def make_log(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        reg = MetricsRegistry()
+        s = TelemetrySampler(
+            lambda: reg, interval=0, log_path=path, baseline_zero=True
+        )
+        reg.inc("engine_jobs_total", 4)
+        reg.observe("engine_job_seconds", 0.002)
+        s.tick(now=10.0)
+        reg.inc("engine_jobs_total", 6)
+        s.tick(now=12.0)
+        s.stop()
+        return path
+
+    def test_telemetry_report(self, tmp_path):
+        path = self.make_log(tmp_path)
+        rc, out = self.run_cli(["telemetry", str(path)])
+        assert rc == 0
+        assert "engine_jobs_total" in out and "peak" in out
+        rc, out = self.run_cli(["telemetry", str(path), "--json"])
+        assert rc == 0
+        summary = json.loads(out)
+        assert summary["counters"]["engine_jobs_total"]
+
+    def test_telemetry_family_filter(self, tmp_path):
+        path = self.make_log(tmp_path)
+        rc, out = self.run_cli(
+            ["telemetry", str(path), "--json", "--family", "job_seconds"]
+        )
+        summary = json.loads(out)
+        assert "engine_jobs_total" not in summary["counters"]
+        assert "engine_job_seconds" in summary["histograms"]
+
+    def test_top_from_log(self, tmp_path):
+        path = self.make_log(tmp_path)
+        rc, out = self.run_cli(["top", "--log", str(path)])
+        assert rc == 0
+        assert "repro top" in out and "engine_jobs_total" in out
+        assert "\x1b[2J" not in out  # log replay never clears the screen
+
+    def test_top_rejects_url_plus_log(self, tmp_path):
+        rc, _ = self.run_cli(
+            ["top", "--log", "x.jsonl", "--url", "http://localhost:1"]
+        )
+        assert rc == 2
+
+    def test_telemetry_missing_file(self, tmp_path):
+        rc, _ = self.run_cli(["telemetry", str(tmp_path / "absent.jsonl")])
+        assert rc == 1
