@@ -7,7 +7,8 @@ Reads the git-tracked ``baselines/bench_history.jsonl`` that
 throughput against the **best** prior row of the same group:
 
 - ``sweep``  rows gate on ``cold_jobs_per_s``;
-- ``serve``  rows gate on ``warm_req_per_s``.
+- ``serve``  rows gate on ``warm_req_per_s``;
+- ``simmpi`` rows gate on ``events_ranks_per_s_4k``.
 
 A drop of more than ``--max-drop`` (default 20%) fails the check.
 Rows are only compared against rows from the same host and bench
@@ -34,6 +35,7 @@ DEFAULT_HISTORY = Path(__file__).resolve().parent.parent / "baselines" / "bench_
 GATE_METRIC = {
     "sweep": "cold_jobs_per_s",
     "serve": "warm_req_per_s",
+    "simmpi": "events_ranks_per_s_4k",
 }
 
 #: Row fields that define a comparable bench shape (beyond host):
@@ -42,6 +44,7 @@ GATE_METRIC = {
 SHAPE_KEYS = {
     "sweep": ("jobs",),
     "serve": ("quick", "workers"),
+    "simmpi": ("iters",),
 }
 
 

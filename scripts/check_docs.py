@@ -42,6 +42,7 @@ SKIP_PATTERNS = [
     r"\bpytest\b",           # the tier-1/bench CI jobs run the suites
     r"bench_sweep\.py",      # the bench CI job runs the benchmark
     r"bench_serve\.py",      # the serve CI job runs the load generator
+    r"bench_simmpi\.py",     # the simmpi CI job runs the scheduler benchmark
     r"check_bench_regression\.py",  # the vec/serve CI jobs run the gate
     r"\brepro serve\b",      # long-running server: the serve CI job smokes it
     r"\bcurl\b",             # examples assume a running server

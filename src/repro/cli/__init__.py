@@ -124,7 +124,8 @@ def build_parser() -> argparse.ArgumentParser:
                               "instead of a table")
 
     p_fig = sub.add_parser("figures", help="regenerate paper figures")
-    p_fig.add_argument("figures", nargs="*", help="fig1 .. fig9 (default: all)")
+    p_fig.add_argument("figures", nargs="*",
+                       help="fig1 .. fig9, fig7x (default: all)")
     p_fig.add_argument("--jobs", type=int, default=None,
                        help="parallel sweep workers (default serial)")
     p_fig.add_argument("--no-cache", action="store_true",

@@ -33,6 +33,8 @@ def cmd_list(_args) -> int:
     for fig in FIGURE_ORDER:
         doc = (getattr(figmod, fig).__doc__ or "").strip().splitlines()[0]
         print(f"  {fig:10s} {doc}")
+    doc = (figmod.fig7x.__doc__ or "").strip().splitlines()[0]
+    print(f"  {'fig7x':10s} {doc} (figures/report only)")
     return 0
 
 
@@ -72,12 +74,14 @@ def cmd_run(args) -> int:
 
 def cmd_figures(args) -> int:
     engine = configure_engine_from_args(args)
-    wanted = args.figures or [f"fig{i}" for i in range(1, 10)]
+    wanted = args.figures or [f"fig{i}" for i in range(1, 10)] + ["fig7x"]
     with telemetry_scope(args, engine):
         for name in wanted:
-            fn = getattr(figmod, name, None)
+            known = name in figmod.__all__ and name != "all_figures"
+            fn = getattr(figmod, name, None) if known else None
             if fn is None:
-                print(f"unknown figure {name!r} (fig1..fig9)", file=sys.stderr)
+                print(f"unknown figure {name!r} (fig1..fig9, fig7x)",
+                      file=sys.stderr)
                 return 2
             print(fn().render())
             print()

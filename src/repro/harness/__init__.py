@@ -3,7 +3,8 @@
 - :func:`~repro.harness.runner.run_application` / ``sweep`` / ``best_run``
   — evaluate any app x platform x configuration;
 - :mod:`~repro.harness.figures` — ``fig1()`` .. ``fig9()`` regenerate the
-  paper's tables and figures with published values alongside;
+  paper's tables and figures with published values alongside
+  (``fig7x()`` extends Fig 7 to multi-node 1k-10k rank scaling);
 - ``python -m repro.harness`` prints everything.
 
 Layer role (docs/ARCHITECTURE.md): the top of the stack — user-facing
@@ -19,6 +20,7 @@ from .figures import (
     fig5,
     fig6,
     fig7,
+    fig7x,
     fig8,
     fig9,
 )
@@ -46,6 +48,7 @@ __all__ = [
     "FigureResult",
     "format_table",
     "render_breakdown",
-    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig7x",
+    "fig8", "fig9",
     "all_figures",
 ]

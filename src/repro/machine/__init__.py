@@ -9,7 +9,9 @@ Public entry points:
 - :class:`~repro.machine.config.RunConfig` — a compiler/ZMM/HT/
   parallelization combination, with the Figure 3/4 sweep enumerators.
 - :mod:`~repro.machine.topology` — core-to-core latency classification
-  (Figure 2's microbenchmark).
+  (Figure 2's microbenchmark), plus :class:`~repro.machine.topology.ClusterSpec`
+  / :class:`~repro.machine.topology.NetworkSpec` — multi-node cluster
+  topology for the 1k–10k rank scaling studies (docs/SIMMPI.md).
 
 Layer role (docs/ARCHITECTURE.md): the bottom of the stack —
 hardware facts every other layer consumes; depends on nothing.
@@ -50,8 +52,11 @@ from .spec import (
     VectorISA,
 )
 from .topology import (
+    ClusterSpec,
     CoreToCoreBenchmark,
+    NetworkSpec,
     PairKind,
+    classify_cluster_pair,
     classify_pair,
     latency_matrix,
     pair_latency,
@@ -95,4 +100,7 @@ __all__ = [
     "pair_latency",
     "latency_matrix",
     "CoreToCoreBenchmark",
+    "NetworkSpec",
+    "ClusterSpec",
+    "classify_cluster_pair",
 ]

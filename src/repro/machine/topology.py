@@ -31,6 +31,9 @@ __all__ = [
     "latency_matrix",
     "hw_thread_to_core",
     "CoreToCoreBenchmark",
+    "NetworkSpec",
+    "ClusterSpec",
+    "classify_cluster_pair",
 ]
 
 
@@ -42,6 +45,7 @@ class PairKind(Enum):
     SAME_NUMA = "same-numa"
     SAME_SOCKET = "same-socket"  # different NUMA domain, same socket
     CROSS_SOCKET = "cross-socket"
+    CROSS_NODE = "cross-node"  # different nodes of a cluster
 
 
 @dataclass(frozen=True)
@@ -113,6 +117,88 @@ def latency_matrix(platform: PlatformSpec, threads: list[int] | None = None) -> 
         for j, b in enumerate(threads):
             out[i, j] = pair_latency(platform, a, b).latency
     return out
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Inter-node interconnect of a cluster.
+
+    Defaults model a 200 Gb/s HDR-InfiniBand-class fabric: ~1.5 µs
+    one-way MPI latency and 25 GB/s per-NIC bandwidth, the network class
+    both comparison clusters in the 1k–10k rank scaling studies use, plus
+    the extra software overhead a network-bound message pays over a
+    shared-memory one.
+    """
+
+    name: str = "hdr200"
+    latency: float = 1.5e-6  # one-way, seconds
+    bandwidth: float = 25e9  # per node-pair, bytes/s
+    message_overhead: float = 0.5e-6  # extra per-message software cost, s
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.bandwidth <= 0 or self.message_overhead < 0:
+            raise ValueError("network latency/bandwidth/overhead out of range")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """``nodes`` identical ``platform`` nodes joined by ``network``.
+
+    Hardware threads are numbered globally node-major: thread ``t`` lives
+    on node ``t // platform.total_threads`` at local thread
+    ``t % platform.total_threads``, so every single-node topology helper
+    applies unchanged to the local id.
+    """
+
+    platform: PlatformSpec
+    nodes: int
+    network: NetworkSpec = NetworkSpec()
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+
+    @property
+    def short_name(self) -> str:
+        return f"{self.platform.short_name}x{self.nodes}"
+
+    @property
+    def total_cores(self) -> int:
+        return self.platform.total_cores * self.nodes
+
+    @property
+    def total_threads(self) -> int:
+        return self.platform.total_threads * self.nodes
+
+    def node_of_thread(self, hw_thread: int) -> int:
+        if not (0 <= hw_thread < self.total_threads):
+            raise ValueError(
+                f"hw thread {hw_thread} out of range 0..{self.total_threads - 1}"
+            )
+        return hw_thread // self.platform.total_threads
+
+    def local_thread(self, hw_thread: int) -> int:
+        """The within-node thread id of a global hardware thread."""
+        if not (0 <= hw_thread < self.total_threads):
+            raise ValueError(
+                f"hw thread {hw_thread} out of range 0..{self.total_threads - 1}"
+            )
+        return hw_thread % self.platform.total_threads
+
+
+def classify_cluster_pair(
+    cluster: ClusterSpec, thread_a: int, thread_b: int
+) -> PairKind:
+    """Classify two *global* hardware threads of a cluster.
+
+    Same-node pairs get the single-node classification of their local
+    ids; pairs on different nodes are :attr:`PairKind.CROSS_NODE`.
+    """
+    if cluster.node_of_thread(thread_a) != cluster.node_of_thread(thread_b):
+        return PairKind.CROSS_NODE
+    return classify_pair(
+        cluster.platform, cluster.local_thread(thread_a), cluster.local_thread(thread_b)
+    )
 
 
 class CoreToCoreBenchmark:

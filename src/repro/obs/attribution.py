@@ -181,7 +181,11 @@ def attribute_estimate(est) -> AttrNode:
         comm_total = comm.time_per_iter * n
         ovh = comm.overhead_per_iter * n
         coll = comm.collective_per_iter * n
-        wire = comm_total - ovh - coll
+        # Cluster estimates split the wire seconds further: messages that
+        # crossed the inter-node network get their own leaf (getattr:
+        # estimates stored before the field existed have no inter share).
+        inter = getattr(comm, "internode_wire_per_iter", 0.0) * n
+        wire = comm_total - ovh - coll - inter
         imbalance = est.mpi_time - comm_total
         mpi_children = []
         if wire > 0:
@@ -189,6 +193,11 @@ def attribute_estimate(est) -> AttrNode:
                 "halo-wire", "mpi-wire", wire,
                 meta={"bytes_per_iter": comm.volume_per_iter,
                       "messages_per_iter": comm.messages_per_iter},
+            ))
+        if inter > 0:
+            mpi_children.append(AttrNode(
+                "internode-wire", "mpi-internode", inter,
+                meta={"note": "serialization on the cluster network"},
             ))
         if ovh > 0:
             mpi_children.append(AttrNode("message-overhead", "mpi-overhead", ovh))
@@ -256,7 +265,8 @@ WHAT_IF_KNOBS: dict[str, str] = {
     "compute": "compute/vector leaves",
     "gather": "latency (irregular access) leaves",
     "loop_overhead": "per-invocation kernel overhead leaves",
-    "net_bw": "MPI wire-serialization leaves",
+    "net_bw": "MPI wire-serialization leaves (in-node and inter-node)",
+    "internode_bw": "inter-node (cluster network) wire leaves only",
     "mpi": "every MPI leaf (wire, overhead, collectives, wait)",
     "mpi_wait": "rank-imbalance MPI_Wait leaves",
 }
@@ -276,7 +286,9 @@ def _knob_matches(knob: str, leaf: AttrNode) -> bool:
     if knob == "loop_overhead":
         return leaf.kind == "overhead"
     if knob == "net_bw":
-        return leaf.kind == "mpi-wire"
+        return leaf.kind in ("mpi-wire", "mpi-internode")
+    if knob == "internode_bw":
+        return leaf.kind == "mpi-internode"
     if knob == "mpi":
         return leaf.kind.startswith("mpi-")
     if knob == "mpi_wait":

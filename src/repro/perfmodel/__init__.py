@@ -23,7 +23,13 @@ from .analysis import (
     render_roofline,
     roofline_points,
 )
-from .commmodel import CommEstimate, estimate_comm, structured_comm, unstructured_comm
+from .commmodel import (
+    CommEstimate,
+    cluster_comm,
+    estimate_comm,
+    structured_comm,
+    unstructured_comm,
+)
 from .configmodel import (
     app_memory_bandwidth,
     bandwidth_multiplier,
@@ -38,7 +44,14 @@ from .configmodel import (
 )
 from .kernelmodel import AppClass, AppSpec, LoopSpec, stencil_traffic_factor
 from .roofline import AppEstimate, LoopTime, estimate_app, loop_time
-from .scaling import ScalingPoint, comm_share_curve, strong_scaling
+from .scaling import (
+    ClusterScalingPoint,
+    ScalingPoint,
+    cluster_strong_scaling,
+    cluster_weak_scaling,
+    comm_share_curve,
+    strong_scaling,
+)
 
 __all__ = [
     "AppClass",
@@ -53,6 +66,7 @@ __all__ = [
     "estimate_comm",
     "structured_comm",
     "unstructured_comm",
+    "cluster_comm",
     "vector_width_used",
     "kernel_vectorizes",
     "effective_flops",
@@ -70,4 +84,7 @@ __all__ = [
     "ScalingPoint",
     "strong_scaling",
     "comm_share_curve",
+    "ClusterScalingPoint",
+    "cluster_strong_scaling",
+    "cluster_weak_scaling",
 ]

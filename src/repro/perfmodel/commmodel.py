@@ -20,14 +20,28 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..machine.config import Parallelization, RunConfig
 from ..machine.spec import DeviceKind, PlatformSpec
-from ..simmpi.cart import CartGrid, dims_create
-from ..simmpi.clock import MachineCostModel, default_placement
+from ..machine.topology import ClusterSpec, NetworkSpec
+from ..simmpi.cart import CartGrid, dims_create, neighbor_table
+from ..simmpi.clock import (
+    ClusterCostModel,
+    MachineCostModel,
+    cluster_placement,
+    default_placement,
+)
 from . import calibration as cal
 from .kernelmodel import AppSpec
 
-__all__ = ["CommEstimate", "estimate_comm", "structured_comm", "unstructured_comm"]
+__all__ = [
+    "CommEstimate",
+    "estimate_comm",
+    "structured_comm",
+    "unstructured_comm",
+    "cluster_comm",
+]
 
 
 @dataclass(frozen=True)
@@ -48,6 +62,10 @@ class CommEstimate:
     volume_per_iter: float  # bytes sent by the busiest rank per iteration
     overhead_per_iter: float = 0.0
     collective_per_iter: float = 0.0
+    #: Serialization seconds spent on messages that cross the cluster
+    #: network (zero for single-node estimates) — a subset of
+    #: :attr:`wire_per_iter` that attribution reports as its own leaf.
+    internode_wire_per_iter: float = 0.0
 
     @property
     def wire_per_iter(self) -> float:
@@ -63,10 +81,28 @@ class CommEstimate:
         return CommEstimate(0.0, 0.0, 0.0)
 
 
-def estimate_comm(app: AppSpec, platform: PlatformSpec, config: RunConfig) -> CommEstimate:
-    """Dispatch on mesh type; GPUs (single device) communicate nothing."""
+def estimate_comm(
+    app: AppSpec,
+    platform: PlatformSpec,
+    config: RunConfig,
+    nodes: int = 1,
+    network: NetworkSpec | None = None,
+) -> CommEstimate:
+    """Dispatch on mesh type; GPUs (single device) communicate nothing.
+
+    ``nodes > 1`` prices the same decomposition spread over a
+    ``nodes``-node cluster of ``platform`` (``config.ranks`` per node)
+    joined by ``network`` — the Fig 7x scaling-study regime.
+    """
+    if nodes < 1:
+        raise ValueError(f"nodes must be >= 1, got {nodes}")
     if platform.kind is DeviceKind.GPU or config.parallelization is Parallelization.CUDA:
         return CommEstimate.zero()
+    if nodes > 1:
+        cluster = ClusterSpec(platform, nodes, network or NetworkSpec())
+        return cluster_comm(
+            app, cluster, config.ranks(platform) * nodes, config.hyperthreading
+        )
     if config.ranks(platform) <= 1:
         return CommEstimate.zero()
     if app.klass.is_structured or app.klass.value == "compute":
@@ -171,4 +207,141 @@ def unstructured_comm(app: AppSpec, platform: PlatformSpec, config: RunConfig) -
         nbytes_total * app.exchanges_per_iter,
         ovh,
         coll,
+    )
+
+
+def cluster_comm(
+    app: AppSpec, cluster: ClusterSpec, nranks: int, hyperthreading: bool = False
+) -> CommEstimate:
+    """Per-iteration communication cost of ``nranks`` ranks spread over a
+    multi-node cluster (1k–10k rank strong/weak-scaling regime).
+
+    Same decomposition logic as the single-node estimators, but messages
+    are priced with :class:`~repro.simmpi.clock.ClusterCostModel`, the
+    critical-path rank is one with the most *inter-node* neighbors, NIC
+    bandwidth is shared among the node's boundary ranks, and the wire
+    seconds of network-crossing messages are reported separately in
+    :attr:`CommEstimate.internode_wire_per_iter`.
+    """
+    if nranks <= 1:
+        return CommEstimate.zero()
+    if app.klass.is_structured or app.klass.value == "compute":
+        return _cluster_structured(app, cluster, nranks, hyperthreading)
+    return _cluster_unstructured(app, cluster, nranks, hyperthreading)
+
+
+def _cluster_structured(
+    app: AppSpec, cluster: ClusterSpec, nranks: int, hyperthreading: bool
+) -> CommEstimate:
+    dims = dims_create(nranks, app.ndims)
+    grid = CartGrid(dims)
+    placement = cluster_placement(cluster, nranks, hyperthreading)
+    node_of = np.asarray(placement, dtype=np.int64) // cluster.platform.total_threads
+
+    # Sparse neighbor graph (O(nranks * ndims)): per-rank count of
+    # network-crossing face neighbors, and whether the rank is interior.
+    cross = np.zeros(nranks, dtype=np.int64)
+    interior = np.ones(nranks, dtype=bool)
+    for nbr in neighbor_table(grid).values():
+        valid = nbr >= 0
+        interior &= valid
+        cross += valid & (node_of[np.where(valid, nbr, 0)] != node_of)
+
+    # Every boundary rank of a node block drives the NIC at once.
+    boundary_per_node = np.bincount(
+        node_of[cross > 0], minlength=cluster.nodes
+    )
+    nic_sharing = int(max(1, boundary_per_node.max(initial=0)))
+    per_node_ranks = -(-nranks // cluster.nodes)
+    cm = ClusterCostModel(
+        cluster,
+        placement,
+        nic_sharing=nic_sharing,
+        sharing_ranks=per_node_ranks,
+    )
+
+    # Critical path: an interior rank with the most inter-node neighbors
+    # (2*cross + interior picks interior on ties; argmax → lowest id).
+    rep = int(np.argmax(2 * cross + interior))
+
+    local = [app.domain[d] / dims[d] for d in range(app.ndims)]
+    t = msgs = vol = ovh = inter = 0.0
+    for dim in range(app.ndims):
+        if dims[dim] == 1:
+            continue
+        face = 1.0
+        for o in range(app.ndims):
+            if o != dim:
+                face *= local[o]
+        nbytes = face * app.halo_depth * app.fields_exchanged * app.dtype_bytes
+        for disp in (-1, 1):
+            nbr = grid.neighbor(rep, dim, disp)
+            if nbr is None:
+                continue
+            handshake, wire = cm.transfer_breakdown(rep, nbr, int(nbytes))
+            t += handshake + wire + 2 * cm.message_overhead(rep, nbr)
+            ovh += handshake + 2 * cm.message_overhead(rep, nbr)
+            if cm.is_internode(rep, nbr):
+                inter += wire
+            msgs += 1
+            vol += nbytes
+    t *= app.exchanges_per_iter
+    msgs *= app.exchanges_per_iter
+    vol *= app.exchanges_per_iter
+    ovh *= app.exchanges_per_iter
+    inter *= app.exchanges_per_iter
+    coll = 0.0
+    if app.reductions_per_iter:
+        coll = app.reductions_per_iter * cm.collective_time(nranks, app.dtype_bytes)
+        t += coll
+    return CommEstimate(t, msgs, vol, ovh, coll, inter)
+
+
+def _cluster_unstructured(
+    app: AppSpec, cluster: ClusterSpec, nranks: int, hyperthreading: bool
+) -> CommEstimate:
+    cells_per_rank = app.gridpoints / nranks
+    d = 3 if app.ndims == 1 else min(app.ndims, 3)
+    coeff = 6.0 if d == 3 else 4.0
+    halo_points = coeff * cells_per_rank ** ((d - 1) / d)
+    nbytes_total = halo_points * app.fields_exchanged * app.dtype_bytes
+    neighbors = min(app.mesh_neighbors, nranks - 1)
+    per_msg = nbytes_total / max(neighbors, 1.0)
+
+    per_node_ranks = -(-nranks // cluster.nodes)
+    cm = ClusterCostModel(
+        cluster,
+        cluster_placement(cluster, nranks, hyperthreading),
+        nic_sharing=per_node_ranks,
+        sharing_ranks=per_node_ranks,
+    )
+    # Graph-partition neighbors scatter across the whole rank space (same
+    # stride walk as the single-node estimator), so with node-major
+    # placement most of them land off-node — the pessimistic end a real
+    # partitioner's locality would improve on.
+    mid = nranks // 2
+    t = ovh = inter = 0.0
+    for k in range(int(round(neighbors))):
+        other = (mid + 1 + k * max(1, nranks // max(int(neighbors), 1))) % nranks
+        if other == mid:
+            other = (mid + 1) % nranks
+        handshake, wire = cm.transfer_breakdown(mid, other, int(per_msg))
+        t += handshake + wire + 2 * cm.message_overhead(mid, other)
+        ovh += handshake + 2 * cm.message_overhead(mid, other)
+        if cm.is_internode(mid, other):
+            inter += wire
+    t *= app.exchanges_per_iter
+    ovh *= app.exchanges_per_iter
+    inter *= app.exchanges_per_iter
+    coll = 0.0
+    if app.reductions_per_iter:
+        coll = app.reductions_per_iter * cm.collective_time(nranks, app.dtype_bytes)
+        t += coll
+    return CommEstimate(
+        t,
+        neighbors * app.exchanges_per_iter,
+        nbytes_total * app.exchanges_per_iter,
+        ovh,
+        coll,
+        inter,
     )

@@ -11,20 +11,35 @@ curves on the machine models:
   shrinks per rank (the strong-scaling limit the Xeon MAX reaches
   earlier than DDR machines, because its kernels finish 4x sooner while
   message latencies stay put — the paper's bottleneck-shift story as a
-  curve).
+  curve);
+- :func:`cluster_strong_scaling` / :func:`cluster_weak_scaling` — the
+  multi-node extension (Fig 7x): the same apps spread over 1k–10k ranks
+  on clusters of identical nodes, with inter-node messages priced by a
+  :class:`~repro.machine.topology.NetworkSpec` (docs/SIMMPI.md).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass
 
 from ..machine.config import RunConfig
 from ..machine.spec import PlatformSpec
+from ..machine.topology import ClusterSpec, NetworkSpec
+from . import calibration as cal
+from .commmodel import cluster_comm
 from .kernelmodel import AppSpec
 from .roofline import estimate_app
 
-__all__ = ["ScalingPoint", "strong_scaling", "comm_share_curve"]
+__all__ = [
+    "ScalingPoint",
+    "strong_scaling",
+    "comm_share_curve",
+    "ClusterScalingPoint",
+    "cluster_strong_scaling",
+    "cluster_weak_scaling",
+]
 
 
 @dataclass(frozen=True)
@@ -119,3 +134,130 @@ def comm_share_curve(
         est = estimate_app(shrunk, platform, config)
         out.append((f, est.mpi_fraction))
     return out
+
+
+@dataclass(frozen=True)
+class ClusterScalingPoint:
+    """One point of a multi-node scaling curve."""
+
+    nodes: int
+    ranks: int
+    time: float
+    speedup: float
+    efficiency: float
+    mpi_fraction: float
+
+
+def _cluster_point(
+    app: AppSpec,
+    platform: PlatformSpec,
+    config: RunConfig,
+    nodes: int,
+    per_node: int,
+    network: NetworkSpec | None,
+    compute_per_iter: float,
+) -> tuple[int, float, float]:
+    """(ranks, time, mpi_fraction) for one node count, given the
+    per-iteration compute share each node performs."""
+    nranks = per_node * nodes
+    cluster = ClusterSpec(platform, nodes, network or NetworkSpec())
+    comm = cluster_comm(app, cluster, nranks, config.hyperthreading)
+    imbalance = (
+        compute_per_iter * cal.IMBALANCE_PER_LOG2_RANKS * math.log2(nranks)
+        if nranks > 1
+        else 0.0
+    )
+    t_iter = compute_per_iter + comm.time_per_iter + imbalance
+    mpi_fraction = (comm.time_per_iter + imbalance) / t_iter if t_iter else 0.0
+    return nranks, t_iter * app.iterations, mpi_fraction
+
+
+def cluster_strong_scaling(
+    app: AppSpec,
+    platform: PlatformSpec,
+    config: RunConfig,
+    node_counts: tuple[int, ...] = (1, 2, 4, 8),
+    network: NetworkSpec | None = None,
+    ranks_per_node: int | None = None,
+) -> list[ClusterScalingPoint]:
+    """Fixed problem, growing node count.
+
+    The single-node estimate supplies the compute time; spreading over
+    ``nodes`` nodes divides it ideally while the halo surfaces, network
+    hops and log-rank imbalance grow — the race Fig 7x plots.  Speedup
+    and efficiency are measured against the smallest node count.
+    """
+    if not node_counts or any(n < 1 for n in node_counts):
+        raise ValueError(f"node_counts must be non-empty positive ints, got {node_counts!r}")
+    per_node = ranks_per_node or config.ranks(platform)
+    base = estimate_app(app, platform, config)
+    compute_per_iter = base.compute_time / app.iterations
+    pts: list[ClusterScalingPoint] = []
+    base_time = base_nodes = None
+    for nodes in node_counts:
+        nranks, time, frac = _cluster_point(
+            app, platform, config, nodes, per_node, network,
+            compute_per_iter / nodes,
+        )
+        if base_time is None:
+            base_time, base_nodes = time, nodes
+        speedup = base_time / time if time else 0.0
+        ideal = nodes / base_nodes
+        pts.append(
+            ClusterScalingPoint(
+                nodes=nodes,
+                ranks=nranks,
+                time=time,
+                speedup=speedup,
+                efficiency=speedup / ideal,
+                mpi_fraction=frac,
+            )
+        )
+    return pts
+
+
+def cluster_weak_scaling(
+    app: AppSpec,
+    platform: PlatformSpec,
+    config: RunConfig,
+    node_counts: tuple[int, ...] = (1, 2, 4, 8),
+    network: NetworkSpec | None = None,
+    ranks_per_node: int | None = None,
+) -> list[ClusterScalingPoint]:
+    """Problem grows with the node count (constant work per node).
+
+    Each dimension of the domain is stretched by ``nodes**(1/ndims)`` so
+    per-rank subdomains stay fixed; efficiency is ``t(1)/t(N)`` and only
+    erodes through communication and imbalance.
+    """
+    if not node_counts or any(n < 1 for n in node_counts):
+        raise ValueError(f"node_counts must be non-empty positive ints, got {node_counts!r}")
+    per_node = ranks_per_node or config.ranks(platform)
+    base = estimate_app(app, platform, config)
+    compute_per_iter = base.compute_time / app.iterations
+    pts: list[ClusterScalingPoint] = []
+    t1 = None
+    for nodes in node_counts:
+        grow = nodes ** (1.0 / app.ndims)
+        scaled = dataclasses.replace(
+            app,
+            domain=tuple(max(1, int(round(d * grow))) for d in app.domain),
+        )
+        nranks, time, frac = _cluster_point(
+            scaled, platform, config, nodes, per_node, network,
+            compute_per_iter,
+        )
+        if t1 is None:
+            t1 = time
+        eff = t1 / time if time else 0.0
+        pts.append(
+            ClusterScalingPoint(
+                nodes=nodes,
+                ranks=nranks,
+                time=time,
+                speedup=nodes * eff,
+                efficiency=eff,
+                mpi_fraction=frac,
+            )
+        )
+    return pts

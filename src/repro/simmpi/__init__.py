@@ -8,18 +8,35 @@
 - :mod:`~repro.simmpi.clock` — virtual clocks and message cost models
   (the MPI-wait accounting behind Figure 7).
 - :mod:`~repro.simmpi.cart` — Cartesian grids and ghost-layer exchange.
+- :mod:`~repro.simmpi.events` — the event-driven coroutine backend
+  (``World(backend="events")``): generator rank programs yield
+  :class:`~repro.simmpi.events.MpiOp` descriptors built with
+  :data:`~repro.simmpi.events.op`, scheduled by a single-threaded
+  virtual-clock loop (see docs/SIMMPI.md).
+- :mod:`~repro.simmpi.state` — batched array-backed per-rank clocks and
+  stats for large (1k–10k rank) worlds.
 
 Layer role (docs/ARCHITECTURE.md): the communication substrate the
 DSLs' distributed contexts run on; prices messages with the machine
 models and feeds per-rank wait accounting to the tracer.
 """
 
-from .cart import CartGrid, dims_create, exchange_halos, local_range
+from .cart import (
+    CartGrid,
+    dims_create,
+    exchange_halos,
+    exchange_halos_co,
+    local_range,
+    neighbor_table,
+    prime_factors,
+)
 from .clock import (
+    ClusterCostModel,
     CostModel,
     MachineCostModel,
     VirtualClock,
     ZeroCostModel,
+    cluster_placement,
     default_placement,
 )
 from .comm import (
@@ -34,6 +51,8 @@ from .comm import (
     Status,
     World,
 )
+from .events import EventLoop, MpiOp, drive_blocking, op
+from .state import ClockView, RankLedger, StatsView
 
 __all__ = [
     "World",
@@ -50,9 +69,21 @@ __all__ = [
     "CostModel",
     "ZeroCostModel",
     "MachineCostModel",
+    "ClusterCostModel",
     "default_placement",
+    "cluster_placement",
     "CartGrid",
     "dims_create",
+    "prime_factors",
     "local_range",
+    "neighbor_table",
     "exchange_halos",
+    "exchange_halos_co",
+    "MpiOp",
+    "op",
+    "EventLoop",
+    "drive_blocking",
+    "RankLedger",
+    "ClockView",
+    "StatsView",
 ]

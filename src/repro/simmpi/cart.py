@@ -6,12 +6,16 @@ triggered as needed before each bulk parallel computational step"
 (paper Section 4).  This module provides:
 
 - :func:`dims_create` — balanced factorization of the rank count into a
-  process grid (the MPI_Dims_create algorithm);
+  process grid (the MPI_Dims_create algorithm), instant even at 10k+
+  ranks because it prime-factorizes instead of searching divisors;
 - :class:`CartGrid` — rank ↔ coordinate mapping and neighbor lookup;
+- :func:`neighbor_table` — the whole grid's face-neighbor graph as flat
+  arrays, built in O(nranks · ndims) (no per-rank coordinate loops);
 - :func:`local_range` — block distribution of a global extent;
 - :class:`HaloSpec` / :func:`exchange_halos` — depth-``d`` ghost-layer
   exchange of an N-d numpy array, dimension by dimension so that corner
-  ghosts arrive correctly.
+  ghosts arrive correctly (:func:`exchange_halos_co` is the generator
+  twin for ``World(backend="events")`` programs).
 """
 
 from __future__ import annotations
@@ -22,7 +26,36 @@ import numpy as np
 
 from .comm import Communicator
 
-__all__ = ["dims_create", "CartGrid", "local_range", "exchange_halos"]
+__all__ = [
+    "dims_create",
+    "prime_factors",
+    "CartGrid",
+    "neighbor_table",
+    "local_range",
+    "exchange_halos",
+    "exchange_halos_co",
+]
+
+
+def prime_factors(n: int) -> list[int]:
+    """Prime factorization of ``n`` (ascending, with multiplicity) by
+    trial division over 2 and the odd numbers up to √n — O(√n) total, so
+    grid creation at 10k ranks costs microseconds even for primes."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    factors: list[int] = []
+    while n % 2 == 0:
+        factors.append(2)
+        n //= 2
+    f = 3
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 2
+    if n > 1:
+        factors.append(n)
+    return factors
 
 
 def dims_create(nranks: int, ndims: int) -> tuple[int, ...]:
@@ -31,20 +64,9 @@ def dims_create(nranks: int, ndims: int) -> tuple[int, ...]:
     if nranks < 1 or ndims < 1:
         raise ValueError("nranks and ndims must be positive")
     dims = [1] * ndims
-    remaining = nranks
-    # Repeatedly peel the largest prime factor onto the smallest dim.
-    factors: list[int] = []
-    n = remaining
-    f = 2
-    while f * f <= n:
-        while n % f == 0:
-            factors.append(f)
-            n //= f
-        f += 1
-    if n > 1:
-        factors.append(n)
-    for p in sorted(factors, reverse=True):
-        dims[int(np.argmin(dims))] *= p
+    # Peel each prime factor, largest first, onto the smallest dim.
+    for p in sorted(prime_factors(nranks), reverse=True):
+        dims[dims.index(min(dims))] *= p
     return tuple(sorted(dims, reverse=True))
 
 
@@ -126,6 +148,37 @@ class CartGrid:
         return out
 
 
+def neighbor_table(grid: CartGrid) -> dict[tuple[int, int], np.ndarray]:
+    """Face-neighbor graph of the whole grid as flat arrays.
+
+    Returns ``{(dim, ±1): neighbors}`` where ``neighbors[r]`` is the rank
+    displaced ±1 along ``dim`` from rank ``r``, or ``-1`` outside a
+    non-periodic boundary.  Built with vectorized index arithmetic — one
+    O(nranks) pass per (dim, disp), so a 4096-rank 3-d grid costs six
+    small array ops instead of ~25k ``coords``/``rank`` round-trips.
+    """
+    size = grid.size
+    ranks = np.arange(size, dtype=np.int64)
+    # Row-major strides: stride[d] = prod(dims[d+1:]).
+    strides = np.ones(grid.ndims, dtype=np.int64)
+    for d in range(grid.ndims - 2, -1, -1):
+        strides[d] = strides[d + 1] * grid.dims[d + 1]
+    table: dict[tuple[int, int], np.ndarray] = {}
+    for dim in range(grid.ndims):
+        extent = grid.dims[dim]
+        coord = (ranks // strides[dim]) % extent
+        for disp in (-1, 1):
+            shifted = coord + disp
+            if grid.is_periodic(dim):
+                wrapped = shifted % extent
+                table[(dim, disp)] = ranks + (wrapped - coord) * strides[dim]
+            else:
+                nbr = ranks + disp * strides[dim]
+                valid = (shifted >= 0) & (shifted < extent)
+                table[(dim, disp)] = np.where(valid, nbr, -1)
+    return table
+
+
 def _face_slices(shape: tuple[int, ...], dim: int, depth: int):
     """Send/recv slab slices for one dimension of a halo'd array.
 
@@ -187,6 +240,58 @@ def exchange_halos(
         # Complete receives and write the ghost slabs back (the irecv
         # buffers are contiguous copies because slabs are strided views).
         results = comm.waitall(reqs)
+        idx = 0
+        if lo is not None:
+            local[r_lo] = results[idx]
+            idx += 1
+        if hi is not None:
+            local[r_hi] = results[idx]
+
+
+def exchange_halos_co(
+    comm: Communicator,
+    grid: CartGrid,
+    local: np.ndarray,
+    depth: int,
+    tag_base: int = 1000,
+):
+    """Generator twin of :func:`exchange_halos` for event-loop programs.
+
+    Yields the same irecv/isend/waitall sequence (identical tags and
+    posting order) as ``op`` descriptors, so a coroutine rank program can
+    delegate with ``yield from exchange_halos_co(comm, grid, u, 1)`` and
+    its virtual clock stays bit-identical to the blocking version run on
+    the threaded backend.
+    """
+    from .events import op
+
+    if depth < 1:
+        raise ValueError("halo depth must be >= 1")
+    if local.ndim != grid.ndims:
+        raise ValueError("array dimensionality must match grid")
+    rank = comm.rank
+    for dim in range(grid.ndims):
+        if local.shape[dim] < 3 * depth:
+            raise ValueError(
+                f"local extent {local.shape[dim]} too small for depth {depth} halos"
+            )
+        lo = grid.neighbor(rank, dim, -1)
+        hi = grid.neighbor(rank, dim, +1)
+        s_lo, r_lo, s_hi, r_hi = _face_slices(local.shape, dim, depth)
+        tag_down = tag_base + 2 * dim
+        tag_up = tag_base + 2 * dim + 1
+        reqs = []
+        if lo is not None:
+            reqs.append((yield op.irecv(
+                lo, tag_up, buffer=np.ascontiguousarray(local[r_lo]), comm=comm)))
+        if hi is not None:
+            reqs.append((yield op.irecv(
+                hi, tag_down, buffer=np.ascontiguousarray(local[r_hi]), comm=comm)))
+        if lo is not None:
+            yield op.isend(np.ascontiguousarray(local[s_lo]), lo, tag_down, comm=comm)
+        if hi is not None:
+            yield op.isend(np.ascontiguousarray(local[s_hi]), hi, tag_up, comm=comm)
+        results = yield op.waitall(reqs, comm=comm)
         idx = 0
         if lo is not None:
             local[r_lo] = results[idx]

@@ -6,7 +6,7 @@ and communication operations advance it through a :class:`CostModel` that
 prices a message between two ranks.  The split between "busy" time and
 "waiting in MPI" time is what Figure 7 plots.
 
-Two cost models are provided:
+Three cost models are provided:
 
 * :class:`ZeroCostModel` — free communication; used by correctness tests
   where only data movement matters.
@@ -15,6 +15,11 @@ Two cost models are provided:
   placement.  An MPI message costs a software per-message overhead, a
   rendezvous handshake at the core-to-core latency, and a serialization
   term at the link bandwidth of the narrowest hop.
+* :class:`ClusterCostModel` — the multi-node extension: same-node pairs
+  delegate to an internal :class:`MachineCostModel`, cross-node pairs
+  pay the cluster's :class:`~repro.machine.topology.NetworkSpec`
+  latency/bandwidth, so intra-socket, inter-socket and inter-node hops
+  are priced distinctly (the 1k–10k rank scaling regime).
 """
 
 from __future__ import annotations
@@ -22,14 +27,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..machine.spec import PlatformSpec
-from ..machine.topology import PairKind, classify_pair
+from ..machine.topology import ClusterSpec, PairKind, classify_pair
 
 __all__ = [
     "VirtualClock",
     "CostModel",
     "ZeroCostModel",
     "MachineCostModel",
+    "ClusterCostModel",
     "default_placement",
+    "cluster_placement",
 ]
 
 
@@ -204,3 +211,109 @@ class MachineCostModel(CostModel):
         stages = max(1, (nranks - 1).bit_length())
         worst = 2.0 * self.platform.latency_cross_socket + self.sw_overhead
         return stages * (worst + nbytes / self.cross_socket_bw)
+
+
+def cluster_placement(
+    cluster: ClusterSpec, nranks: int, hyperthreading: bool = False
+) -> list[int]:
+    """Block-distribute ranks over the cluster's nodes, compactly within
+    each node.
+
+    Ranks are laid out node-major (rank blocks fill node 0, then node 1,
+    …) with :func:`default_placement` inside every node — the layout
+    ``I_MPI_PIN`` produces under a block rank distribution, and the one
+    that keeps Cartesian halo neighbors mostly on-node.  Returned ids are
+    the cluster's *global* hardware threads.
+    """
+    per_node = cluster.platform.total_cores * (2 if hyperthreading else 1)
+    if nranks > per_node * cluster.nodes:
+        raise ValueError(
+            f"{nranks} ranks exceed {per_node * cluster.nodes} available "
+            f"hardware threads on {cluster.short_name}"
+        )
+    base, extra = divmod(nranks, cluster.nodes)
+    out: list[int] = []
+    for node in range(cluster.nodes):
+        count = base + (1 if node < extra else 0)
+        if count == 0:
+            continue
+        offset = node * cluster.platform.total_threads
+        out.extend(
+            offset + t
+            for t in default_placement(cluster.platform, count, hyperthreading)
+        )
+    return out
+
+
+class ClusterCostModel(CostModel):
+    """Message costs on a multi-node cluster with a rank→thread placement.
+
+    Same-node pairs are priced by an internal :class:`MachineCostModel`
+    over the local thread ids (so intra-NUMA / intra-socket /
+    cross-socket hops keep their single-node costs); pairs on different
+    nodes pay the cluster network instead: a rendezvous round-trip at the
+    network latency, the library software overhead plus the network
+    stack's per-message cost, and serialization at the NIC bandwidth
+    shared among ``nic_sharing`` concurrently-communicating ranks per
+    node.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        placement: list[int],
+        sw_overhead: float = 0.3e-6,
+        nic_sharing: int = 1,
+        **node_kwargs,
+    ) -> None:
+        self.cluster = cluster
+        self.placement = placement
+        self.sw_overhead = sw_overhead
+        self.nic_sharing = nic_sharing
+        self._node_model = MachineCostModel(
+            cluster.platform,
+            [cluster.local_thread(t) for t in placement],
+            sw_overhead=sw_overhead,
+            **node_kwargs,
+        )
+
+    def _threads(self, src: int, dst: int) -> tuple[int, int]:
+        try:
+            return self.placement[src], self.placement[dst]
+        except IndexError:
+            raise ValueError(f"rank {max(src, dst)} not in placement") from None
+
+    def is_internode(self, src: int, dst: int) -> bool:
+        """True when the two ranks are placed on different nodes."""
+        a, b = self._threads(src, dst)
+        return self.cluster.node_of_thread(a) != self.cluster.node_of_thread(b)
+
+    def message_overhead(self, src: int, dst: int) -> float:
+        if self.is_internode(src, dst):
+            return self.sw_overhead + self.cluster.network.message_overhead
+        return self._node_model.message_overhead(src, dst)
+
+    def transfer_time(self, src: int, dst: int, nbytes: int) -> float:
+        if not self.is_internode(src, dst):
+            return self._node_model.transfer_time(src, dst, nbytes)
+        net = self.cluster.network
+        lat = 2.0 * net.latency + self.sw_overhead + net.message_overhead
+        bw = net.bandwidth / max(self.nic_sharing, 1)
+        return lat + nbytes / bw
+
+    def collective_time(self, nranks: int, nbytes: int) -> float:
+        """Hierarchical collective: an in-node binomial tree over this
+        node's share of the ranks, then log2(nodes) network stages."""
+        if nranks <= 1:
+            return 0.0
+        nodes = min(self.cluster.nodes, nranks)
+        local = -(-nranks // self.cluster.nodes)  # ceil: ranks per node
+        t = self._node_model.collective_time(local, nbytes)
+        if nodes > 1:
+            net = self.cluster.network
+            stages = max(1, (nodes - 1).bit_length())
+            t += stages * (
+                2.0 * net.latency + self.sw_overhead + net.message_overhead
+                + nbytes / net.bandwidth
+            )
+        return t

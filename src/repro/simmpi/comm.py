@@ -1,11 +1,26 @@
 """Deterministic in-process simulated MPI with virtual time.
 
-:class:`World` runs an SPMD ``program(comm, *args)`` on ``nranks`` ranks.
-Each rank executes in its own thread, but a token-passing scheduler allows
-exactly one rank to run at a time and always picks the lowest-numbered
-runnable rank, so execution (and therefore message matching) is fully
-deterministic.  Ranks block on receives, waits and collectives; sends are
-eager (buffered) as intra-node MPI sends of these sizes are in practice.
+:class:`World` runs an SPMD ``program(comm, *args)`` on ``nranks`` ranks
+on one of two backends (see ``docs/SIMMPI.md`` for the full contract):
+
+- **threads** — one OS thread per rank behind a token-passing scheduler
+  that allows exactly one rank to run at a time and always picks the
+  lowest-numbered runnable rank.  Programs are plain functions calling
+  the blocking :class:`Communicator` API.
+- **events** — a single-threaded virtual-clock event loop
+  (:mod:`repro.simmpi.events`) that drives *generator coroutine*
+  programs yielding :class:`~repro.simmpi.events.MpiOp` descriptors,
+  scheduling the lowest-clock runnable rank next (ties broken by rank
+  id).  No threads are created, so thousand-rank worlds are cheap;
+  with ``backend="events"`` per-rank clocks and counters live in one
+  array-backed :class:`~repro.simmpi.state.RankLedger`.
+
+The default ``backend="auto"`` dispatches on the program: generator
+functions run on the event loop, plain functions on threads — so every
+existing call site is unchanged.  Both backends share the same
+accounting code paths (:meth:`Communicator.isend`,
+:meth:`World._try_complete_recv`, :meth:`World._complete_collective`),
+so per-rank virtual clocks come out bit-identical between them.
 
 Virtual time: ranks advance their own :class:`~repro.simmpi.clock.VirtualClock`
 for compute via :meth:`Communicator.compute`; communication calls charge
@@ -17,21 +32,23 @@ Semantics implemented: blocking/nonblocking point-to-point with tag and
 ANY_SOURCE/ANY_TAG matching (FIFO per channel), ``sendrecv``,
 ``waitany``, barrier, broadcast, reduce/allreduce (sum/min/max),
 gather/allgather/scatter/alltoall, communicator ``split`` (sub-groups
-with isolated message contexts), and deadlock detection with a full
-state dump.
+with isolated message contexts), and deadlock detection with a state
+dump bounded at large worlds.
 """
 
 from __future__ import annotations
 
 import copy as _copy
+import inspect
 import threading
-from collections import deque
+from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 import numpy as np
 
 from .clock import CostModel, VirtualClock, ZeroCostModel
+from .state import ClockView, RankLedger, StatsView
 
 __all__ = [
     "ANY_SOURCE",
@@ -212,6 +229,12 @@ class Communicator:
         data = self.allgather(me)
         seq = self._split_seq
         self._split_seq += 1
+        return self._split_result(data, color, seq)
+
+    def _split_result(self, data: list, color: int, seq: int) -> "Communicator | None":
+        """Build the sub-communicator from an allgathered ``(color, key,
+        rank)`` list — the post-collective half of :meth:`split`, shared
+        with the event-loop backend's ``split`` op."""
         if color is None:
             return None
         members = sorted((k, r) for c, k, r in data if c == color)
@@ -358,11 +381,14 @@ class Communicator:
             raise ValueError("alltoall needs exactly one value per rank")
         return self._collective("alltoall", values)
 
-    def _collective(self, kind: str, payload: Any, root: int = 0, reduce_op: str = "sum") -> Any:
+    def _make_coll_info(self, kind: str, payload: Any, root: int = 0,
+                        reduce_op: str = "sum") -> _BlockInfo:
+        """Record entry into a collective (sequence number, stats, frozen
+        payload copy) — the accounting both backends share."""
         seq = self._coll_seq
         self._coll_seq += 1
         self.stats.collectives += 1
-        info = _BlockInfo(
+        return _BlockInfo(
             "collective",
             post_time=self.clock.now,
             coll_seq=seq,
@@ -374,11 +400,49 @@ class Communicator:
             coll_ctx=self._ctx,
             comm=self,
         )
+
+    def _collective(self, kind: str, payload: Any, root: int = 0, reduce_op: str = "sum") -> Any:
+        info = self._make_coll_info(kind, payload, root, reduce_op)
         if self.size == 1:
             self._world._complete_collective([info], [self])
         else:
             self._world._block(self._grank, info)
         return info.coll_result
+
+
+#: Blocked ranks shown verbatim at each end of a deadlock dump; larger
+#: worlds are summarized (a 4096-rank deadlock must not print megabytes).
+_DEADLOCK_DUMP_RANKS = 10
+
+
+def _format_blocked(rank: int, info: _BlockInfo) -> str:
+    if info.kind == "recv":
+        req = info.request
+        return (
+            f"  rank {rank}: recv(source={req.src}, tag={req.tag}) "
+            f"at t={info.post_time:.3e}"
+        )
+    return f"  rank {rank}: collective #{info.coll_seq} {info.coll_kind!r}"
+
+
+def _deadlock_message(blocked: dict[int, _BlockInfo]) -> str:
+    """Deadlock state dump, bounded at large worlds: every blocked rank
+    up to ``2 * _DEADLOCK_DUMP_RANKS``, else the first/last 10 plus
+    per-kind counts of the elided middle."""
+    lines = [f"deadlock: {len(blocked)} rank(s) blocked, none can progress"]
+    items = sorted(blocked.items())
+    if len(items) <= 2 * _DEADLOCK_DUMP_RANKS:
+        lines.extend(_format_blocked(r, info) for r, info in items)
+        return "\n".join(lines)
+    head = items[:_DEADLOCK_DUMP_RANKS]
+    tail = items[-_DEADLOCK_DUMP_RANKS:]
+    elided = items[_DEADLOCK_DUMP_RANKS:-_DEADLOCK_DUMP_RANKS]
+    counts = Counter(info.kind for _, info in elided)
+    summary = ", ".join(f"{n} {kind}" for kind, n in sorted(counts.items()))
+    lines.extend(_format_blocked(r, info) for r, info in head)
+    lines.append(f"  ... {len(elided)} more blocked rank(s) elided ({summary}) ...")
+    lines.extend(_format_blocked(r, info) for r, info in tail)
+    return "\n".join(lines)
 
 
 class World:
@@ -391,15 +455,41 @@ class World:
     cost_model:
         Prices messages and collectives;
         defaults to :class:`~repro.simmpi.clock.ZeroCostModel`.
+    backend:
+        ``"auto"`` (default) runs generator-coroutine programs on the
+        single-threaded event loop and plain functions on the threaded
+        scheduler; ``"events"`` requires generator programs and stores
+        per-rank clocks/stats in an array-backed
+        :class:`~repro.simmpi.state.RankLedger`; ``"threads"`` forces
+        the threaded scheduler (generator programs are driven through a
+        blocking trampoline — the parity oracle for the event loop).
     """
 
-    def __init__(self, nranks: int, cost_model: CostModel | None = None) -> None:
+    BACKENDS = ("auto", "threads", "events")
+
+    def __init__(self, nranks: int, cost_model: CostModel | None = None,
+                 backend: str = "auto") -> None:
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
+        if backend not in self.BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {self.BACKENDS}"
+            )
         self.nranks = nranks
         self.cost_model = cost_model or ZeroCostModel()
+        self.backend = backend
+        self.last_backend: str | None = None
         self._mailboxes: dict[tuple[int, int], deque[_Message]] = {}
-        self.comms = [Communicator(self, r) for r in range(nranks)]
+        if backend == "events":
+            self.ledger: RankLedger | None = RankLedger(nranks)
+            self.comms = [
+                Communicator(self, r, clock=ClockView(self.ledger, r),
+                             stats=StatsView(self.ledger, r))
+                for r in range(nranks)
+            ]
+        else:
+            self.ledger = None
+            self.comms = [Communicator(self, r) for r in range(nranks)]
         # Scheduling state (initialized per run()):
         self._cv = threading.Condition()
         self._turn = _SCHEDULER
@@ -410,9 +500,23 @@ class World:
 
     # ---- public API ----------------------------------------------------
 
+    def _resolve_backend(self, program: Callable[..., Any]) -> str:
+        generator = inspect.isgeneratorfunction(program)
+        if self.backend == "auto":
+            return "events" if generator else "threads"
+        if self.backend == "events" and not generator:
+            raise TypeError(
+                "backend='events' runs generator-coroutine programs that "
+                "yield MpiOp descriptors (see repro.simmpi.events.op); got "
+                f"a plain callable {program!r}"
+            )
+        return self.backend
+
     def run(self, program: Callable[..., Any], *args: Any, **kwargs: Any) -> list[Any]:
         """Run ``program(comm, *args, **kwargs)`` on every rank; returns
         the per-rank return values."""
+        backend = self._resolve_backend(program)
+        self.last_backend = backend
         self._blocked.clear()
         self._finished.clear()
         self._failure = None
@@ -442,29 +546,14 @@ class World:
                 for c in self.comms
             ]
 
-        threads = [
-            threading.Thread(
-                target=self._thread_body, args=(r, program, args, kwargs), daemon=True
-            )
-            for r in range(self.nranks)
-        ]
-        with self._cv:
-            self._turn = _SCHEDULER
-        for t in threads:
-            t.start()
         try:
-            self._scheduler_loop()
-        except BaseException:
-            # Make sure every rank thread can unwind before re-raising.
-            with self._cv:
-                if self._failure is None:
-                    self._failure = RankFailedError(-1, DeadlockError("scheduler aborted"))
-                self._blocked.clear()
-                self._cv.notify_all()
-            raise
+            if backend == "events":
+                from .events import EventLoop
+
+                EventLoop(self).run(program, args, kwargs)
+            else:
+                self._run_threads(program, args, kwargs)
         finally:
-            for t in threads:
-                t.join(timeout=10.0)
             if tracer is not None:
                 for comm in self.comms:
                     comm.clock.tracer = None
@@ -502,19 +591,57 @@ class World:
 
     @property
     def max_time(self) -> float:
+        if self.ledger is not None:
+            return self.ledger.max_now()
         return max(c.clock.now for c in self.comms)
 
     def mpi_fraction(self) -> float:
         """Mean fraction of rank time spent in MPI (Figure 7's metric)."""
+        if self.ledger is not None:
+            return self.ledger.mean_mpi_fraction()
         fracs = [c.clock.mpi_fraction for c in self.comms]
         return float(np.mean(fracs))
 
     # ---- internal: rank threads ----------------------------------------
 
+    def _run_threads(self, program: Callable, args: tuple, kwargs: dict) -> None:
+        threads = [
+            threading.Thread(
+                target=self._thread_body, args=(r, program, args, kwargs), daemon=True
+            )
+            for r in range(self.nranks)
+        ]
+        with self._cv:
+            self._turn = _SCHEDULER
+        for t in threads:
+            t.start()
+        try:
+            self._scheduler_loop()
+        except BaseException:
+            # Make sure every rank thread can unwind before re-raising.
+            with self._cv:
+                if self._failure is None:
+                    self._failure = RankFailedError(-1, DeadlockError("scheduler aborted"))
+                self._blocked.clear()
+                self._cv.notify_all()
+            raise
+        finally:
+            for t in threads:
+                t.join(timeout=10.0)
+
     def _thread_body(self, rank: int, program: Callable, args: tuple, kwargs: dict) -> None:
         try:
             self._wait_for_turn(rank)
-            self._results[rank] = program(self.comms[rank], *args, **kwargs)
+            result = program(self.comms[rank], *args, **kwargs)
+            if inspect.isgenerator(result):
+                # Generator program forced onto the threaded backend:
+                # drive it through the blocking Communicator API so both
+                # backends execute identical accounting (the clock-parity
+                # oracle).
+                from .events import drive_blocking
+
+                result = drive_blocking(self.comms[rank], result)
+            self._results[rank] = result
         except _Abort:
             return
         except BaseException as exc:  # noqa: BLE001 - report any rank failure
@@ -587,18 +714,7 @@ class World:
                 self._cv.notify_all()
 
     def _raise_deadlock(self) -> None:
-        lines = [f"deadlock: {len(self._blocked)} rank(s) blocked, none can progress"]
-        for r, info in sorted(self._blocked.items()):
-            if info.kind == "recv":
-                req = info.request
-                lines.append(
-                    f"  rank {r}: recv(source={req.src}, tag={req.tag}) at t={info.post_time:.3e}"
-                )
-            else:
-                lines.append(
-                    f"  rank {r}: collective #{info.coll_seq} {info.coll_kind!r}"
-                )
-        err = DeadlockError("\n".join(lines))
+        err = DeadlockError(_deadlock_message(self._blocked))
         with self._cv:
             self._failure = RankFailedError(-1, err)
             self._failure.__cause__ = err

@@ -1,0 +1,152 @@
+"""Batched array-backed per-rank state for large simulated worlds.
+
+A 4096-rank :class:`~repro.simmpi.comm.World` would otherwise allocate
+thousands of :class:`~repro.simmpi.clock.VirtualClock` and
+:class:`~repro.simmpi.comm.RankStats` Python objects.  With
+``World(backend="events")`` the per-rank clocks and traffic counters
+live in one :class:`RankLedger` of numpy arrays instead, and each rank's
+communicator holds a :class:`ClockView` / :class:`StatsView` — thin
+per-rank windows with exactly the interfaces of ``VirtualClock`` and
+``RankStats``.  All arithmetic is IEEE double either way, so the numbers
+a view accumulates are bit-identical to the object-per-rank backend;
+whole-world reductions (``World.max_time``, ``World.mpi_fraction``)
+become single vectorized passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RankLedger", "ClockView", "StatsView"]
+
+#: (attribute, dtype) columns of the ledger; the float columns mirror
+#: ``VirtualClock``, the int columns mirror ``RankStats``.
+_FLOAT_COLS = ("now", "compute_time", "mpi_time")
+_INT_COLS = (
+    "messages_sent", "bytes_sent", "messages_received", "bytes_received",
+    "collectives",
+)
+
+
+class RankLedger:
+    """Struct-of-arrays store of every rank's clock and traffic counters."""
+
+    def __init__(self, nranks: int) -> None:
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        self.nranks = nranks
+        for col in _FLOAT_COLS:
+            setattr(self, col, np.zeros(nranks, dtype=np.float64))
+        for col in _INT_COLS:
+            setattr(self, col, np.zeros(nranks, dtype=np.int64))
+
+    # ---- whole-world reductions (one vectorized pass each) -----------
+
+    def max_now(self) -> float:
+        return float(self.now.max())
+
+    def mean_mpi_fraction(self) -> float:
+        """Mean of per-rank ``mpi_time / now`` (ranks with ``now == 0``
+        count as fraction 0, matching ``VirtualClock.mpi_fraction``)."""
+        fracs = np.divide(
+            self.mpi_time, self.now,
+            out=np.zeros_like(self.mpi_time), where=self.now > 0,
+        )
+        return float(np.mean(fracs))
+
+
+class ClockView:
+    """Per-rank window into a :class:`RankLedger` with the
+    :class:`~repro.simmpi.clock.VirtualClock` interface."""
+
+    __slots__ = ("_ledger", "_rank", "tracer", "track")
+
+    def __init__(self, ledger: RankLedger, rank: int) -> None:
+        self._ledger = ledger
+        self._rank = rank
+        self.tracer = None
+        self.track = None
+
+    @property
+    def now(self) -> float:
+        return self._ledger.now[self._rank]
+
+    @now.setter
+    def now(self, value: float) -> None:
+        self._ledger.now[self._rank] = value
+
+    @property
+    def compute_time(self) -> float:
+        return self._ledger.compute_time[self._rank]
+
+    @compute_time.setter
+    def compute_time(self, value: float) -> None:
+        self._ledger.compute_time[self._rank] = value
+
+    @property
+    def mpi_time(self) -> float:
+        return self._ledger.mpi_time[self._rank]
+
+    @mpi_time.setter
+    def mpi_time(self, value: float) -> None:
+        self._ledger.mpi_time[self._rank] = value
+
+    def advance_compute(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("cannot advance time backwards")
+        self._ledger.now[self._rank] += dt
+        self._ledger.compute_time[self._rank] += dt
+
+    def advance_mpi(self, until: float) -> None:
+        now = self._ledger.now[self._rank]
+        if until > now:
+            if self.tracer is not None:
+                self.tracer.span(
+                    "mpi", "wait", now, until,
+                    track=self.track or ("rank", 0),
+                )
+            self._ledger.mpi_time[self._rank] += until - now
+            self._ledger.now[self._rank] = until
+
+    def charge_mpi(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("negative MPI charge")
+        self._ledger.now[self._rank] += dt
+        self._ledger.mpi_time[self._rank] += dt
+
+    @property
+    def mpi_fraction(self) -> float:
+        now = self._ledger.now[self._rank]
+        return self._ledger.mpi_time[self._rank] / now if now > 0 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClockView(rank={self._rank}, now={self.now!r}, "
+            f"compute_time={self.compute_time!r}, mpi_time={self.mpi_time!r})"
+        )
+
+
+class StatsView:
+    """Per-rank window into a :class:`RankLedger` with the
+    :class:`~repro.simmpi.comm.RankStats` interface."""
+
+    __slots__ = ("_ledger", "_rank")
+
+    def __init__(self, ledger: RankLedger, rank: int) -> None:
+        self._ledger = ledger
+        self._rank = rank
+
+
+def _stat_property(col: str):
+    def get(self: StatsView):
+        return int(getattr(self._ledger, col)[self._rank])
+
+    def set(self: StatsView, value) -> None:
+        getattr(self._ledger, col)[self._rank] = value
+
+    return property(get, set)
+
+
+for _col in _INT_COLS:
+    setattr(StatsView, _col, _stat_property(_col))
+del _col

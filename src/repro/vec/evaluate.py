@@ -116,7 +116,10 @@ class VecEvaluator:
         self._apps: dict[int, AppBlock] = {}
         self._pairs: dict[tuple[int, str], PairBlock] = {}
         self._conc: dict[tuple[int, bool], np.ndarray] = {}
-        self._comm: dict[tuple[int, str, int, bool], object] = {}
+        # Keyed by the full decomposition shape — (ranks, nodes) — so a
+        # future cluster-aware vec path can never alias a single-node
+        # estimate (today every batched job is single-node: nodes == 1).
+        self._comm: dict[tuple[int, str, int, int, bool], object] = {}
 
     # ---- cached lowering -------------------------------------------------
 
@@ -167,17 +170,19 @@ class VecEvaluator:
 
     def _comm_estimate(
         self, spec: AppSpec, platform: PlatformSpec, config: RunConfig,
-        nranks: int,
+        nranks: int, nodes: int = 1,
     ):
         # estimate_comm reads the config only through ranks() and the
         # hyperthreading flag (which picks the rank placement).
         key = (
-            id(spec), platform.short_name, nranks,
+            id(spec), platform.short_name, nranks, nodes,
             bool(config.hyperthreading),
         )
         comm = self._comm.get(key)
         if comm is None:
-            comm = self._comm[key] = estimate_comm(spec, platform, config)
+            comm = self._comm[key] = estimate_comm(
+                spec, platform, config, nodes=nodes,
+            )
         return comm
 
     # ---- per-job scalar stage --------------------------------------------

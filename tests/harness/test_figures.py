@@ -70,3 +70,43 @@ class TestConfigMatrix:
         )
         means = [r[1] for r in table if r[1] is not None]
         assert means == sorted(means)
+
+
+class TestFig7xStructure:
+    @pytest.fixture(scope="class")
+    def f7x(self):
+        from repro.harness import fig7x
+
+        # Two node counts keep the smoke test fast; the default study
+        # sweeps (16, 32, 64, 96).
+        return fig7x(node_counts=(16, 32))
+
+    def test_columns(self, f7x):
+        assert f7x.columns == ("app", "platform", "nodes", "ranks",
+                               "MPI %", "efficiency")
+        assert f7x.figure == "fig7x"
+
+    def test_row_count(self, f7x):
+        # 2 apps x 2 platforms x 2 node counts.
+        assert len(f7x.rows) == 8
+
+    def test_efficiency_and_mpi_bounds(self, f7x):
+        for r in f7x.rows:
+            assert 0.0 < r[5] <= 1.0 + 1e-9
+            assert 0.0 < r[4] < 100.0
+            assert r[3] >= r[2]  # ranks >= nodes
+
+    def test_bottleneck_shift_across_platforms(self, f7x):
+        """At equal node count the Xeon MAX spends a larger MPI share
+        than the 8360Y — the paper's Sec. 6 story at cluster scale."""
+        by = {(r[0], r[1], r[2]): r[4] for r in f7x.rows}
+        for app in ("cloverleaf3d", "miniweather"):
+            for nodes in (16, 32):
+                assert by[(app, "max9480", nodes)] > by[(app, "icx8360y", nodes)]
+
+    def test_in_all_figures_not_in_fidelity(self):
+        import repro.harness.figures as figmod
+        from repro.obs.fidelity import FIGURE_ORDER
+
+        assert "fig7x" not in FIGURE_ORDER
+        assert "fig7x" in figmod.__all__

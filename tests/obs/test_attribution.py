@@ -120,3 +120,71 @@ class TestWhatIf:
         _est, tree = _tree("volna", ALL_PLATFORMS[0])
         with pytest.raises(ValueError, match="must be > 0"):
             what_if(tree, {"dram_bw": 0.0})
+
+
+class TestInternodeLeaf:
+    """Cluster-shaped estimates grow an 'internode-wire' leaf; single-node
+    golden trees stay untouched (their inter share is zero)."""
+
+    @staticmethod
+    def _cluster_estimate(nodes=4):
+        import dataclasses
+
+        from repro.harness.runner import app_spec
+        from repro.machine import XEON_MAX_9480, Compiler, Parallelization, RunConfig
+        from repro.perfmodel import estimate_app, estimate_comm
+
+        cfg = RunConfig(Compiler.ONEAPI, Parallelization.MPI)
+        spec = app_spec("cloverleaf3d")
+        est = estimate_app(spec, XEON_MAX_9480, cfg)
+        comm = estimate_comm(spec, XEON_MAX_9480, cfg, nodes=nodes)
+        n = spec.iterations
+        mpi = comm.time_per_iter * n
+        return dataclasses.replace(
+            est, comm=comm, mpi_time=mpi,
+            total_time=est.compute_time + mpi)
+
+    def test_internode_leaf_present(self):
+        est = self._cluster_estimate()
+        tree = attribute_estimate(est)
+        leaves = leaf_index(tree)
+        inter = [l for l in leaves.values() if l.kind == "mpi-internode"]
+        assert len(inter) == 1
+        assert inter[0].name == "internode-wire"
+        n = round(est.mpi_time / est.comm.time_per_iter)
+        assert inter[0].seconds == pytest.approx(
+            est.comm.internode_wire_per_iter * n)
+
+    def test_additivity_holds_on_cluster_tree(self):
+        est = self._cluster_estimate()
+        tree = attribute_estimate(est)
+        assert tree.max_additivity_error() <= 1e-9
+        assert math.isclose(tree.leaf_total(), est.total_time,
+                            rel_tol=1e-9, abs_tol=0.0)
+
+    def test_single_node_trees_have_no_internode_leaf(self):
+        for platform in ALL_PLATFORMS:
+            _, tree = _tree("cloverleaf2d", platform)
+            kinds = {l.kind for l in leaf_index(tree).values()}
+            assert "mpi-internode" not in kinds
+
+    def test_internode_bw_knob_targets_only_the_new_leaf(self):
+        est = self._cluster_estimate()
+        tree = attribute_estimate(est)
+        assert "internode_bw" in WHAT_IF_KNOBS
+        scaled = what_if(tree, {"internode_bw": 2.0})
+        leaves, new = leaf_index(tree), leaf_index(scaled)
+        for path, leaf in leaves.items():
+            if leaf.kind == "mpi-internode":
+                assert new[path].seconds == pytest.approx(leaf.seconds / 2)
+            elif leaf.kind != "group":
+                assert new[path].seconds == leaf.seconds
+
+    def test_net_bw_knob_covers_both_wire_leaves(self):
+        est = self._cluster_estimate()
+        tree = attribute_estimate(est)
+        scaled = what_if(tree, {"net_bw": 2.0})
+        leaves, new = leaf_index(tree), leaf_index(scaled)
+        for path, leaf in leaves.items():
+            if leaf.kind in ("mpi-wire", "mpi-internode"):
+                assert new[path].seconds == pytest.approx(leaf.seconds / 2)

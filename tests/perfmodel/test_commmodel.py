@@ -127,3 +127,47 @@ class TestUnstructured:
         five = unstructured_comm(unstructured_app(fields_exchanged=5.0),
                                  XEON_8360Y, MPI)
         assert 0 < one.time_per_iter < five.time_per_iter
+
+
+class TestClusterComm:
+    """Multi-node estimates: estimate_comm(nodes>1) routes through the
+    cluster model and reports the inter-node wire component."""
+
+    def test_single_node_path_unchanged(self):
+        app = structured_app()
+        assert estimate_comm(app, XEON_MAX_9480, MPI) == \
+            estimate_comm(app, XEON_MAX_9480, MPI, nodes=1)
+        assert estimate_comm(app, XEON_MAX_9480, MPI).internode_wire_per_iter == 0.0
+
+    def test_multi_node_reports_internode_wire(self):
+        app = structured_app()
+        est = estimate_comm(app, XEON_MAX_9480, MPI, nodes=4)
+        assert est.internode_wire_per_iter > 0.0
+        assert est.internode_wire_per_iter <= est.wire_per_iter
+        assert est.time_per_iter > 0.0
+
+    def test_more_nodes_cost_more_collective(self):
+        app = structured_app(reductions_per_iter=2.0)
+        two = estimate_comm(app, XEON_8360Y, MPI, nodes=2)
+        eight = estimate_comm(app, XEON_8360Y, MPI, nodes=8)
+        assert eight.collective_per_iter > two.collective_per_iter > 0.0
+
+    def test_custom_network_matters(self):
+        from repro.machine import NetworkSpec
+
+        app = structured_app()
+        fast = estimate_comm(app, XEON_MAX_9480, MPI, nodes=4,
+                             network=NetworkSpec(bandwidth=200e9))
+        slow = estimate_comm(app, XEON_MAX_9480, MPI, nodes=4,
+                             network=NetworkSpec(bandwidth=5e9))
+        assert slow.internode_wire_per_iter > fast.internode_wire_per_iter
+
+    def test_unstructured_cluster_path(self):
+        app = unstructured_app()
+        est = estimate_comm(app, XEON_8360Y, MPI, nodes=4)
+        assert est.internode_wire_per_iter > 0.0
+        assert est.messages_per_iter > 0
+
+    def test_rejects_bad_nodes(self):
+        with pytest.raises(ValueError):
+            estimate_comm(structured_app(), XEON_MAX_9480, MPI, nodes=0)

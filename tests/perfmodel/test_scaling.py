@@ -76,3 +76,62 @@ class TestCommShare:
         with pytest.raises(ValueError):
             comm_share_curve(app_spec("minibude"), XEON_MAX_9480, CFG,
                              shrink_factors=[0.5])
+
+
+class TestClusterScaling:
+    """Strong/weak scaling across nodes — the fig7x regime."""
+
+    @pytest.fixture(scope="class")
+    def strong(self):
+        from repro.perfmodel import cluster_strong_scaling
+
+        return cluster_strong_scaling(app_spec("cloverleaf3d"), XEON_MAX_9480,
+                                      CFG, node_counts=(2, 4, 8))
+
+    def test_ranks_scale_with_nodes(self, strong):
+        assert [p.nodes for p in strong] == [2, 4, 8]
+        assert strong[1].ranks == 2 * strong[0].ranks
+        assert strong[2].ranks == 4 * strong[0].ranks
+
+    def test_first_point_is_the_baseline(self, strong):
+        assert strong[0].speedup == pytest.approx(1.0)
+        assert strong[0].efficiency == pytest.approx(1.0)
+
+    def test_efficiency_decays(self, strong):
+        effs = [p.efficiency for p in strong]
+        assert effs == sorted(effs, reverse=True)
+        for p in strong:
+            assert 0.0 < p.efficiency <= 1.0 + 1e-9
+
+    def test_mpi_fraction_grows(self, strong):
+        fracs = [p.mpi_fraction for p in strong]
+        assert fracs == sorted(fracs)
+        assert 0.0 < fracs[0] < fracs[-1] < 1.0
+
+    def test_max_more_mpi_bound_than_ddr(self):
+        """The paper's bottleneck shift extends to clusters: the faster
+        the node, the larger the MPI share at equal scale."""
+        from repro.perfmodel import cluster_strong_scaling
+
+        spec = app_spec("cloverleaf3d")
+        m = cluster_strong_scaling(spec, XEON_MAX_9480, CFG, node_counts=(16,))
+        i = cluster_strong_scaling(spec, XEON_8360Y, CFG, node_counts=(16,))
+        assert m[0].mpi_fraction > i[0].mpi_fraction
+
+    def test_weak_scaling_stays_efficient(self):
+        from repro.perfmodel import cluster_weak_scaling
+
+        pts = cluster_weak_scaling(app_spec("miniweather"), XEON_MAX_9480,
+                                   CFG, node_counts=(1, 4, 16))
+        assert [p.nodes for p in pts] == [1, 4, 16]
+        for p in pts:
+            assert 0.5 < p.efficiency <= 1.0 + 1e-9
+        # Weak scaling holds efficiency far better than strong scaling.
+        assert pts[-1].efficiency > 0.8
+
+    def test_validation(self):
+        from repro.perfmodel import cluster_strong_scaling
+
+        with pytest.raises(ValueError):
+            cluster_strong_scaling(app_spec("cloverleaf3d"), XEON_MAX_9480,
+                                   CFG, node_counts=())

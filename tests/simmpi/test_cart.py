@@ -5,7 +5,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.simmpi import CartGrid, World, dims_create, exchange_halos, local_range
+from repro.simmpi import (
+    CartGrid, World, dims_create, exchange_halos, local_range, neighbor_table,
+    prime_factors,
+)
 
 
 class TestDimsCreate:
@@ -32,6 +35,69 @@ class TestDimsCreate:
         dims = dims_create(n, d)
         assert int(np.prod(dims)) == n
         assert list(dims) == sorted(dims, reverse=True)
+
+
+class TestPrimeFactors:
+    def test_one_has_no_factors(self):
+        assert prime_factors(1) == []
+
+    def test_prime(self):
+        assert prime_factors(9973) == [9973]
+
+    def test_composite_with_multiplicity(self):
+        assert prime_factors(360) == [2, 2, 2, 3, 3, 5]
+        assert prime_factors(4096) == [2] * 12
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            prime_factors(0)
+
+    @given(n=st.integers(1, 100_000))
+    @settings(max_examples=80, deadline=None)
+    def test_product_and_order(self, n):
+        fs = prime_factors(n)
+        assert int(np.prod(fs, dtype=np.int64)) == n if fs else n == 1
+        assert fs == sorted(fs)
+
+    def test_large_prime_is_fast(self):
+        # Trial division up to sqrt(n): instant even for 8-digit primes.
+        assert prime_factors(99_999_989) == [99_999_989]
+
+    def test_dims_create_at_scale(self):
+        assert dims_create(4096, 3) == (16, 16, 16)
+        assert dims_create(10_000, 2) == (100, 100)
+        assert dims_create(9973, 3) == (9973, 1, 1)
+
+
+class TestNeighborTable:
+    @pytest.mark.parametrize("dims,periodic", [
+        ((6,), (False,)),
+        ((6,), (True,)),
+        ((4, 5), (False, False)),
+        ((4, 5), (True, True)),
+        ((3, 4, 2), (True, False, True)),
+    ])
+    def test_matches_scalar_neighbor(self, dims, periodic):
+        grid = CartGrid(dims, periodic=periodic)
+        table = neighbor_table(grid)
+        for (dim, disp), col in table.items():
+            assert col.shape == (grid.size,)
+            for r in range(grid.size):
+                want = grid.neighbor(r, dim, disp)
+                got = int(col[r])
+                assert got == (want if want is not None else -1), (dim, disp, r)
+
+    def test_covers_all_directions(self):
+        grid = CartGrid((2, 3, 4))
+        table = neighbor_table(grid)
+        assert set(table) == {(d, s) for d in range(3) for s in (-1, 1)}
+
+    def test_4096_rank_table_is_cheap(self):
+        grid = CartGrid(dims_create(4096, 3), periodic=(True,) * 3)
+        table = neighbor_table(grid)
+        # Every rank has a neighbor in every direction on a periodic grid.
+        for col in table.values():
+            assert (col >= 0).all()
 
 
 class TestLocalRange:
